@@ -1,0 +1,15 @@
+//! Criterion wrapper for the Figure 10 experiment (result-size sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("result_size_sweep", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig10()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

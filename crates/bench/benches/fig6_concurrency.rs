@@ -1,0 +1,15 @@
+//! Criterion wrapper for the Figure 6 experiment (concurrency sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("concurrency_sweep", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig6()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion wrapper for the Figure 8 experiment (symmetric network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("selectivity_sweep_symmetric", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig8()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion wrapper for the Figure 9 experiment (asymmetric network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("selectivity_sweep_asymmetric", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig9()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Optimizer benches: plan-space exploration cost and the rank-order
+//! baseline comparison (Figures 12/13 environments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    g.bench_function("fig12_plan_space", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig12_plan_space()))
+    });
+    g.bench_function("fig13_plan_space", |b| {
+        b.iter(|| criterion::black_box(csq_bench::figures::fig13_plan_space()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! The paper's experiment workloads (§4).
+
+use std::sync::Arc;
+
+use csq_client::synthetic::{ObjectUdf, PredicateUdf};
+use csq_client::ClientRuntime;
+use csq_common::{Blob, DataType, Field, Row, Schema, Value};
+use csq_ship::UdfApplication;
+
+/// §4.1's relation: 100 `DataObject`s of one size.
+pub fn fig6_schema() -> Schema {
+    Schema::new(vec![Field::new("DataObject", DataType::Blob)])
+}
+
+/// Rows for the §4.1 concurrency experiment.
+pub fn fig6_rows(n: usize, object_size: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::new(vec![Value::Blob(Blob::synthetic(object_size, i as u64))]))
+        .collect()
+}
+
+/// §4.1's UDF: returns an object of the same size as its input.
+pub fn fig6_runtime() -> Arc<ClientRuntime> {
+    let rt = ClientRuntime::new();
+    rt.register(Arc::new(ObjectUdf::same_size("UDF"))).unwrap();
+    Arc::new(rt)
+}
+
+/// The §4.1 UDF application.
+pub fn fig6_app() -> UdfApplication {
+    UdfApplication::new("UDF", vec![0], Field::new("out", DataType::Blob))
+}
+
+/// Figure 7's relation: an Argument object and a NonArgument object.
+pub fn fig7_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("Argument", DataType::Blob),
+        Field::new("NonArgument", DataType::Blob),
+    ])
+}
+
+/// Figure 7 rows with the given *payload* sizes (wire size = payload + 5).
+/// `distinct` controls the argument-duplicate fraction D = distinct/n.
+pub fn fig7_rows(n: usize, arg_payload: usize, nonarg_payload: usize, distinct: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Blob(Blob::synthetic(arg_payload, (i % distinct.max(1)) as u64)),
+                Value::Blob(Blob::synthetic(nonarg_payload, 10_000 + i as u64)),
+            ])
+        })
+        .collect()
+}
+
+/// Figure 7's UDFs: `UDF1` (bool, selectivity `s`) and `UDF2` (object of
+/// `result_size` payload bytes), both over the Argument column.
+pub fn fig7_runtime(s: f64, result_size: usize) -> Arc<ClientRuntime> {
+    let rt = ClientRuntime::new();
+    rt.register(Arc::new(PredicateUdf::new("UDF1", s))).unwrap();
+    rt.register(Arc::new(ObjectUdf::sized("UDF2", result_size)))
+        .unwrap();
+    Arc::new(rt)
+}
+
+/// Figure 7 UDF applications (UDF1 then UDF2, sharing the argument column).
+pub fn fig7_apps() -> (UdfApplication, UdfApplication) {
+    (
+        UdfApplication::new("UDF1", vec![0], Field::new("pass", DataType::Bool)),
+        UdfApplication::new("UDF2", vec![0], Field::new("res", DataType::Blob)),
+    )
+}
+
+/// A Zipf-skewed duplicate generator: row `i`'s argument object is drawn
+/// from `universe` distinct objects with Zipf(θ) popularity — the realistic
+/// duplicate pattern for stock tickers, where a few hot symbols dominate.
+/// Deterministic in `seed`.
+pub fn zipf_rows(
+    n: usize,
+    universe: usize,
+    theta: f64,
+    arg_payload: usize,
+    nonarg_payload: usize,
+    seed: u64,
+) -> Vec<Row> {
+    assert!(universe >= 1);
+    assert!(theta >= 0.0);
+    // Precompute the Zipf CDF.
+    let weights: Vec<f64> = (1..=universe).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(universe);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    // xorshift for deterministic uniform draws.
+    let mut state = seed ^ 0x2545_F491_4F6C_DD1D;
+    let mut next_unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let u = next_unit();
+            let rank = cdf.partition_point(|&c| c < u).min(universe - 1);
+            Row::new(vec![
+                Value::Blob(Blob::synthetic(arg_payload, rank as u64)),
+                Value::Blob(Blob::synthetic(nonarg_payload, 90_000 + i as u64)),
+            ])
+        })
+        .collect()
+}
+
+/// Measured distinct-argument fraction `D` of a workload (argument = col 0).
+pub fn measured_d(rows: &[Row]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let distinct: std::collections::HashSet<_> =
+        rows.iter().map(|r| r.value(0).clone()).collect();
+    distinct.len() as f64 / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_rows_have_requested_shapes() {
+        let rows = fig7_rows(10, 495, 495, 5);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].wire_size(), 1000);
+        assert!((measured_d(&rows) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let a = zipf_rows(200, 50, 1.2, 32, 32, 7);
+        let b = zipf_rows(200, 50, 1.2, 32, 32, 7);
+        assert_eq!(a, b, "same seed, same workload");
+        let skewed_d = measured_d(&a);
+        let uniform = zipf_rows(200, 50, 0.0, 32, 32, 7);
+        let uniform_d = measured_d(&uniform);
+        assert!(
+            skewed_d < uniform_d,
+            "skew concentrates duplicates: {skewed_d} vs {uniform_d}"
+        );
+        assert!(skewed_d > 0.0 && skewed_d <= 1.0);
+    }
+
+    #[test]
+    fn zipf_rank_in_universe() {
+        let rows = zipf_rows(100, 3, 1.0, 16, 0, 1);
+        let distinct: std::collections::HashSet<_> =
+            rows.iter().map(|r| r.value(0).clone()).collect();
+        assert!(distinct.len() <= 3);
+    }
+}

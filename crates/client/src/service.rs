@@ -1,0 +1,400 @@
+//! The client-site service: task execution and the network event loop.
+//!
+//! [`TaskExecutor`] is the client half of both shipping strategies: it
+//! extends each incoming row with UDF result columns, applies the pushable
+//! predicate, and projects the returned columns. [`spawn_client`] runs it as
+//! a thread over a real [`Endpoint`]; [`ClientHandle`] runs it synchronously
+//! in-process for the virtual-time executors (same code path, no threads).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use csq_common::{CsqError, Result, Row, Value};
+use csq_net::Endpoint;
+
+use crate::protocol::{ClientTask, Request, Response};
+use crate::runtime::ClientRuntime;
+
+/// Executes one installed [`ClientTask`] row batch by row batch.
+pub struct TaskExecutor {
+    runtime: Arc<ClientRuntime>,
+    task: ClientTask,
+    /// Per-step memo caches keyed by argument tuple (\[HN97]-style).
+    caches: Vec<HashMap<Row, Value>>,
+    /// Total simulated CPU µs consumed by UDF invocations (cache hits are
+    /// free). Used by the virtual-time executors.
+    cpu_us: u64,
+}
+
+impl TaskExecutor {
+    /// Validate the task and check every referenced UDF exists.
+    pub fn new(runtime: Arc<ClientRuntime>, task: ClientTask) -> Result<TaskExecutor> {
+        task.validate()?;
+        for s in &task.steps {
+            runtime.get(&s.udf)?;
+        }
+        let caches = task.steps.iter().map(|_| HashMap::new()).collect();
+        Ok(TaskExecutor {
+            runtime,
+            task,
+            caches,
+            cpu_us: 0,
+        })
+    }
+
+    /// The installed task.
+    pub fn task(&self) -> &ClientTask {
+        &self.task
+    }
+
+    /// Simulated client CPU time consumed so far, µs.
+    pub fn cpu_us(&self) -> u64 {
+        self.cpu_us
+    }
+
+    /// Process one batch: extend, filter, project.
+    pub fn process(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(rows.len());
+        let steps = self.task.steps.clone();
+        let dedup = self.task.dedup_cache;
+        for row in rows {
+            if row.len() != self.task.input_width as usize {
+                return Err(CsqError::Client(format!(
+                    "batch row has width {}, task expects {}",
+                    row.len(),
+                    self.task.input_width
+                )));
+            }
+            let mut extended = row;
+            for (i, step) in steps.iter().enumerate() {
+                let arg_idx: Vec<usize> =
+                    step.arg_cols.iter().map(|&c| c as usize).collect();
+                let args = extended.project(&arg_idx);
+                let result = if dedup {
+                    if let Some(v) = self.caches[i].get(&args) {
+                        self.runtime.record_cache_hit();
+                        v.clone()
+                    } else {
+                        let v = self.invoke_step(&step.udf, &args)?;
+                        self.caches[i].insert(args, v.clone());
+                        v
+                    }
+                } else {
+                    self.invoke_step(&step.udf, &args)?
+                };
+                extended = extended.with_value(result);
+            }
+            if let Some(pred) = &self.task.predicate {
+                if !pred.eval_predicate(&extended)? {
+                    continue;
+                }
+            }
+            let returned = match &self.task.return_cols {
+                Some(cols) => {
+                    let idx: Vec<usize> = cols.iter().map(|&c| c as usize).collect();
+                    extended.project(&idx)
+                }
+                None => extended,
+            };
+            out.push(returned);
+        }
+        Ok(out)
+    }
+
+    fn invoke_step(&mut self, udf_name: &str, args: &Row) -> Result<Value> {
+        let udf = self.runtime.get(udf_name)?;
+        let arg_bytes = args.wire_size();
+        self.cpu_us += udf.cost().invocation_us(arg_bytes);
+        self.runtime.invoke(udf_name, args.values())
+    }
+}
+
+/// A synchronous in-process client: installs a task and processes batches
+/// without any network or threads. The virtual-time executors in `csq-ship`
+/// use this so that the *same* client code path produces both the threaded
+/// and the simulated results.
+pub struct ClientHandle {
+    runtime: Arc<ClientRuntime>,
+}
+
+impl ClientHandle {
+    /// Wrap a runtime.
+    pub fn new(runtime: Arc<ClientRuntime>) -> ClientHandle {
+        ClientHandle { runtime }
+    }
+
+    /// The underlying runtime (for registration and accounting).
+    pub fn runtime(&self) -> &Arc<ClientRuntime> {
+        &self.runtime
+    }
+
+    /// Install a task, returning its executor.
+    pub fn install(&self, task: ClientTask) -> Result<TaskExecutor> {
+        TaskExecutor::new(self.runtime.clone(), task)
+    }
+}
+
+/// Run the client event loop over `endpoint` in a new thread.
+///
+/// Protocol: the server first sends [`Request::Install`], then any number of
+/// [`Request::Batch`] (each answered by exactly one [`Response::Batch`] or
+/// [`Response::Error`]), then [`Request::Finish`] (or just closes).
+pub fn spawn_client(
+    runtime: Arc<ClientRuntime>,
+    endpoint: Endpoint,
+) -> JoinHandle<Result<()>> {
+    std::thread::Builder::new()
+        .name("csq-client".into())
+        .spawn(move || client_loop(runtime, endpoint))
+        .expect("failed to spawn client thread")
+}
+
+fn client_loop(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> Result<()> {
+    let mut executor: Option<TaskExecutor> = None;
+    while let Some(buf) = endpoint.recv() {
+        match Request::decode(&buf)? {
+            Request::Install(task) => match TaskExecutor::new(runtime.clone(), task) {
+                Ok(ex) => executor = Some(ex),
+                Err(e) => {
+                    // Installation failures poison the session.
+                    let _ = endpoint.send(Response::Error(e.to_string()).encode());
+                    return Err(e);
+                }
+            },
+            Request::Batch(rows) => {
+                let Some(ex) = executor.as_mut() else {
+                    let msg = "batch received before task installation";
+                    let _ = endpoint.send(Response::Error(msg.into()).encode());
+                    return Err(CsqError::Client(msg.into()));
+                };
+                match ex.process(rows) {
+                    Ok(out) => {
+                        if endpoint.send(Response::Batch(out).encode()).is_err() {
+                            // Server went away; nothing more to do.
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => {
+                        let _ = endpoint.send(Response::Error(e.to_string()).encode());
+                        return Err(e);
+                    }
+                }
+            }
+            Request::Finish => break,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{TaskMode, UdfStep};
+    use crate::synthetic::{ObjectUdf, PredicateUdf};
+    use csq_common::Blob;
+    use csq_expr::{BinaryOp, PhysExpr};
+    use csq_net::in_memory_duplex;
+
+    fn runtime() -> Arc<ClientRuntime> {
+        let rt = ClientRuntime::new();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 32))).unwrap();
+        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5))).unwrap();
+        Arc::new(rt)
+    }
+
+    fn record(i: u64) -> Row {
+        Row::new(vec![Value::Int(i as i64), Value::Blob(Blob::synthetic(50, i))])
+    }
+
+    fn sj_task() -> ClientTask {
+        // Input: just the argument column.
+        ClientTask {
+            mode: TaskMode::SemiJoin,
+            input_width: 1,
+            steps: vec![UdfStep {
+                udf: "Analyze".into(),
+                arg_cols: vec![0],
+            }],
+            predicate: None,
+            return_cols: Some(vec![1]),
+            dedup_cache: false,
+        }
+    }
+
+    fn csj_task() -> ClientTask {
+        // Input: full record (id, blob); run Keep(blob) and filter on it,
+        // return (id, keep-result).
+        ClientTask {
+            mode: TaskMode::ClientJoin,
+            input_width: 2,
+            steps: vec![UdfStep {
+                udf: "Keep".into(),
+                arg_cols: vec![1],
+            }],
+            predicate: Some(PhysExpr::Binary {
+                left: Box::new(PhysExpr::Column(2)),
+                op: BinaryOp::Eq,
+                right: Box::new(PhysExpr::Literal(Value::Bool(true))),
+            }),
+            return_cols: Some(vec![0, 2]),
+            dedup_cache: false,
+        }
+    }
+
+    #[test]
+    fn semijoin_task_returns_results_one_to_one() {
+        let rt = runtime();
+        let mut ex = TaskExecutor::new(rt, sj_task()).unwrap();
+        let args: Vec<Row> = (0..5)
+            .map(|i| Row::new(vec![Value::Blob(Blob::synthetic(50, i))]))
+            .collect();
+        let out = ex.process(args).unwrap();
+        assert_eq!(out.len(), 5);
+        for r in &out {
+            assert_eq!(r.len(), 1);
+            assert_eq!(r.value(0).as_blob().unwrap().len(), 32);
+        }
+    }
+
+    #[test]
+    fn csj_task_filters_and_projects() {
+        let rt = runtime();
+        let mut ex = TaskExecutor::new(rt, csj_task()).unwrap();
+        let rows: Vec<Row> = (0..200).map(record).collect();
+        let out = ex.process(rows).unwrap();
+        assert!(!out.is_empty() && out.len() < 200, "got {}", out.len());
+        for r in &out {
+            assert_eq!(r.len(), 2);
+            assert_eq!(r.value(1), &Value::Bool(true));
+        }
+    }
+
+    #[test]
+    fn dedup_cache_avoids_invocations() {
+        let rt = runtime();
+        let mut task = sj_task();
+        task.dedup_cache = true;
+        let mut ex = TaskExecutor::new(rt.clone(), task).unwrap();
+        let dup = Row::new(vec![Value::Blob(Blob::synthetic(50, 1))]);
+        let out = ex
+            .process(vec![dup.clone(), dup.clone(), dup.clone()])
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(rt.invocations(), 1);
+        assert_eq!(rt.cache_hits(), 2);
+        // Identical results for duplicates.
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn executor_rejects_unknown_udf_and_bad_width() {
+        let rt = runtime();
+        let mut t = sj_task();
+        t.steps[0].udf = "Missing".into();
+        let err = match TaskExecutor::new(rt.clone(), t) {
+            Err(e) => e,
+            Ok(_) => panic!("expected unknown-UDF error"),
+        };
+        assert_eq!(err.kind(), "client");
+        let mut ex = TaskExecutor::new(rt, sj_task()).unwrap();
+        let bad = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(ex.process(vec![bad]).unwrap_err().kind(), "client");
+    }
+
+    #[test]
+    fn cpu_accounting_uses_cost_model() {
+        let rt = ClientRuntime::new();
+        rt.register(Arc::new(ObjectUdf::sized("f", 8).with_cost(
+            crate::runtime::UdfCost {
+                fixed_us: 100.0,
+                per_byte_us: 0.0,
+            },
+        )))
+        .unwrap();
+        let mut ex = TaskExecutor::new(
+            Arc::new(rt),
+            ClientTask {
+                mode: TaskMode::SemiJoin,
+                input_width: 1,
+                steps: vec![UdfStep {
+                    udf: "f".into(),
+                    arg_cols: vec![0],
+                }],
+                predicate: None,
+                return_cols: Some(vec![1]),
+                dedup_cache: false,
+            },
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..3)
+            .map(|i| Row::new(vec![Value::Blob(Blob::synthetic(10, i))]))
+            .collect();
+        ex.process(rows).unwrap();
+        assert_eq!(ex.cpu_us(), 300);
+    }
+
+    #[test]
+    fn client_loop_end_to_end() {
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+
+        server.send(Request::Install(csj_task()).encode()).unwrap();
+        let rows: Vec<Row> = (0..50).map(record).collect();
+        server.send(Request::Batch(rows).encode()).unwrap();
+        let resp = Response::decode(&server.recv().unwrap()).unwrap();
+        let Response::Batch(out) = resp else {
+            panic!("expected batch")
+        };
+        assert!(!out.is_empty());
+        server.send(Request::Finish.encode()).unwrap();
+        drop(server);
+        handle.join().unwrap().unwrap();
+        assert!(stats.down_bytes() > 0);
+        assert!(stats.up_bytes() > 0);
+    }
+
+    #[test]
+    fn client_loop_reports_batch_before_install() {
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+        server.send(Request::Batch(vec![]).encode()).unwrap();
+        let resp = Response::decode(&server.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+        drop(server);
+        assert!(handle.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn client_loop_reports_udf_failure() {
+        let rt = ClientRuntime::new();
+        // Register a UDF that always fails by type-erroring on its input.
+        rt.register(Arc::new(ObjectUdf::sized("f", 8))).unwrap();
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(Arc::new(rt), client);
+        server
+            .send(
+                Request::Install(ClientTask {
+                    mode: TaskMode::SemiJoin,
+                    input_width: 1,
+                    steps: vec![UdfStep {
+                        udf: "f".into(),
+                        arg_cols: vec![0],
+                    }],
+                    predicate: None,
+                    return_cols: Some(vec![1]),
+                    dedup_cache: false,
+                })
+                .encode(),
+            )
+            .unwrap();
+        // Int where a Blob is expected → signature failure at invoke time.
+        server
+            .send(Request::Batch(vec![Row::new(vec![Value::Int(1)])]).encode())
+            .unwrap();
+        let resp = Response::decode(&server.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+        drop(server);
+        assert!(handle.join().unwrap().is_err());
+    }
+}

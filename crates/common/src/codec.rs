@@ -1,0 +1,287 @@
+//! Compact binary wire format for values and rows.
+//!
+//! The encoded size is the unit of account for every byte the network
+//! simulator transfers, so the format is deliberately simple and its sizes
+//! are specified exactly by [`Value::wire_size`]:
+//!
+//! | value   | encoding                                  | bytes       |
+//! |---------|-------------------------------------------|-------------|
+//! | `Null`  | tag `0`                                   | 1           |
+//! | `Bool`  | tag `1`, `0/1`                            | 2           |
+//! | `Int`   | tag `2`, little-endian i64                | 9           |
+//! | `Float` | tag `3`, little-endian f64 bits           | 9           |
+//! | `Str`   | tag `4`, u32 length, UTF-8 bytes          | 5 + len     |
+//! | `Blob`  | tag `5`, u32 length, raw bytes            | 5 + len     |
+//!
+//! Rows are encoded as a u32 column count followed by each value; see
+//! [`encode_row`].
+
+use crate::error::{CsqError, Result};
+use crate::row::Row;
+use crate::value::{Blob, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BLOB: u8 = 5;
+
+/// Append the encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Blob(b) => {
+            out.push(TAG_BLOB);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b.as_bytes());
+        }
+    }
+}
+
+/// A cursor over encoded bytes.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(CsqError::Codec(format!(
+                "unexpected end of input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one raw byte (exposed for higher-level protocols that embed
+    /// their own tags alongside codec values).
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a raw little-endian u32.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a raw little-endian u64.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read a u32 element count and validate it against the remaining
+    /// input (each element needs at least `min_bytes_each` bytes), so a
+    /// corrupted count cannot trigger a huge allocation.
+    pub fn take_count(&mut self, min_bytes_each: usize) -> Result<usize> {
+        let n = self.take_u32()? as usize;
+        let need = n.saturating_mul(min_bytes_each.max(1));
+        if need > self.remaining() {
+            return Err(CsqError::Codec(format!(
+                "count {n} impossible: needs ≥{need} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Decode one value.
+    pub fn value(&mut self) -> Result<Value> {
+        match self.take_u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BOOL => match self.take_u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                other => Err(CsqError::Codec(format!("invalid bool byte {other}"))),
+            },
+            TAG_INT => Ok(Value::Int(self.take_u64()? as i64)),
+            TAG_FLOAT => Ok(Value::Float(f64::from_bits(self.take_u64()?))),
+            TAG_STR => {
+                let len = self.take_u32()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| CsqError::Codec(format!("invalid UTF-8 in string: {e}")))?;
+                Ok(Value::Str(s.to_string()))
+            }
+            TAG_BLOB => {
+                let len = self.take_u32()? as usize;
+                Ok(Value::Blob(Blob::new(self.take(len)?.to_vec())))
+            }
+            tag => Err(CsqError::Codec(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Decode one row (u32 column count, then values).
+    pub fn row(&mut self) -> Result<Row> {
+        let n = self.take_count(1)?;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(self.value()?);
+        }
+        Ok(Row::new(values))
+    }
+}
+
+/// Append the encoding of `row` to `out`. Size is `4 + row.wire_size()`.
+pub fn encode_row(row: &Row, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row.values() {
+        encode_value(v, out);
+    }
+}
+
+/// Encode a batch of rows (u32 count then rows); the message payloads the
+/// shipping strategies put on the wire.
+pub fn encode_rows(rows: &[Row], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for r in rows {
+        encode_row(r, out);
+    }
+}
+
+/// Decode a batch of rows encoded by [`encode_rows`].
+pub fn decode_rows(buf: &[u8]) -> Result<Vec<Row>> {
+    let mut d = Decoder::new(buf);
+    // Each row needs at least its 4-byte column count.
+    let n = d.take_count(4)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(d.row()?);
+    }
+    if !d.is_exhausted() {
+        return Err(CsqError::Codec(format!(
+            "{} trailing bytes after rows",
+            buf.len() - d.position()
+        )));
+    }
+    Ok(rows)
+}
+
+/// Exact encoded size of a row including its count prefix.
+pub fn row_encoded_size(row: &Row) -> usize {
+    4 + row.wire_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        assert_eq!(buf.len(), v.wire_size(), "wire_size contract for {v:?}");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.value().unwrap(), v);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::Int(-12345));
+        roundtrip(Value::Float(3.25));
+        roundtrip(Value::Float(f64::NAN));
+        roundtrip(Value::from("héllo"));
+        roundtrip(Value::Blob(Blob::synthetic(1000, 9)));
+        roundtrip(Value::Blob(Blob::new(vec![])));
+    }
+
+    #[test]
+    fn row_roundtrip_and_size() {
+        let row = Row::new(vec![Value::Int(1), Value::from("x"), Value::Null]);
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(buf.len(), row_encoded_size(&row));
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.row().unwrap(), row);
+    }
+
+    #[test]
+    fn rows_batch_roundtrip() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(2)]),
+            Row::new(vec![Value::Blob(Blob::synthetic(64, 3))]),
+        ];
+        let mut buf = Vec::new();
+        encode_rows(&rows, &mut buf);
+        assert_eq!(decode_rows(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Int(7), &mut buf);
+        buf.truncate(5);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.value().unwrap_err().kind(), "codec");
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut d = Decoder::new(&[99]);
+        assert_eq!(d.value().unwrap_err().kind(), "codec");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let rows = vec![Row::new(vec![Value::Int(1)])];
+        let mut buf = Vec::new();
+        encode_rows(&rows, &mut buf);
+        buf.push(0);
+        assert_eq!(decode_rows(&buf).unwrap_err().kind(), "codec");
+    }
+}

@@ -1,0 +1,102 @@
+//! Error handling for the whole workspace.
+//!
+//! A single error enum keeps the crates decoupled from each other while still
+//! letting the facade report precisely which subsystem failed.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, CsqError>;
+
+/// All the ways a query can fail, grouped by subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsqError {
+    /// SQL lexing/parsing failure (position, message).
+    Parse(String),
+    /// Name resolution, planning, or optimization failure.
+    Plan(String),
+    /// Type checking or coercion failure.
+    Type(String),
+    /// Catalog lookup failure (unknown table/column/function).
+    Catalog(String),
+    /// Runtime failure in a server-site operator.
+    Exec(String),
+    /// Failure reported by the client-site UDF runtime.
+    Client(String),
+    /// Resource limit exceeded in the sandboxed client VM (fuel, memory).
+    Limit(String),
+    /// Transport / wire-protocol failure.
+    Net(String),
+    /// Malformed bytes while decoding the wire format.
+    Codec(String),
+}
+
+impl CsqError {
+    /// Short category tag, useful in logs and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CsqError::Parse(_) => "parse",
+            CsqError::Plan(_) => "plan",
+            CsqError::Type(_) => "type",
+            CsqError::Catalog(_) => "catalog",
+            CsqError::Exec(_) => "exec",
+            CsqError::Client(_) => "client",
+            CsqError::Limit(_) => "limit",
+            CsqError::Net(_) => "net",
+            CsqError::Codec(_) => "codec",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            CsqError::Parse(m)
+            | CsqError::Plan(m)
+            | CsqError::Type(m)
+            | CsqError::Catalog(m)
+            | CsqError::Exec(m)
+            | CsqError::Client(m)
+            | CsqError::Limit(m)
+            | CsqError::Net(m)
+            | CsqError::Codec(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CsqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for CsqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_message_roundtrip() {
+        let e = CsqError::Parse("unexpected token".into());
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let errs = [
+            CsqError::Parse(String::new()),
+            CsqError::Plan(String::new()),
+            CsqError::Type(String::new()),
+            CsqError::Catalog(String::new()),
+            CsqError::Exec(String::new()),
+            CsqError::Client(String::new()),
+            CsqError::Limit(String::new()),
+            CsqError::Net(String::new()),
+            CsqError::Codec(String::new()),
+        ];
+        let kinds: std::collections::HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+}

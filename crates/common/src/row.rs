@@ -1,0 +1,140 @@
+//! Rows: the tuple representation flowing through operators and the network.
+
+use crate::value::Value;
+
+/// A tuple of values. Order matches the operator's [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at ordinal `i`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Total wire size of the row's values (sum of [`Value::wire_size`]),
+    /// excluding any message framing. This is the `I` (input record size)
+    /// of the paper's cost model when applied to an input row.
+    pub fn wire_size(&self) -> usize {
+        self.values.iter().map(Value::wire_size).sum()
+    }
+
+    /// The sub-row at `indices` (projection); clones values (blobs are
+    /// refcounted so this is cheap even for large objects).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn join(&self, right: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + right.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(right.values.iter().cloned());
+        Row { values }
+    }
+
+    /// Append a value (e.g. a UDF result column), returning the new row.
+    pub fn with_value(&self, v: Value) -> Row {
+        let mut values = self.values.clone();
+        values.push(v);
+        Row { values }
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Blob;
+
+    fn demo() -> Row {
+        Row::new(vec![
+            Value::from("acme"),
+            Value::Int(5),
+            Value::Blob(Blob::synthetic(100, 1)),
+        ])
+    }
+
+    #[test]
+    fn wire_size_sums_values() {
+        let r = demo();
+        assert_eq!(r.wire_size(), (5 + 4) + 9 + 105);
+    }
+
+    #[test]
+    fn project_picks_and_orders() {
+        let r = demo();
+        let p = r.project(&[1, 0]);
+        assert_eq!(p.values(), &[Value::Int(5), Value::from("acme")]);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Row::new(vec![Value::Int(1)]);
+        let b = Row::new(vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            a.join(&b).values(),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn with_value_appends() {
+        let r = Row::new(vec![Value::Int(1)]).with_value(Value::Bool(true));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(1), &Value::Bool(true));
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        let r = Row::new(vec![Value::Int(1), Value::from("x")]);
+        assert_eq!(r.to_string(), "(1, 'x')");
+    }
+}

@@ -1,0 +1,237 @@
+//! Schemas: ordered lists of (optionally qualified) typed columns.
+//!
+//! Column references in the paper's queries are qualified (`S.Quotes`,
+//! `E.Rating`), and the optimizer reasons about *sets of columns* (argument
+//! columns, pushable projections, column locations after a semi-join), so
+//! schemas support lookup by qualifier+name, projection, and concatenation.
+
+use crate::error::{CsqError, Result};
+use crate::value::DataType;
+
+/// One column: optional table qualifier, name, type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Table alias / name this column came from, if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            qualifier: None,
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// A qualified field (`qualifier.name`).
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        dtype: DataType,
+    ) -> Field {
+        Field {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Does this field match a reference `[qualifier.]name`?
+    ///
+    /// A qualified reference must match both parts; an unqualified reference
+    /// matches on name alone.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        let name_ok = self.name.eq_ignore_ascii_case(name);
+        match qualifier {
+            Some(q) => {
+                name_ok
+                    && self
+                        .qualifier
+                        .as_deref()
+                        .is_some_and(|fq| fq.eq_ignore_ascii_case(q))
+            }
+            None => name_ok,
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema { fields: vec![] }
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve `[qualifier.]name` to a column ordinal.
+    ///
+    /// Errors if the reference is unknown or (for unqualified names) ambiguous.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut hits = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches(qualifier, name));
+        let first = hits.next();
+        let second = hits.next();
+        match (first, second) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(CsqError::Plan(format!(
+                "ambiguous column reference '{}'",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                }
+            ))),
+            (None, _) => Err(CsqError::Catalog(format!(
+                "unknown column '{}'",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                }
+            ))),
+        }
+    }
+
+    /// Schema consisting of the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Append a single field, returning the new schema.
+    pub fn with_field(&self, f: Field) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.push(f);
+        Schema { fields }
+    }
+
+    /// Re-qualify every column with `alias` (applied when a table gets an
+    /// alias in the FROM clause).
+    pub fn qualify(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field {
+                    qualifier: Some(alias.to_string()),
+                    name: f.name.clone(),
+                    dtype: f.dtype,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::new(vec![
+            Field::qualified("S", "Name", DataType::Str),
+            Field::qualified("S", "Quotes", DataType::Blob),
+            Field::qualified("E", "Rating", DataType::Int),
+            Field::qualified("E", "Name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = demo();
+        assert_eq!(s.index_of(Some("S"), "Name").unwrap(), 0);
+        assert_eq!(s.index_of(Some("E"), "Name").unwrap(), 3);
+        assert_eq!(s.index_of(Some("e"), "rating").unwrap(), 2);
+    }
+
+    #[test]
+    fn unqualified_unique_lookup() {
+        let s = demo();
+        assert_eq!(s.index_of(None, "Quotes").unwrap(), 1);
+        assert_eq!(s.index_of(None, "Rating").unwrap(), 2);
+    }
+
+    #[test]
+    fn unqualified_ambiguous_is_error() {
+        let s = demo();
+        let e = s.index_of(None, "Name").unwrap_err();
+        assert_eq!(e.kind(), "plan");
+    }
+
+    #[test]
+    fn unknown_column_is_catalog_error() {
+        let s = demo();
+        let e = s.index_of(Some("S"), "Nope").unwrap_err();
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn project_and_join() {
+        let s = demo();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "Rating");
+        assert_eq!(p.field(1).name, "Name");
+        let j = p.join(&s.project(&[1]));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.field(2).name, "Quotes");
+    }
+
+    #[test]
+    fn qualify_replaces_qualifier() {
+        let s = demo().qualify("X");
+        assert!(s.fields().iter().all(|f| f.qualifier.as_deref() == Some("X")));
+        assert_eq!(s.index_of(Some("X"), "Rating").unwrap(), 2);
+        assert!(s.index_of(Some("E"), "Rating").is_err());
+    }
+}

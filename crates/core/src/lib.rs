@@ -1,0 +1,282 @@
+//! # csq-core — the PREDATOR-style database facade
+//!
+//! Ties the whole reproduction together: a [`Database`] owns the server
+//! catalog, the client-site UDF runtime, and the network description; SQL
+//! text goes in, rows come out. Three execution paths:
+//!
+//! * [`Database::execute`] — the *threaded* engine: real sender/receiver
+//!   threads, a real client thread, an unthrottled in-memory duplex (bytes
+//!   counted, transfer instant). The correctness path.
+//! * [`Database::execute_simulated`] — the *virtual-time* engine: the same
+//!   plans and the same client code, but transfers timed by the
+//!   discrete-event link model. Returns a [`SimSummary`] with completion
+//!   time and per-link byte accounting — this is what regenerates the
+//!   paper's figures.
+//! * [`Database::explain`] — the §5 optimizer's chosen plan as text.
+//!
+//! ```
+//! use csq_core::Database;
+//! use csq_net::NetworkSpec;
+//! use csq_client::synthetic::ObjectUdf;
+//! use std::sync::Arc;
+//!
+//! let db = Database::new(NetworkSpec::modem_28_8());
+//! db.execute("CREATE TABLE R (Id INT, Obj BLOB)").unwrap();
+//! db.execute("INSERT INTO R VALUES (1, NULL)").unwrap();
+//! db.register_udf(Arc::new(ObjectUdf::sized("F", 100))).unwrap();
+//! let out = db.execute("SELECT R.Id FROM R R WHERE R.Id > 0").unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! ```
+
+mod lower;
+mod result;
+
+pub use lower::SimSummary;
+pub use result::QueryResult;
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use csq_client::{ClientRuntime, ScalarUdf};
+use csq_common::{CsqError, Result, Row, Value};
+use csq_expr::bind;
+use csq_net::NetworkSpec;
+use csq_opt::{OptContext, OptimizedPlan, UdfMeta};
+use csq_sql::{parse_statement, Statement};
+use csq_storage::{Catalog, Table};
+
+/// The database: server catalog + client runtime + optimizer + network.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    client: Arc<ClientRuntime>,
+    udf_metas: RwLock<Vec<UdfMeta>>,
+    net: RwLock<NetworkSpec>,
+}
+
+impl Database {
+    /// A fresh database over the given client↔server network.
+    pub fn new(net: NetworkSpec) -> Database {
+        Database {
+            catalog: Arc::new(Catalog::new()),
+            client: Arc::new(ClientRuntime::new()),
+            udf_metas: RwLock::new(Vec::new()),
+            net: RwLock::new(net),
+        }
+    }
+
+    /// The server catalog (for direct table registration by workload
+    /// generators).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The client-site UDF runtime (for invocation accounting in tests).
+    pub fn client_runtime(&self) -> &Arc<ClientRuntime> {
+        &self.client
+    }
+
+    /// Replace the network description used by simulation and optimization.
+    pub fn set_network(&self, net: NetworkSpec) {
+        *self.net.write() = net;
+    }
+
+    /// The current network description.
+    pub fn network(&self) -> NetworkSpec {
+        self.net.read().clone()
+    }
+
+    /// Register a client-site UDF: the implementation stays in the client
+    /// runtime; the server only learns the advertised metadata (signature,
+    /// expected result size, expected selectivity).
+    pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) -> Result<()> {
+        let sig = udf.signature().clone();
+        let meta = UdfMeta {
+            name: sig.name.clone(),
+            arg_types: sig.arg_types.clone(),
+            return_type: sig.return_type,
+            result_bytes: udf.result_size_hint().unwrap_or(64) as f64,
+            selectivity: udf.selectivity_hint().unwrap_or(1.0 / 3.0),
+            client_site: true,
+        };
+        self.client.register(udf)?;
+        self.udf_metas.write().push(meta);
+        Ok(())
+    }
+
+    /// Override the advertised metadata for a registered UDF (statistics
+    /// tuning without touching the implementation).
+    pub fn advertise_udf(&self, meta: UdfMeta) {
+        let mut metas = self.udf_metas.write();
+        metas.retain(|m| !m.name.eq_ignore_ascii_case(&meta.name));
+        metas.push(meta);
+    }
+
+    fn opt_context(&self) -> OptContext {
+        let mut ctx = OptContext::new(self.network());
+        for name in self.catalog.table_names() {
+            if let Ok(t) = self.catalog.get(&name) {
+                ctx.add_table(&name, csq_opt::context::stats_from_table(&t));
+            }
+        }
+        for m in self.udf_metas.read().iter() {
+            ctx.add_udf(m.clone());
+        }
+        ctx
+    }
+
+    /// Execute one SQL statement on the threaded engine.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let fields = columns
+                    .into_iter()
+                    .map(|(n, t)| csq_common::Field::new(n, t))
+                    .collect();
+                self.catalog
+                    .register(Table::new(name, csq_common::Schema::new(fields))?)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.get(&table)?;
+                let mut out = Vec::with_capacity(rows.len());
+                let empty_schema = csq_common::Schema::empty();
+                let empty_row = Row::new(vec![]);
+                for exprs in rows {
+                    let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        let bound = bind(&e, &empty_schema).map_err(|_| {
+                            CsqError::Plan(
+                                "INSERT values must be literal expressions".into(),
+                            )
+                        })?;
+                        values.push(bound.eval(&empty_row)?);
+                    }
+                    out.push(Row::new(values));
+                }
+                let n = out.len();
+                t.insert_all(out)?;
+                Ok(QueryResult::count(n))
+            }
+            Statement::Select(sel) => {
+                let ctx = self.opt_context();
+                let graph = csq_opt::query::extract(&sel, &ctx)?;
+                let plan = csq_opt::optimize(&graph, &ctx)?;
+                lower::execute_threaded(self, &graph, &plan)
+            }
+        }
+    }
+
+    /// Execute a SELECT on the virtual-time engine, returning rows plus the
+    /// simulated timing/byte summary under the database's network.
+    pub fn execute_simulated(&self, sql: &str) -> Result<(QueryResult, SimSummary)> {
+        match parse_statement(sql)? {
+            Statement::Select(sel) => {
+                let ctx = self.opt_context();
+                let graph = csq_opt::query::extract(&sel, &ctx)?;
+                let plan = csq_opt::optimize(&graph, &ctx)?;
+                lower::execute_simulated(self, &graph, &plan)
+            }
+            _ => Err(CsqError::Plan(
+                "execute_simulated only supports SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// The optimizer's chosen plan, rendered as an indented tree, with its
+    /// estimated network cost.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse_statement(sql)? {
+            Statement::Select(sel) => {
+                let ctx = self.opt_context();
+                let graph = csq_opt::query::extract(&sel, &ctx)?;
+                let plan = csq_opt::optimize(&graph, &ctx)?;
+                Ok(format!(
+                    "{}cost: {:.6}s (est. {:.1} rows, {} states explored)\n",
+                    plan.root.explain(&graph),
+                    plan.cost_seconds,
+                    plan.est_rows,
+                    plan.states_explored
+                ))
+            }
+            _ => Err(CsqError::Plan("EXPLAIN only supports SELECT".into())),
+        }
+    }
+
+    /// Optimize without executing (for tests and benches that inspect plan
+    /// shapes).
+    pub fn optimize(&self, sql: &str) -> Result<(csq_opt::QueryGraph, OptimizedPlan)> {
+        match parse_statement(sql)? {
+            Statement::Select(sel) => {
+                let ctx = self.opt_context();
+                let graph = csq_opt::query::extract(&sel, &ctx)?;
+                let plan = csq_opt::optimize(&graph, &ctx)?;
+                Ok((graph, plan))
+            }
+            _ => Err(CsqError::Plan("optimize only supports SELECT".into())),
+        }
+    }
+
+    /// Run a `;`-separated script, returning the last statement's result.
+    pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
+        let stmts = csq_sql::parse_statements(sql)?;
+        let mut last = QueryResult::empty();
+        for s in stmts {
+            // Re-render is lossy; dispatch directly instead.
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let ctx = self.opt_context();
+                let graph = csq_opt::query::extract(&sel, &ctx)?;
+                let plan = csq_opt::optimize(&graph, &ctx)?;
+                lower::execute_threaded(self, &graph, &plan)
+            }
+            other => {
+                // CREATE/INSERT share the text path; rebuild minimal SQL is
+                // fragile, so inline the same logic via a helper.
+                self.execute_nontext(other)
+            }
+        }
+    }
+
+    fn execute_nontext(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let fields = columns
+                    .into_iter()
+                    .map(|(n, t)| csq_common::Field::new(n, t))
+                    .collect();
+                self.catalog
+                    .register(Table::new(name, csq_common::Schema::new(fields))?)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.get(&table)?;
+                let mut out = Vec::with_capacity(rows.len());
+                let empty_schema = csq_common::Schema::empty();
+                let empty_row = Row::new(vec![]);
+                for exprs in rows {
+                    let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        let bound = bind(&e, &empty_schema).map_err(|_| {
+                            CsqError::Plan(
+                                "INSERT values must be literal expressions".into(),
+                            )
+                        })?;
+                        values.push(bound.eval(&empty_row)?);
+                    }
+                    out.push(Row::new(values));
+                }
+                let n = out.len();
+                t.insert_all(out)?;
+                Ok(QueryResult::count(n))
+            }
+            Statement::Select(_) => unreachable!("handled by execute_statement"),
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Plan lowering: optimizer [`PlanNode`] trees → execution.
+//!
+//! Two backends share this module:
+//!
+//! * **Threaded** ([`execute_threaded`]): each `ApplyUdf` node gets its own
+//!   in-memory duplex and client thread; joins/filters run as iterator
+//!   operators; the final projection is evaluated on the caller's thread.
+//! * **Simulated** ([`execute_simulated`]): operators materialize rows
+//!   bottom-up; each `ApplyUdf` runs the virtual-time executor and its
+//!   timing/bytes accumulate into a [`SimSummary`] (phases are sequential —
+//!   a conservative approximation of the pipelined reality, documented in
+//!   DESIGN.md).
+//!
+//! Execution-semantics notes: `leave-on-client` and `merged-with-final`
+//! strategies differ from plain variants only in *cost* (what crosses the
+//! uplink when); row semantics are identical, so both backends execute them
+//! as their plain counterparts and the savings show up in the optimizer's
+//! estimates and the cost-model benches.
+
+
+use csq_client::spawn_client;
+use csq_common::{codec, CsqError, Field, Result, Row, Schema};
+use csq_exec::{collect, Filter, MemScan, NestedLoopJoin, Operator, RowsOp};
+use csq_expr::{analysis, bind, PhysExpr};
+use csq_net::in_memory_duplex;
+use csq_opt::{PlanNode, QueryGraph, UdfStrategy, Unit};
+use csq_ship::{
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication,
+};
+
+use crate::result::QueryResult;
+use crate::Database;
+
+/// Default pipeline concurrency factor for the threaded engine (the
+/// simulated engine sweeps this; for the unthrottled correctness path any
+/// reasonable value works).
+const DEFAULT_CONCURRENCY: usize = 16;
+
+/// Aggregated virtual-time accounting for one query.
+#[derive(Debug, Clone, Default)]
+pub struct SimSummary {
+    /// Total virtual time, µs (client-site phases + final delivery;
+    /// server-site operators are free per the paper's assumption).
+    pub elapsed_us: u64,
+    /// Total downlink bytes.
+    pub down_bytes: u64,
+    /// Total uplink bytes.
+    pub up_bytes: u64,
+    /// Total client CPU, µs.
+    pub client_cpu_us: u64,
+    /// Downlink messages.
+    pub down_messages: u64,
+    /// Uplink messages.
+    pub up_messages: u64,
+    /// Number of client-site execution phases (ApplyUdf nodes).
+    pub phases: usize,
+}
+
+impl SimSummary {
+    fn absorb(&mut self, run: &csq_ship::SimRun) {
+        self.elapsed_us += run.elapsed_us;
+        self.down_bytes += run.down_bytes;
+        self.up_bytes += run.up_bytes;
+        self.client_cpu_us += run.client_cpu_us;
+        self.down_messages += run.down_messages;
+        self.up_messages += run.up_messages;
+        self.phases += 1;
+    }
+
+    /// Elapsed time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_us as f64 / 1e6
+    }
+}
+
+/// Field describing a UDF unit's appended result column.
+fn result_field(graph: &QueryGraph, unit: usize) -> Field {
+    match &graph.units[unit] {
+        Unit::Udf {
+            result_col, meta, ..
+        } => Field::new(result_col.clone(), meta.return_type),
+        Unit::Rel { .. } => unreachable!("result_field on relation unit"),
+    }
+}
+
+/// Resolve a UDF unit's argument columns against the current schema.
+fn resolve_args(graph: &QueryGraph, unit: usize, schema: &Schema) -> Result<Vec<usize>> {
+    let Unit::Udf { args, .. } = &graph.units[unit] else {
+        unreachable!()
+    };
+    args.iter()
+        .map(|c| schema.index_of(c.qualifier.as_deref(), &c.name))
+        .collect()
+}
+
+/// Bind the conjunction of predicate indices against a schema.
+fn bind_preds(graph: &QueryGraph, preds: &[usize], schema: &Schema) -> Result<Option<PhysExpr>> {
+    let exprs: Vec<_> = preds
+        .iter()
+        .map(|&p| graph.predicates[p].expr.clone())
+        .collect();
+    match analysis::conjoin(exprs) {
+        Some(e) => Ok(Some(bind(&e, schema)?)),
+        None => Ok(None),
+    }
+}
+
+fn udf_application(graph: &QueryGraph, unit: usize, schema: &Schema) -> Result<UdfApplication> {
+    let Unit::Udf { name, .. } = &graph.units[unit] else {
+        unreachable!()
+    };
+    Ok(UdfApplication::new(
+        name,
+        resolve_args(graph, unit, schema)?,
+        result_field(graph, unit),
+    ))
+}
+
+// ---- threaded backend ------------------------------------------------------
+
+fn build_threaded(
+    db: &Database,
+    graph: &QueryGraph,
+    node: &PlanNode,
+) -> Result<Box<dyn Operator + Send>> {
+    match node {
+        PlanNode::Scan { unit } => {
+            let Unit::Rel { alias, table, .. } = &graph.units[*unit] else {
+                return Err(CsqError::Plan("scan of non-relation unit".into()));
+            };
+            let t = db.catalog().get(table)?;
+            Ok(Box::new(MemScan::new(&t, alias)))
+        }
+        PlanNode::Join { left, right } => {
+            let l = build_threaded(db, graph, left)?;
+            let r = build_threaded(db, graph, right)?;
+            Ok(Box::new(NestedLoopJoin::new(l, r, None)))
+        }
+        PlanNode::Filter { input, preds } => {
+            let child = build_threaded(db, graph, input)?;
+            let pred = bind_preds(graph, preds, child.schema())?
+                .ok_or_else(|| CsqError::Plan("empty filter".into()))?;
+            Ok(Box::new(Filter::new(child, pred)))
+        }
+        PlanNode::ReturnToServer { input } => build_threaded(db, graph, input),
+        PlanNode::Final {
+            input,
+            pushed_preds,
+            ..
+        } => {
+            let child = build_threaded(db, graph, input)?;
+            match bind_preds(graph, pushed_preds, child.schema())? {
+                Some(pred) => Ok(Box::new(Filter::new(child, pred))),
+                None => Ok(child),
+            }
+        }
+        PlanNode::ApplyUdf {
+            input,
+            unit,
+            strategy,
+        } => {
+            let child = build_threaded(db, graph, input)?;
+            let schema = child.schema().clone();
+            let app = udf_application(graph, *unit, &schema)?;
+            let (server_end, client_end, _stats) = in_memory_duplex();
+            // Client thread per client-site operator; detached — it exits
+            // when the operator closes the connection.
+            let _client = spawn_client(db.client_runtime().clone(), client_end);
+            match strategy {
+                UdfStrategy::SemiJoin { .. } => {
+                    let spec = SemiJoinSpec::new(vec![app], DEFAULT_CONCURRENCY);
+                    Ok(Box::new(csq_ship::ThreadedSemiJoin::new(
+                        child, spec, server_end,
+                    )?))
+                }
+                UdfStrategy::ClientJoin { pushed_preds, .. } => {
+                    let extended = schema.with_field(result_field(graph, *unit));
+                    let mut spec = ClientJoinSpec::new(vec![app]);
+                    spec.pushed_predicate = bind_preds(graph, pushed_preds, &extended)?;
+                    Ok(Box::new(csq_ship::ThreadedClientJoin::new(
+                        child, spec, server_end,
+                    )?))
+                }
+            }
+        }
+    }
+}
+
+/// Project the final operator output onto the query's SELECT list.
+fn project_output(
+    graph: &QueryGraph,
+    schema: &Schema,
+    rows: Vec<Row>,
+) -> Result<QueryResult> {
+    let mut bound = Vec::with_capacity(graph.output.len());
+    let mut fields = Vec::with_capacity(graph.output.len());
+    for (e, name) in &graph.output {
+        let pe = bind(e, schema)?;
+        let dtype = pe.infer_type(schema).unwrap_or(csq_common::DataType::Str);
+        bound.push(pe);
+        fields.push(Field::new(name.clone(), dtype));
+    }
+    let out_schema = Schema::new(fields);
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut vals = Vec::with_capacity(bound.len());
+        for b in &bound {
+            vals.push(b.eval(&r)?);
+        }
+        out_rows.push(Row::new(vals));
+    }
+    Ok(QueryResult {
+        schema: out_schema,
+        rows: out_rows,
+        affected: 0,
+    })
+}
+
+/// Execute an optimized SELECT on the threaded engine.
+pub fn execute_threaded(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &csq_opt::OptimizedPlan,
+) -> Result<QueryResult> {
+    let mut op = build_threaded(db, graph, &plan.root)?;
+    let rows = collect(op.as_mut())?;
+    let schema = op.schema().clone();
+    drop(op);
+    project_output(graph, &schema, rows)
+}
+
+// ---- simulated backend -----------------------------------------------------
+
+fn run_simulated(
+    db: &Database,
+    graph: &QueryGraph,
+    node: &PlanNode,
+    summary: &mut SimSummary,
+) -> Result<(Schema, Vec<Row>)> {
+    match node {
+        PlanNode::Scan { unit } => {
+            let Unit::Rel { alias, table, .. } = &graph.units[*unit] else {
+                return Err(CsqError::Plan("scan of non-relation unit".into()));
+            };
+            let t = db.catalog().get(table)?;
+            Ok((t.schema().qualify(alias), t.snapshot()))
+        }
+        PlanNode::Join { left, right } => {
+            let (ls, lr) = run_simulated(db, graph, left, summary)?;
+            let (rs, rr) = run_simulated(db, graph, right, summary)?;
+            let mut j = NestedLoopJoin::new(
+                Box::new(RowsOp::new(ls, lr)),
+                Box::new(RowsOp::new(rs, rr)),
+                None,
+            );
+            let rows = collect(&mut j)?;
+            Ok((j.schema().clone(), rows))
+        }
+        PlanNode::Filter { input, preds } | PlanNode::Final {
+            input,
+            pushed_preds: preds,
+            ..
+        } => {
+            let (schema, rows) = run_simulated(db, graph, input, summary)?;
+            match bind_preds(graph, preds, &schema)? {
+                Some(pred) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        if pred.eval_predicate(&r)? {
+                            kept.push(r);
+                        }
+                    }
+                    Ok((schema, kept))
+                }
+                None => Ok((schema, rows)),
+            }
+        }
+        PlanNode::ReturnToServer { input } => run_simulated(db, graph, input, summary),
+        PlanNode::ApplyUdf {
+            input,
+            unit,
+            strategy,
+        } => {
+            let (schema, rows) = run_simulated(db, graph, input, summary)?;
+            let app = udf_application(graph, *unit, &schema)?;
+            let net = db.network();
+            match strategy {
+                UdfStrategy::SemiJoin { .. } => {
+                    let spec = SemiJoinSpec::new(vec![app], DEFAULT_CONCURRENCY);
+                    let run = simulate_semijoin(
+                        &schema,
+                        rows,
+                        &spec,
+                        db.client_runtime().clone(),
+                        &net,
+                    )?;
+                    summary.absorb(&run);
+                    Ok((
+                        schema.with_field(result_field(graph, *unit)),
+                        run.rows,
+                    ))
+                }
+                UdfStrategy::ClientJoin { pushed_preds, .. } => {
+                    let extended = schema.with_field(result_field(graph, *unit));
+                    let mut spec = ClientJoinSpec::new(vec![app]);
+                    spec.pushed_predicate = bind_preds(graph, pushed_preds, &extended)?;
+                    let run = simulate_client_join(
+                        &schema,
+                        rows,
+                        &spec,
+                        db.client_runtime().clone(),
+                        &net,
+                    )?;
+                    summary.absorb(&run);
+                    Ok((extended, run.rows))
+                }
+            }
+        }
+    }
+}
+
+/// Execute an optimized SELECT on the virtual-time engine.
+pub fn execute_simulated(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &csq_opt::OptimizedPlan,
+) -> Result<(QueryResult, SimSummary)> {
+    let mut summary = SimSummary::default();
+    let (schema, rows) = run_simulated(db, graph, &plan.root, &mut summary)?;
+    let result = project_output(graph, &schema, rows)?;
+    // Final delivery: ship the projected output to the client over the
+    // downlink (the plain Final operator; merged-final savings are an
+    // optimizer-estimate concern, see module docs).
+    let net = db.network();
+    let mut payload = Vec::new();
+    codec::encode_rows(&result.rows, &mut payload);
+    let mut down = net.make_downlink();
+    let (_, arrival) = down.transmit(0, net.downlink_bytes(payload.len()));
+    summary.elapsed_us += arrival;
+    summary.down_bytes += down.bytes_sent();
+    summary.down_messages += 1;
+    Ok((result, summary))
+}

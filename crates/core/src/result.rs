@@ -1,0 +1,56 @@
+//! Query results.
+
+use csq_common::{Row, Schema};
+
+/// Rows plus their schema, as returned to the API caller.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output schema (column names come from SELECT aliases or expression
+    /// text).
+    pub schema: Schema,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// For DML: affected row count.
+    pub affected: usize,
+}
+
+impl QueryResult {
+    /// An empty (DDL) result.
+    pub fn empty() -> QueryResult {
+        QueryResult {
+            schema: Schema::empty(),
+            rows: vec![],
+            affected: 0,
+        }
+    }
+
+    /// A DML result affecting `n` rows.
+    pub fn count(n: usize) -> QueryResult {
+        QueryResult {
+            schema: Schema::empty(),
+            rows: vec![],
+            affected: n,
+        }
+    }
+
+    /// Render as an ASCII table (for examples and debugging).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.display_name())
+            .collect();
+        out.push_str(&headers.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(headers.join(" | ").len().max(4)));
+        out.push('\n');
+        for r in &self.rows {
+            let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,414 @@
+//! Join operators: hash, merge, and nested-loop.
+//!
+//! The paper models UDF application as an equi-join with a virtual,
+//! index-only UDF table (§2.2); the receiver side of a semi-join performs a
+//! real join between the buffered records and the returned results — a merge
+//! join when the sender sorts on the argument columns (§2.3.1), a hash join
+//! otherwise. These operators are also what the optimizer uses for ordinary
+//! table joins.
+
+use std::collections::HashMap;
+
+use csq_common::{Result, Row, Schema};
+use csq_expr::PhysExpr;
+
+use crate::ops::{collect, compare_on, Operator};
+
+/// Hash equi-join: builds the right input, probes with the left.
+/// Output schema = left ⊕ right.
+pub struct HashJoin {
+    left: Box<dyn Operator + Send>,
+    right: Option<Box<dyn Operator + Send>>,
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    schema: Schema,
+    table: Option<HashMap<Row, Vec<Row>>>,
+    /// Pending matches for the current left row.
+    pending: Vec<Row>,
+}
+
+impl HashJoin {
+    /// Join `left` and `right` on equality of the given key columns.
+    pub fn new(
+        left: Box<dyn Operator + Send>,
+        right: Box<dyn Operator + Send>,
+        left_key: Vec<usize>,
+        right_key: Vec<usize>,
+    ) -> HashJoin {
+        assert_eq!(
+            left_key.len(),
+            right_key.len(),
+            "join key arity mismatch"
+        );
+        let schema = left.schema().join(right.schema());
+        HashJoin {
+            left,
+            right: Some(right),
+            left_key,
+            right_key,
+            schema,
+            table: None,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.table.is_none() {
+            let mut right = self.right.take().expect("hash join built twice");
+            let rows = collect(right.as_mut())?;
+            let mut table: HashMap<Row, Vec<Row>> = HashMap::with_capacity(rows.len());
+            for r in rows {
+                table.entry(r.project(&self.right_key)).or_default().push(r);
+            }
+            self.table = Some(table);
+        }
+        loop {
+            if let Some(m) = self.pending.pop() {
+                return Ok(Some(m));
+            }
+            let Some(l) = self.left.next()? else {
+                return Ok(None);
+            };
+            let key = l.project(&self.left_key);
+            // SQL semantics: NULL keys never match.
+            if key.values().iter().any(|v| v.is_null()) {
+                continue;
+            }
+            if let Some(matches) = self.table.as_ref().unwrap().get(&key) {
+                // Reverse so pop() yields input order.
+                self.pending = matches.iter().rev().map(|r| l.join(r)).collect();
+            }
+        }
+    }
+}
+
+/// Merge join over inputs already sorted ascending on their key columns.
+/// Produces the cross product of each matching key group.
+pub struct MergeJoin {
+    left: Box<dyn Operator + Send>,
+    right: Box<dyn Operator + Send>,
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    schema: Schema,
+    l_row: Option<Row>,
+    r_group: Vec<Row>,
+    r_next: Option<Row>,
+    started: bool,
+    pending: Vec<Row>,
+}
+
+impl MergeJoin {
+    /// Join sorted inputs on equality of the key columns.
+    pub fn new(
+        left: Box<dyn Operator + Send>,
+        right: Box<dyn Operator + Send>,
+        left_key: Vec<usize>,
+        right_key: Vec<usize>,
+    ) -> MergeJoin {
+        assert_eq!(left_key.len(), right_key.len());
+        let schema = left.schema().join(right.schema());
+        MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            schema,
+            l_row: None,
+            r_group: Vec::new(),
+            r_next: None,
+            started: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Load the next group of right rows sharing one key, returning its key.
+    fn advance_right_group(&mut self) -> Result<Option<Row>> {
+        self.r_group.clear();
+        let first = match self.r_next.take() {
+            Some(r) => r,
+            None => match self.right.next()? {
+                Some(r) => r,
+                None => return Ok(None),
+            },
+        };
+        let key = first.project(&self.right_key);
+        self.r_group.push(first);
+        while let Some(r) = self.right.next()? {
+            if r.project(&self.right_key) == key {
+                self.r_group.push(r);
+            } else {
+                self.r_next = Some(r);
+                break;
+            }
+        }
+        Ok(Some(key))
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        use std::cmp::Ordering;
+        if !self.started {
+            self.started = true;
+            self.l_row = self.left.next()?;
+            self.advance_right_group()?;
+        }
+        loop {
+            if let Some(m) = self.pending.pop() {
+                return Ok(Some(m));
+            }
+            let Some(l) = self.l_row.clone() else {
+                return Ok(None);
+            };
+            if self.r_group.is_empty() {
+                return Ok(None);
+            }
+            let l_key = l.project(&self.left_key);
+            let r_key = self.r_group[0].project(&self.right_key);
+            // NULL keys never join.
+            let l_null = l_key.values().iter().any(|v| v.is_null());
+            let mixed = compare_rows_as_keys(&l_key, &r_key, &self.left_key.len())?;
+            match mixed {
+                Ordering::Less => {
+                    self.l_row = self.left.next()?;
+                }
+                Ordering::Greater => {
+                    if self.advance_right_group()?.is_none() {
+                        return Ok(None);
+                    }
+                }
+                Ordering::Equal if l_null => {
+                    self.l_row = self.left.next()?;
+                }
+                Ordering::Equal => {
+                    self.pending = self.r_group.iter().rev().map(|r| l.join(r)).collect();
+                    self.l_row = self.left.next()?;
+                }
+            }
+        }
+    }
+}
+
+fn compare_rows_as_keys(
+    a: &Row,
+    b: &Row,
+    _width: &usize,
+) -> Result<std::cmp::Ordering> {
+    let key: Vec<usize> = (0..a.len()).collect();
+    compare_on(a, b, &key)
+}
+
+/// Nested-loop join with an arbitrary bound predicate over the concatenated
+/// row. The right input is materialized.
+pub struct NestedLoopJoin {
+    left: Box<dyn Operator + Send>,
+    right: Option<Box<dyn Operator + Send>>,
+    predicate: Option<PhysExpr>,
+    schema: Schema,
+    right_rows: Vec<Row>,
+    current_left: Option<Row>,
+    right_pos: usize,
+}
+
+impl NestedLoopJoin {
+    /// Join with `predicate` evaluated over left ⊕ right rows
+    /// (`None` = cross product).
+    pub fn new(
+        left: Box<dyn Operator + Send>,
+        right: Box<dyn Operator + Send>,
+        predicate: Option<PhysExpr>,
+    ) -> NestedLoopJoin {
+        let schema = left.schema().join(right.schema());
+        NestedLoopJoin {
+            left,
+            right: Some(right),
+            predicate,
+            schema,
+            right_rows: Vec::new(),
+            current_left: None,
+            right_pos: 0,
+        }
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(mut right) = self.right.take() {
+            self.right_rows = collect(right.as_mut())?;
+            self.current_left = self.left.next()?;
+        }
+        loop {
+            let Some(l) = self.current_left.clone() else {
+                return Ok(None);
+            };
+            while self.right_pos < self.right_rows.len() {
+                let joined = l.join(&self.right_rows[self.right_pos]);
+                self.right_pos += 1;
+                let ok = match &self.predicate {
+                    Some(p) => p.eval_predicate(&joined)?,
+                    None => true,
+                };
+                if ok {
+                    return Ok(Some(joined));
+                }
+            }
+            self.right_pos = 0;
+            self.current_left = self.left.next()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{RowsOp, Sort};
+    use csq_common::{DataType, Field, Value};
+    use csq_expr::{bind, Expr};
+
+    fn side(name_prefix: &str, vals: &[(i64, &str)]) -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name_prefix}_k"), DataType::Int),
+            Field::new(format!("{name_prefix}_v"), DataType::Str),
+        ]);
+        let rows = vals
+            .iter()
+            .map(|&(k, v)| Row::new(vec![Value::Int(k), Value::from(v)]))
+            .collect();
+        (schema, rows)
+    }
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let (ls, lr) = side("l", &[(1, "a"), (2, "b"), (3, "c")]);
+        let (rs, rr) = side("r", &[(2, "x"), (3, "y"), (3, "z"), (4, "w")]);
+        let mut j = HashJoin::new(
+            Box::new(RowsOp::new(ls, lr)),
+            Box::new(RowsOp::new(rs, rr)),
+            vec![0],
+            vec![0],
+        );
+        let out = collect(&mut j).unwrap();
+        assert_eq!(out.len(), 3); // 2 joins once, 3 joins twice
+        assert_eq!(j.schema().len(), 4);
+        for r in &out {
+            assert_eq!(r.value(0), r.value(2));
+        }
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let l = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])];
+        let r = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])];
+        let mut j = HashJoin::new(
+            Box::new(RowsOp::new(schema.clone(), l)),
+            Box::new(RowsOp::new(schema, r)),
+            vec![0],
+            vec![0],
+        );
+        // Note: the build side stores NULL keys but probe-side NULLs skip.
+        // A NULL probe never equals a NULL build key under SQL, and our Row
+        // equality would match them, so the probe-side skip is required.
+        let out = collect(&mut j).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn merge_join_equals_hash_join() {
+        let (ls, lr) = side("l", &[(5, "a"), (1, "b"), (3, "c"), (3, "d")]);
+        let (rs, rr) = side("r", &[(3, "x"), (5, "y"), (3, "z"), (2, "w")]);
+
+        let mut hash = HashJoin::new(
+            Box::new(RowsOp::new(ls.clone(), lr.clone())),
+            Box::new(RowsOp::new(rs.clone(), rr.clone())),
+            vec![0],
+            vec![0],
+        );
+        let mut expected = collect(&mut hash).unwrap();
+
+        let sorted_l = Sort::new(Box::new(RowsOp::new(ls, lr)), vec![0]);
+        let sorted_r = Sort::new(Box::new(RowsOp::new(rs, rr)), vec![0]);
+        let mut merge = MergeJoin::new(
+            Box::new(sorted_l),
+            Box::new(sorted_r),
+            vec![0],
+            vec![0],
+        );
+        let mut got = collect(&mut merge).unwrap();
+
+        expected.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+        got.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_join_empty_sides() {
+        let (ls, lr) = side("l", &[(1, "a")]);
+        let (rs, _) = side("r", &[]);
+        let mut j = MergeJoin::new(
+            Box::new(RowsOp::new(ls.clone(), lr.clone())),
+            Box::new(RowsOp::new(rs.clone(), vec![])),
+            vec![0],
+            vec![0],
+        );
+        assert!(collect(&mut j).unwrap().is_empty());
+        let mut j = MergeJoin::new(
+            Box::new(RowsOp::new(ls, vec![])),
+            Box::new(RowsOp::new(rs, vec![])),
+            vec![0],
+            vec![0],
+        );
+        assert!(collect(&mut j).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_loop_cross_and_theta() {
+        let (ls, lr) = side("l", &[(1, "a"), (2, "b")]);
+        let (rs, rr) = side("r", &[(1, "x"), (3, "y")]);
+        let mut cross = NestedLoopJoin::new(
+            Box::new(RowsOp::new(ls.clone(), lr.clone())),
+            Box::new(RowsOp::new(rs.clone(), rr.clone())),
+            None,
+        );
+        assert_eq!(collect(&mut cross).unwrap().len(), 4);
+
+    }
+
+    #[test]
+    fn nested_loop_theta_exact() {
+        let (ls, lr) = side("l", &[(1, "a"), (2, "b")]);
+        let (rs, rr) = side("r", &[(1, "x"), (3, "y")]);
+        let joined_schema = ls.join(&rs);
+        let pred = bind(
+            &Expr::binary(
+                Expr::col_bare("l_k"),
+                csq_expr::BinaryOp::Lt,
+                Expr::col_bare("r_k"),
+            ),
+            &joined_schema,
+        )
+        .unwrap();
+        let mut theta = NestedLoopJoin::new(
+            Box::new(RowsOp::new(ls, lr)),
+            Box::new(RowsOp::new(rs, rr)),
+            Some(pred),
+        );
+        let out = collect(&mut theta).unwrap();
+        // (1,1):no (1,3):yes (2,1):no (2,3):yes
+        assert_eq!(out.len(), 2);
+    }
+}

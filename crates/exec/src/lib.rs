@@ -1,0 +1,18 @@
+//! # csq-exec — the iterator-model execution engine
+//!
+//! Classic Volcano-style operators (§2.1 of the paper shows the pseudo-code
+//! of this model): each operator pulls rows from its children via
+//! [`Operator::next`]. The client-site shipping strategies in `csq-ship`
+//! implement the same trait, so they compose into ordinary plans.
+//!
+//! Operators provided here: scan, filter, project, sort, distinct, hash
+//! join, merge join, nested-loop join, limit, and in-memory row sources.
+
+pub mod join;
+pub mod ops;
+
+pub use join::{HashJoin, MergeJoin, NestedLoopJoin};
+pub use ops::{collect, Distinct, Filter, Limit, MemScan, Operator, Project, RowsOp, Sort};
+
+/// A boxed operator, the unit of plan composition.
+pub type BoxOp = Box<dyn Operator + Send>;

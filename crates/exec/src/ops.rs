@@ -1,0 +1,426 @@
+//! Core operators: sources, filter, project, sort, distinct, limit.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use csq_common::{CsqError, Field, Result, Row, Schema};
+use csq_expr::PhysExpr;
+use csq_storage::Table;
+
+/// A Volcano-style pull operator.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Drain an operator into a vector.
+pub fn collect(op: &mut dyn Operator) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Scan of a table snapshot, with fields qualified by the FROM alias.
+pub struct MemScan {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl MemScan {
+    /// Snapshot `table` and qualify its columns with `alias`.
+    pub fn new(table: &Arc<Table>, alias: &str) -> MemScan {
+        MemScan {
+            schema: table.schema().qualify(alias),
+            rows: table.snapshot().into_iter(),
+        }
+    }
+}
+
+impl Operator for MemScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+/// An in-memory row source with an explicit schema (used by shipping
+/// operators and tests).
+pub struct RowsOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl RowsOp {
+    /// Wrap rows with their schema.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> RowsOp {
+        RowsOp {
+            schema,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for RowsOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Filter rows by a bound predicate.
+pub struct Filter {
+    input: Box<dyn Operator + Send>,
+    predicate: PhysExpr,
+}
+
+impl Filter {
+    /// Wrap `input` with `predicate`.
+    pub fn new(input: Box<dyn Operator + Send>, predicate: PhysExpr) -> Filter {
+        Filter { input, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.eval_predicate(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Evaluate a list of expressions per row, producing a new schema.
+pub struct Project {
+    input: Box<dyn Operator + Send>,
+    exprs: Vec<PhysExpr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// `exprs` paired with their output fields.
+    pub fn new(
+        input: Box<dyn Operator + Send>,
+        exprs: Vec<(PhysExpr, Field)>,
+    ) -> Project {
+        let (exprs, fields): (Vec<_>, Vec<_>) = exprs.into_iter().unzip();
+        Project {
+            input,
+            exprs,
+            schema: Schema::new(fields),
+        }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut values = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    values.push(e.eval(&row)?);
+                }
+                Ok(Some(Row::new(values)))
+            }
+        }
+    }
+}
+
+/// Compare two rows on the given key columns with SQL ordering; NULLs sort
+/// first, cross-type comparisons are exec errors surfaced at sort time.
+pub fn compare_on(a: &Row, b: &Row, key: &[usize]) -> Result<Ordering> {
+    for &k in key {
+        let (va, vb) = (a.value(k), b.value(k));
+        let ord = match (va.is_null(), vb.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => va.sql_cmp(vb)?.ok_or_else(|| {
+                CsqError::Exec("incomparable values in sort key".into())
+            })?,
+        };
+        if ord != Ordering::Equal {
+            return Ok(ord);
+        }
+    }
+    Ok(Ordering::Equal)
+}
+
+/// Materializing sort on key columns (ascending).
+pub struct Sort {
+    input: Option<Box<dyn Operator + Send>>,
+    key: Vec<usize>,
+    schema: Schema,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl Sort {
+    /// Sort `input` rows on `key` column ordinals.
+    pub fn new(input: Box<dyn Operator + Send>, key: Vec<usize>) -> Sort {
+        let schema = input.schema().clone();
+        Sort {
+            input: Some(input),
+            key,
+            schema,
+            sorted: None,
+        }
+    }
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.sorted.is_none() {
+            let mut input = self.input.take().expect("sort input consumed twice");
+            let mut rows = collect(input.as_mut())?;
+            // Stable sort; comparison errors are deferred and re-raised.
+            let mut cmp_err = None;
+            rows.sort_by(|a, b| match compare_on(a, b, &self.key) {
+                Ok(o) => o,
+                Err(e) => {
+                    cmp_err.get_or_insert(e);
+                    Ordering::Equal
+                }
+            });
+            if let Some(e) = cmp_err {
+                return Err(e);
+            }
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().unwrap().next())
+    }
+}
+
+/// Hash-based duplicate elimination on the given key columns (or the whole
+/// row when `key` is `None`). This is the paper's "Step 0: eliminate
+/// duplicates" of the semi-join pipeline.
+pub struct Distinct {
+    input: Box<dyn Operator + Send>,
+    key: Option<Vec<usize>>,
+    seen: std::collections::HashSet<Row>,
+}
+
+impl Distinct {
+    /// Distinct on all columns.
+    pub fn all(input: Box<dyn Operator + Send>) -> Distinct {
+        Distinct {
+            input,
+            key: None,
+            seen: Default::default(),
+        }
+    }
+
+    /// Distinct on a subset of columns (first occurrence wins).
+    pub fn on(input: Box<dyn Operator + Send>, key: Vec<usize>) -> Distinct {
+        Distinct {
+            input,
+            key: Some(key),
+            seen: Default::default(),
+        }
+    }
+}
+
+impl Operator for Distinct {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            let k = match &self.key {
+                Some(key) => row.project(key),
+                None => row.clone(),
+            };
+            if self.seen.insert(k) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Stop after `n` rows.
+pub struct Limit {
+    input: Box<dyn Operator + Send>,
+    remaining: usize,
+}
+
+impl Limit {
+    /// Pass through at most `n` rows.
+    pub fn new(input: Box<dyn Operator + Send>, n: usize) -> Limit {
+        Limit {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::{DataType, Value};
+    use csq_expr::{bind, Expr};
+    use csq_storage::TableBuilder;
+
+    fn int_rows(vals: &[(i64, i64)]) -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let rows = vals
+            .iter()
+            .map(|&(a, b)| Row::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        (schema, rows)
+    }
+
+    #[test]
+    fn scan_qualifies_alias() {
+        let t = Arc::new(
+            TableBuilder::new("t")
+                .column("x", DataType::Int)
+                .row(vec![Value::Int(1)])
+                .row(vec![Value::Int(2)])
+                .build()
+                .unwrap(),
+        );
+        let mut scan = MemScan::new(&t, "T1");
+        assert_eq!(scan.schema().field(0).qualifier.as_deref(), Some("T1"));
+        assert_eq!(collect(&mut scan).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let (schema, rows) = int_rows(&[(1, 10), (2, 20), (3, 30)]);
+        let pred = bind(
+            &Expr::binary(
+                Expr::col_bare("a"),
+                csq_expr::BinaryOp::GtEq,
+                Expr::lit(2i64),
+            ),
+            &schema,
+        )
+        .unwrap();
+        let mut f = Filter::new(Box::new(RowsOp::new(schema, rows)), pred);
+        let out = collect(&mut f).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let (schema, rows) = int_rows(&[(1, 10), (2, 20)]);
+        let sum = bind(
+            &Expr::binary(Expr::col_bare("a"), csq_expr::BinaryOp::Add, Expr::col_bare("b")),
+            &schema,
+        )
+        .unwrap();
+        let mut p = Project::new(
+            Box::new(RowsOp::new(schema, rows)),
+            vec![(sum, Field::new("sum", DataType::Int))],
+        );
+        assert_eq!(p.schema().field(0).name, "sum");
+        let out = collect(&mut p).unwrap();
+        assert_eq!(out[0], Row::new(vec![Value::Int(11)]));
+        assert_eq!(out[1], Row::new(vec![Value::Int(22)]));
+    }
+
+    #[test]
+    fn sort_orders_with_nulls_first() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Int(3)]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(1)]),
+        ];
+        let mut s = Sort::new(Box::new(RowsOp::new(schema, rows)), vec![0]);
+        let out = collect(&mut s).unwrap();
+        assert_eq!(out[0].value(0), &Value::Null);
+        assert_eq!(out[1].value(0), &Value::Int(1));
+        assert_eq!(out[2].value(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn sort_is_stable_on_equal_keys() {
+        let (schema, rows) = int_rows(&[(1, 100), (1, 200), (0, 300)]);
+        let mut s = Sort::new(Box::new(RowsOp::new(schema, rows)), vec![0]);
+        let out = collect(&mut s).unwrap();
+        assert_eq!(out[1].value(1), &Value::Int(100));
+        assert_eq!(out[2].value(1), &Value::Int(200));
+    }
+
+    #[test]
+    fn distinct_on_key_keeps_first() {
+        let (schema, rows) = int_rows(&[(1, 10), (1, 20), (2, 30), (2, 30)]);
+        let mut d = Distinct::on(Box::new(RowsOp::new(schema.clone(), rows.clone())), vec![0]);
+        let out = collect(&mut d).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(1), &Value::Int(10));
+
+        let mut d = Distinct::all(Box::new(RowsOp::new(schema, rows)));
+        assert_eq!(collect(&mut d).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (schema, rows) = int_rows(&[(1, 1), (2, 2), (3, 3)]);
+        let mut l = Limit::new(Box::new(RowsOp::new(schema, rows)), 2);
+        assert_eq!(collect(&mut l).unwrap().len(), 2);
+        assert!(l.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn compare_on_errors_for_incomparable() {
+        // Bool vs Int is a type error from Value::sql_cmp.
+        let a = Row::new(vec![Value::Bool(true)]);
+        let b = Row::new(vec![Value::Int(1)]);
+        assert_eq!(compare_on(&a, &b, &[0]).unwrap_err().kind(), "type");
+        // NaN vs Float compares (bit order not defined by partial_cmp → exec).
+        let a = Row::new(vec![Value::Float(f64::NAN)]);
+        let b = Row::new(vec![Value::Float(1.0)]);
+        assert_eq!(compare_on(&a, &b, &[0]).unwrap_err().kind(), "exec");
+    }
+}

@@ -1,0 +1,306 @@
+//! Real (threaded) in-memory duplex transport.
+//!
+//! The threaded execution engine in `csq-ship` runs actual sender/receiver
+//! threads (Figure 3 of the paper); this module gives them a duplex message
+//! channel with byte accounting, and optionally wall-clock bandwidth/latency
+//! enforcement for end-to-end demos. The timing *experiments* use the
+//! virtual-time model instead (deterministic and instant) — see `csq-ship`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use csq_common::{CsqError, Result};
+
+use crate::spec::NetworkSpec;
+use crate::stats::NetStats;
+
+/// Which way an endpoint's sends flow, for stats accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Server→client (downlink).
+    Down,
+    /// Client→server (uplink).
+    Up,
+}
+
+/// Wall-clock rate limiting state for one direction.
+#[derive(Debug)]
+struct Throttle {
+    bandwidth: f64,
+    latency: Duration,
+    /// When the (serial) transmitter is next free.
+    next_free: parking_lot_like_mutex::Mutex<Instant>,
+}
+
+/// A tiny private mutex module so this crate keeps a single lock dependency
+/// surface (crossbeam is already here; std Mutex suffices for the throttle).
+mod parking_lot_like_mutex {
+    pub use std::sync::Mutex;
+}
+
+impl Throttle {
+    fn new(bandwidth: f64, latency: Duration) -> Throttle {
+        Throttle {
+            bandwidth,
+            latency,
+            next_free: parking_lot_like_mutex::Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Block for the transmission time of `size` bytes; return the instant
+    /// at which the message may be delivered (tx end + propagation).
+    fn admit(&self, size: usize) -> Instant {
+        let tx = Duration::from_secs_f64(size as f64 / self.bandwidth);
+        let deliver_at;
+        {
+            let mut free = self.next_free.lock().expect("throttle lock poisoned");
+            let start = (*free).max(Instant::now());
+            let tx_done = start + tx;
+            *free = tx_done;
+            deliver_at = tx_done + self.latency;
+        }
+        // Backpressure: the sender experiences the transmitter being busy.
+        let now = Instant::now();
+        if deliver_at - self.latency > now {
+            std::thread::sleep(deliver_at - self.latency - now);
+        }
+        deliver_at
+    }
+}
+
+struct Message {
+    deliver_at: Option<Instant>,
+    payload: Vec<u8>,
+}
+
+/// Sending half of an endpoint.
+pub struct NetSender {
+    tx: Sender<Message>,
+    stats: NetStats,
+    direction: Direction,
+    throttle: Option<Arc<Throttle>>,
+    overhead: usize,
+}
+
+impl NetSender {
+    /// Send one message. Blocks for transmission time when throttled.
+    pub fn send(&self, payload: Vec<u8>) -> Result<()> {
+        let wire_bytes = payload.len() + self.overhead;
+        match self.direction {
+            Direction::Down => self.stats.record_down(wire_bytes),
+            Direction::Up => self.stats.record_up(wire_bytes),
+        }
+        let deliver_at = self.throttle.as_ref().map(|t| t.admit(wire_bytes));
+        self.tx
+            .send(Message {
+                deliver_at,
+                payload,
+            })
+            .map_err(|_| CsqError::Net("peer endpoint closed".into()))
+    }
+}
+
+/// Receiving half of an endpoint.
+pub struct NetReceiver {
+    rx: Receiver<Message>,
+}
+
+impl NetReceiver {
+    /// Receive the next message, blocking; `None` when the peer closed.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        let msg = self.rx.recv().ok()?;
+        if let Some(at) = msg.deliver_at {
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        }
+        Some(msg.payload)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no message is ready,
+    /// `Err` when the peer closed.
+    pub fn try_recv(&self) -> std::result::Result<Option<Vec<u8>>, CsqError> {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                if let Some(at) = msg.deliver_at {
+                    let now = Instant::now();
+                    if at > now {
+                        std::thread::sleep(at - now);
+                    }
+                }
+                Ok(Some(msg.payload))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(CsqError::Net("peer endpoint closed".into()))
+            }
+        }
+    }
+}
+
+/// One side of the duplex connection.
+pub struct Endpoint {
+    sender: NetSender,
+    receiver: NetReceiver,
+}
+
+impl Endpoint {
+    /// Send a message to the peer.
+    pub fn send(&self, payload: Vec<u8>) -> Result<()> {
+        self.sender.send(payload)
+    }
+
+    /// Receive from the peer (blocking); `None` when the peer closed.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.receiver.recv()
+    }
+
+    /// Split into independently-owned halves so sender and receiver threads
+    /// (Figure 3) can each own their direction.
+    pub fn split(self) -> (NetSender, NetReceiver) {
+        (self.sender, self.receiver)
+    }
+}
+
+fn build_pair(
+    spec: Option<&NetworkSpec>,
+) -> (Endpoint, Endpoint, NetStats) {
+    let stats = NetStats::new();
+    let (down_tx, down_rx) = unbounded::<Message>();
+    let (up_tx, up_rx) = unbounded::<Message>();
+    let (down_throttle, up_throttle, overhead) = match spec {
+        Some(s) => (
+            Some(Arc::new(Throttle::new(
+                s.down_bandwidth,
+                Duration::from_micros(s.down_latency),
+            ))),
+            Some(Arc::new(Throttle::new(
+                s.up_bandwidth / s.uplink_inflation,
+                Duration::from_micros(s.up_latency),
+            ))),
+            s.per_message_overhead,
+        ),
+        None => (None, None, 0),
+    };
+    let server = Endpoint {
+        sender: NetSender {
+            tx: down_tx,
+            stats: stats.clone(),
+            direction: Direction::Down,
+            throttle: down_throttle,
+            overhead,
+        },
+        receiver: NetReceiver { rx: up_rx },
+    };
+    let client = Endpoint {
+        sender: NetSender {
+            tx: up_tx,
+            stats: stats.clone(),
+            direction: Direction::Up,
+            throttle: up_throttle,
+            overhead,
+        },
+        receiver: NetReceiver { rx: down_rx },
+    };
+    (server, client, stats)
+}
+
+/// An unthrottled in-memory duplex connection `(server, client, stats)`.
+/// Bytes are counted but transfer is instantaneous — used for correctness
+/// tests of the threaded engine.
+pub fn in_memory_duplex() -> (Endpoint, Endpoint, NetStats) {
+    build_pair(None)
+}
+
+/// A wall-clock throttled duplex connection honouring `spec`'s bandwidths
+/// and latencies (uplink inflation is modelled by slowing the uplink).
+pub fn throttled_duplex(spec: &NetworkSpec) -> (Endpoint, Endpoint, NetStats) {
+    build_pair(Some(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_roundtrip_counts_bytes() {
+        let (server, client, stats) = in_memory_duplex();
+        server.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![1, 2, 3]);
+        client.send(vec![9; 10]).unwrap();
+        assert_eq!(server.recv().unwrap().len(), 10);
+        assert_eq!(stats.down_bytes(), 3);
+        assert_eq!(stats.up_bytes(), 10);
+        assert_eq!(stats.down_messages(), 1);
+        assert_eq!(stats.up_messages(), 1);
+    }
+
+    #[test]
+    fn recv_returns_none_after_peer_drop() {
+        let (server, client, _) = in_memory_duplex();
+        drop(server);
+        assert!(client.recv().is_none());
+    }
+
+    #[test]
+    fn split_halves_work_across_threads() {
+        let (server, client, _) = in_memory_duplex();
+        let (stx, srx) = server.split();
+        let echo = std::thread::spawn(move || {
+            while let Some(msg) = client.recv() {
+                if client.send(msg).is_err() {
+                    break;
+                }
+            }
+        });
+        for i in 0..10u8 {
+            stx.send(vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(srx.recv().unwrap(), vec![i]);
+        }
+        drop(stx);
+        drop(srx);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn throttled_send_takes_time() {
+        // 10_000 B/s, no latency: sending 2500 bytes should take ≥ ~0.25s of
+        // transmitter time; we use a small payload to keep the test quick.
+        let spec = NetworkSpec::symmetric(100_000.0, 0);
+        let (server, client, _) = throttled_duplex(&spec);
+        let start = Instant::now();
+        server.send(vec![0; 10_000]).unwrap(); // 0.1s tx
+        client.recv().unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(90),
+            "elapsed = {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_counted() {
+        let spec = NetworkSpec::symmetric(1e9, 0).with_overhead(8);
+        let (server, client, stats) = throttled_duplex(&spec);
+        server.send(vec![0; 100]).unwrap();
+        client.recv().unwrap();
+        assert_eq!(stats.down_bytes(), 108);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_closed() {
+        let (server, client, _) = in_memory_duplex();
+        assert!(matches!(server.receiver.try_recv(), Ok(None)));
+        client.send(vec![1]).unwrap();
+        // Allow the message through.
+        assert_eq!(server.receiver.try_recv().unwrap(), Some(vec![1]));
+        drop(client);
+        assert!(server.receiver.try_recv().is_err());
+    }
+}

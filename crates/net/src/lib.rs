@@ -1,0 +1,31 @@
+//! # csq-net — the network substrate
+//!
+//! The paper's entire evaluation is network-bound: a 28.8 kbit/s modem (and a
+//! 10 Mbit Ethernet emulating asymmetric links "by returning N times as many
+//! bytes"). We reproduce that testbed with a **discrete-event link model**:
+//!
+//! * [`SimTime`] — virtual time in microseconds.
+//! * [`Link`] — a serial transmitter with finite bandwidth plus propagation
+//!   latency. A message occupies the transmitter for `size/bandwidth` and
+//!   arrives `latency` later, so multiple messages pipeline exactly the way
+//!   the paper's concurrency analysis assumes (the bandwidth-delay product
+//!   governs how much concurrency helps — Figure 6).
+//! * [`NetworkSpec`] — a duplex (downlink + uplink) description with presets
+//!   for the paper's configurations, including the asymmetric `N = 100`
+//!   setup of Figure 9 and the paper's byte-inflation emulation mode.
+//! * [`channel`] — a real threaded in-memory duplex transport (crossbeam)
+//!   with byte accounting, used by the threaded execution engine; and a
+//!   throttled variant that enforces bandwidth in wall-clock time.
+//!
+//! Timing experiments use the virtual-time model (deterministic, instant);
+//! the threaded engine uses `channel` and is checked row-for-row against it.
+
+pub mod channel;
+pub mod link;
+pub mod spec;
+pub mod stats;
+
+pub use channel::{in_memory_duplex, throttled_duplex, Endpoint, NetReceiver, NetSender};
+pub use link::{Link, SimTime};
+pub use spec::NetworkSpec;
+pub use stats::NetStats;

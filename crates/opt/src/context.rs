@@ -1,0 +1,198 @@
+//! Optimizer metadata: table statistics, UDF signatures-with-costs, and the
+//! network description.
+//!
+//! The server never holds client UDF *implementations* — only the metadata a
+//! client advertises at session setup: argument/result types, expected
+//! result size (`R`), and expected selectivity when used as a predicate.
+
+use std::collections::HashMap;
+
+use csq_common::{CsqError, DataType, Result, Schema};
+use csq_net::NetworkSpec;
+
+/// Statistics for one base table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Unqualified schema, as in the catalog.
+    pub schema: Schema,
+    /// Row count.
+    pub rows: f64,
+    /// Average record wire size, bytes (the paper's `I`).
+    pub row_bytes: f64,
+    /// Average wire size of each column, bytes (for `A` and projection
+    /// estimates); same order as the schema.
+    pub col_bytes: Vec<f64>,
+}
+
+impl TableStats {
+    /// Fraction of the record occupied by the given columns.
+    pub fn fraction(&self, cols: &[usize]) -> f64 {
+        if self.row_bytes <= 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = cols.iter().map(|&c| self.col_bytes[c]).sum();
+        (sum / self.row_bytes).clamp(0.0, 1.0)
+    }
+}
+
+/// Server-side metadata for a client-site UDF.
+#[derive(Debug, Clone)]
+pub struct UdfMeta {
+    /// Function name.
+    pub name: String,
+    /// Argument types.
+    pub arg_types: Vec<DataType>,
+    /// Result type.
+    pub return_type: DataType,
+    /// Expected result wire size, bytes (`R`).
+    pub result_bytes: f64,
+    /// Expected selectivity when the result is compared in a predicate.
+    pub selectivity: f64,
+    /// True when the function must run at the client (the paper's subject);
+    /// false would mean an ordinary server UDF (not optimized here).
+    pub client_site: bool,
+}
+
+impl UdfMeta {
+    /// Metadata with neutral defaults: 64-byte results, selectivity ⅓.
+    pub fn client(name: &str, arg_types: Vec<DataType>, return_type: DataType) -> UdfMeta {
+        UdfMeta {
+            name: name.to_string(),
+            arg_types,
+            return_type,
+            result_bytes: 64.0,
+            selectivity: 1.0 / 3.0,
+            client_site: true,
+        }
+    }
+
+    /// Builder-style: expected result size.
+    pub fn with_result_bytes(mut self, bytes: f64) -> UdfMeta {
+        self.result_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: expected predicate selectivity.
+    pub fn with_selectivity(mut self, s: f64) -> UdfMeta {
+        self.selectivity = s;
+        self
+    }
+}
+
+/// Everything the optimizer needs to know about the environment.
+#[derive(Debug, Clone)]
+pub struct OptContext {
+    tables: HashMap<String, TableStats>,
+    udfs: HashMap<String, UdfMeta>,
+    /// The client↔server network.
+    pub net: NetworkSpec,
+    /// Server-side per-tuple processing cost in "byte-equivalents" — a small
+    /// tie-breaker so plans with fewer server operators win among
+    /// network-equal plans. The paper assumes server cost is negligible.
+    pub server_tuple_cost: f64,
+}
+
+impl OptContext {
+    /// Build with a network description.
+    pub fn new(net: NetworkSpec) -> OptContext {
+        OptContext {
+            tables: HashMap::new(),
+            udfs: HashMap::new(),
+            net,
+            server_tuple_cost: 0.01,
+        }
+    }
+
+    /// Register a table's statistics.
+    pub fn add_table(&mut self, name: &str, stats: TableStats) {
+        self.tables.insert(name.to_ascii_lowercase(), stats);
+    }
+
+    /// Register a client UDF's metadata.
+    pub fn add_udf(&mut self, meta: UdfMeta) {
+        self.udfs.insert(meta.name.to_ascii_lowercase(), meta);
+    }
+
+    /// Look up table statistics.
+    pub fn table(&self, name: &str) -> Result<&TableStats> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| CsqError::Catalog(format!("optimizer: unknown table '{name}'")))
+    }
+
+    /// Look up UDF metadata.
+    pub fn udf(&self, name: &str) -> Result<&UdfMeta> {
+        self.udfs
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| CsqError::Catalog(format!("optimizer: unknown UDF '{name}'")))
+    }
+
+    /// True when `name` is a registered client-site UDF.
+    pub fn is_client_udf(&self, name: &str) -> bool {
+        self.udfs
+            .get(&name.to_ascii_lowercase())
+            .is_some_and(|u| u.client_site)
+    }
+}
+
+/// Compute [`TableStats`] from an actual in-memory table.
+pub fn stats_from_table(table: &csq_storage::Table) -> TableStats {
+    let rows = table.snapshot();
+    let n = rows.len().max(1) as f64;
+    let width = table.schema().len();
+    let mut col_bytes = vec![0.0; width];
+    let mut total = 0.0;
+    for r in &rows {
+        for (i, v) in r.values().iter().enumerate() {
+            col_bytes[i] += v.wire_size() as f64;
+        }
+        total += r.wire_size() as f64;
+    }
+    for c in col_bytes.iter_mut() {
+        *c /= n;
+    }
+    TableStats {
+        schema: table.schema().clone(),
+        rows: rows.len() as f64,
+        row_bytes: total / n,
+        col_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::{Blob, Row, Value};
+    use csq_storage::TableBuilder;
+
+    #[test]
+    fn stats_from_table_measures_columns() {
+        let t = TableBuilder::new("t")
+            .column("name", DataType::Str)
+            .column("obj", DataType::Blob)
+            .row(vec![
+                Value::from("abcde"),               // wire 10
+                Value::Blob(Blob::synthetic(95, 1)), // wire 100
+            ])
+            .build()
+            .unwrap();
+        let s = stats_from_table(&t);
+        assert_eq!(s.rows, 1.0);
+        assert!((s.row_bytes - 110.0).abs() < 1e-9);
+        assert!((s.fraction(&[1]) - 100.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_lookup_case_insensitive() {
+        let mut ctx = OptContext::new(NetworkSpec::lan());
+        ctx.add_udf(UdfMeta::client(
+            "ClientAnalysis",
+            vec![DataType::Blob],
+            DataType::Int,
+        ));
+        assert!(ctx.udf("clientanalysis").is_ok());
+        assert!(ctx.is_client_udf("CLIENTANALYSIS"));
+        assert!(ctx.udf("nope").is_err());
+        let _ = Row::new(vec![]); // silence unused import in some cfgs
+    }
+}

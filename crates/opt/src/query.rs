@@ -1,0 +1,552 @@
+//! Query-graph extraction: relations and UDF calls become *units*,
+//! predicates are classified by the units they require, and every
+//! client-site UDF call in the query text is replaced by a reference to its
+//! synthetic result column.
+
+use std::collections::BTreeSet;
+
+use csq_common::{CsqError, Result};
+use csq_expr::{
+    analysis, ColumnRef, Expr,
+};
+use csq_sql::ast::{SelectItem, SelectStmt};
+
+use crate::context::{OptContext, TableStats, UdfMeta};
+
+/// One optimization unit: a base relation or a client-site UDF call
+/// (a virtual join with the UDF's virtual table, §2.2).
+#[derive(Debug, Clone)]
+pub enum Unit {
+    /// A base relation from the FROM clause.
+    Rel {
+        /// FROM alias.
+        alias: String,
+        /// Catalog table name.
+        table: String,
+        /// Statistics snapshot.
+        stats: TableStats,
+    },
+    /// A client-site UDF call.
+    Udf {
+        /// Registered name.
+        name: String,
+        /// Metadata (result size, selectivity).
+        meta: UdfMeta,
+        /// Argument columns (qualified, or references to other UDFs'
+        /// synthetic result columns).
+        args: Vec<ColumnRef>,
+        /// Synthetic result column name (`$u0`, `$u1`, ...).
+        result_col: String,
+    },
+}
+
+impl Unit {
+    /// Display label for EXPLAIN output.
+    pub fn label(&self) -> String {
+        match self {
+            Unit::Rel { alias, table, .. } => {
+                if alias.eq_ignore_ascii_case(table) {
+                    table.clone()
+                } else {
+                    format!("{table} {alias}")
+                }
+            }
+            Unit::Udf { name, args, .. } => {
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                format!("{name}({})", args.join(", "))
+            }
+        }
+    }
+}
+
+/// A classified predicate.
+#[derive(Debug, Clone)]
+pub struct PredInfo {
+    /// The (UDF-rewritten) predicate expression.
+    pub expr: Expr,
+    /// Bitmask of units whose columns it references (must all be applied
+    /// before the predicate can be evaluated anywhere).
+    pub required: u64,
+    /// Estimated selectivity.
+    pub selectivity: f64,
+    /// True when it references at least one UDF result column — these are
+    /// the *pushable predicate* candidates of §2.
+    pub references_udf: bool,
+}
+
+/// The extracted query: units, predicates, output.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    /// Relations first, then UDF units.
+    pub units: Vec<Unit>,
+    /// How many leading units are relations.
+    pub n_rels: usize,
+    /// Classified WHERE conjuncts.
+    pub predicates: Vec<PredInfo>,
+    /// Output expressions (UDF-rewritten) with display names.
+    pub output: Vec<(Expr, String)>,
+}
+
+impl QueryGraph {
+    /// Total number of units.
+    pub fn n_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Bitmask with every unit set.
+    pub fn full_mask(&self) -> u64 {
+        (1u64 << self.units.len()) - 1
+    }
+
+    /// The unit index owning a column reference, if any.
+    pub fn owner_of(&self, col: &ColumnRef) -> Option<usize> {
+        // Synthetic UDF result columns.
+        for (i, u) in self.units.iter().enumerate() {
+            if let Unit::Udf { result_col, .. } = u {
+                if col.qualifier.is_none() && col.name == *result_col {
+                    return Some(i);
+                }
+            }
+        }
+        // Relation columns by qualifier, then by unique name.
+        if let Some(q) = &col.qualifier {
+            for (i, u) in self.units.iter().enumerate() {
+                if let Unit::Rel { alias, .. } = u {
+                    if alias.eq_ignore_ascii_case(q) {
+                        return Some(i);
+                    }
+                }
+            }
+            return None;
+        }
+        let mut found = None;
+        for (i, u) in self.units.iter().enumerate() {
+            if let Unit::Rel { stats, .. } = u {
+                if stats.schema.index_of(None, &col.name).is_ok() {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(i);
+                }
+            }
+        }
+        found
+    }
+
+    /// Bitmask of units required by an expression.
+    pub fn required_units(&self, expr: &Expr) -> Result<u64> {
+        let mut mask = 0u64;
+        for col in analysis::columns_referenced(expr) {
+            let owner = self.owner_of(&col).ok_or_else(|| {
+                CsqError::Plan(format!("unresolvable column '{col}' in query"))
+            })?;
+            mask |= 1 << owner;
+            // A UDF result reference also requires the UDF's prerequisites;
+            // handled transitively by the DP (the UDF unit itself encodes
+            // them), so the direct bit is enough here.
+        }
+        Ok(mask)
+    }
+
+    /// Prerequisite mask of a unit: relations providing a UDF's argument
+    /// columns plus any UDF units whose results it consumes. Relations have
+    /// no prerequisites.
+    pub fn prereq_mask(&self, unit: usize) -> u64 {
+        match &self.units[unit] {
+            Unit::Rel { .. } => 0,
+            Unit::Udf { args, .. } => {
+                let mut mask = 0u64;
+                for a in args {
+                    if let Some(o) = self.owner_of(a) {
+                        mask |= 1 << o;
+                        mask |= self.prereq_mask(o);
+                    }
+                }
+                mask
+            }
+        }
+    }
+
+    /// Average wire size of a column, bytes.
+    pub fn col_bytes(&self, col: &ColumnRef) -> f64 {
+        match self.owner_of(col) {
+            Some(i) => match &self.units[i] {
+                Unit::Rel { stats, .. } => stats
+                    .schema
+                    .index_of(None, &col.name)
+                    .map(|idx| stats.col_bytes[idx])
+                    .unwrap_or(16.0),
+                Unit::Udf { meta, .. } => meta.result_bytes,
+            },
+            None => 16.0,
+        }
+    }
+
+    /// All columns referenced by the output and by predicates/UDF args not
+    /// yet applied — what later stages still need.
+    pub fn needed_columns(&self, applied_preds: u64, applied_units: u64) -> BTreeSet<ColumnRef> {
+        let mut need = BTreeSet::new();
+        for (e, _) in &self.output {
+            need.extend(analysis::columns_referenced(e));
+        }
+        for (pi, p) in self.predicates.iter().enumerate() {
+            if applied_preds & (1 << pi) == 0 {
+                need.extend(analysis::columns_referenced(&p.expr));
+            }
+        }
+        for (ui, u) in self.units.iter().enumerate() {
+            if applied_units & (1 << ui) == 0 {
+                if let Unit::Udf { args, .. } = u {
+                    need.extend(args.iter().cloned());
+                }
+            }
+        }
+        need
+    }
+}
+
+/// Extract the query graph from a parsed SELECT, rewriting client-site UDF
+/// calls into synthetic result-column references.
+pub fn extract(stmt: &SelectStmt, ctx: &OptContext) -> Result<QueryGraph> {
+    // Relations.
+    let mut units = Vec::new();
+    for t in &stmt.from {
+        let stats = ctx.table(&t.name)?.clone();
+        units.push(Unit::Rel {
+            alias: t.alias.clone(),
+            table: t.name.clone(),
+            stats,
+        });
+    }
+    let n_rels = units.len();
+
+    // Walk every expression, extracting client UDF calls bottom-up.
+    let mut udf_units: Vec<Unit> = Vec::new();
+    let mut rewrite = |e: &Expr| -> Result<Expr> {
+        extract_udfs(e.clone(), ctx, &mut udf_units)
+    };
+
+    let mut output = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for u in &units {
+                    if let Unit::Rel { alias, stats, .. } = u {
+                        for f in stats.schema.fields() {
+                            output.push((
+                                Expr::Column(ColumnRef::qualified(alias.clone(), f.name.clone())),
+                                f.name.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let rewritten = rewrite(expr)?;
+                let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                output.push((rewritten, name));
+            }
+        }
+    }
+
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        for c in analysis::split_conjuncts(w) {
+            conjuncts.push(rewrite(&c)?);
+        }
+    }
+
+    units.extend(udf_units);
+
+    let graph_partial = QueryGraph {
+        units,
+        n_rels,
+        predicates: vec![],
+        output,
+    };
+
+    let mut predicates = Vec::new();
+    for c in conjuncts {
+        let required = graph_partial.required_units(&c)?;
+        let references_udf = {
+            let mut refs = false;
+            for col in analysis::columns_referenced(&c) {
+                if let Some(i) = graph_partial.owner_of(&col) {
+                    if matches!(graph_partial.units[i], Unit::Udf { .. }) {
+                        refs = true;
+                    }
+                }
+            }
+            refs
+        };
+        let selectivity = estimate_pred_selectivity(&c, &graph_partial, ctx);
+        predicates.push(PredInfo {
+            expr: c,
+            required,
+            selectivity,
+            references_udf,
+        });
+    }
+
+    let mut graph = graph_partial;
+    graph.predicates = predicates;
+
+    // Validate output columns resolve.
+    for (e, _) in &graph.output {
+        graph.required_units(e)?;
+    }
+    Ok(graph)
+}
+
+/// Recursively extract client-site UDF calls, appending units and replacing
+/// calls with synthetic column references. Non-client UDFs are rejected
+/// (this system optimizes client-site extensions; server UDFs would be a
+/// different code path).
+fn extract_udfs(e: Expr, ctx: &OptContext, units: &mut Vec<Unit>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Udf { name, args } => {
+            if !ctx.is_client_udf(&name) {
+                return Err(CsqError::Plan(format!(
+                    "unknown or non-client UDF '{name}' (register it with the client \
+                     and advertise metadata to the server)"
+                )));
+            }
+            let meta = ctx.udf(&name)?.clone();
+            // Arguments must reduce to plain column references (possibly of
+            // other UDF results after extraction).
+            let mut arg_cols = Vec::with_capacity(args.len());
+            for a in args {
+                let a = extract_udfs(a, ctx, units)?;
+                match a {
+                    Expr::Column(c) => arg_cols.push(c),
+                    other => {
+                        return Err(CsqError::Plan(format!(
+                            "UDF '{name}': argument '{other}' is not a plain column; \
+                             computed arguments to client-site UDFs are unsupported"
+                        )))
+                    }
+                }
+            }
+            if meta.arg_types.len() != arg_cols.len() {
+                return Err(CsqError::Plan(format!(
+                    "UDF '{name}': expected {} arguments, got {}",
+                    meta.arg_types.len(),
+                    arg_cols.len()
+                )));
+            }
+            // Re-use an existing unit for an identical call (common when
+            // the same call appears in SELECT and WHERE).
+            for u in units.iter() {
+                if let Unit::Udf {
+                    name: n,
+                    args: a,
+                    result_col,
+                    ..
+                } = u
+                {
+                    if n.eq_ignore_ascii_case(&name) && *a == arg_cols {
+                        return Ok(Expr::Column(ColumnRef::bare(result_col.clone())));
+                    }
+                }
+            }
+            let result_col = format!("$u{}", units.len());
+            units.push(Unit::Udf {
+                name,
+                meta,
+                args: arg_cols,
+                result_col: result_col.clone(),
+            });
+            Expr::Column(ColumnRef::bare(result_col))
+        }
+        Expr::Literal(_) | Expr::Column(_) => e,
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(extract_udfs(*expr, ctx, units)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(extract_udfs(*left, ctx, units)?),
+            op,
+            right: Box::new(extract_udfs(*right, ctx, units)?),
+        },
+    })
+}
+
+/// Selectivity of a rewritten predicate: UDF-result comparisons use the
+/// UDF's advertised selectivity; everything else uses the standard
+/// heuristics.
+fn estimate_pred_selectivity(e: &Expr, graph: &QueryGraph, _ctx: &OptContext) -> f64 {
+    // If the predicate references exactly one UDF result and compares it,
+    // use that UDF's advertised selectivity.
+    let mut udf_sel: Option<f64> = None;
+    for col in analysis::columns_referenced(e) {
+        if let Some(i) = graph.owner_of(&col) {
+            if let Unit::Udf { meta, .. } = &graph.units[i] {
+                udf_sel = Some(match udf_sel {
+                    None => meta.selectivity,
+                    Some(s) => s.min(meta.selectivity),
+                });
+            }
+        }
+    }
+    match udf_sel {
+        Some(s) => s,
+        None => analysis::estimate_selectivity(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::{DataType, Field, Schema};
+    use csq_net::NetworkSpec;
+    use csq_sql::parse_statement;
+
+    fn ctx() -> OptContext {
+        let mut ctx = OptContext::new(NetworkSpec::modem_28_8());
+        ctx.add_table(
+            "StockQuotes",
+            TableStats {
+                schema: Schema::new(vec![
+                    Field::new("Name", DataType::Str),
+                    Field::new("Quotes", DataType::Blob),
+                    Field::new("FuturePrices", DataType::Blob),
+                    Field::new("Change", DataType::Float),
+                    Field::new("Close", DataType::Float),
+                ]),
+                rows: 100.0,
+                row_bytes: 1000.0,
+                col_bytes: vec![20.0, 480.0, 482.0, 9.0, 9.0],
+            },
+        );
+        ctx.add_table(
+            "Estimations",
+            TableStats {
+                schema: Schema::new(vec![
+                    Field::new("CompanyName", DataType::Str),
+                    Field::new("BrokerName", DataType::Str),
+                    Field::new("Rating", DataType::Int),
+                ]),
+                rows: 500.0,
+                row_bytes: 49.0,
+                col_bytes: vec![20.0, 20.0, 9.0],
+            },
+        );
+        ctx.add_udf(
+            UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+                .with_result_bytes(9.0)
+                .with_selectivity(0.2),
+        );
+        ctx.add_udf(
+            UdfMeta::client(
+                "Volatility",
+                vec![DataType::Blob, DataType::Blob],
+                DataType::Float,
+            )
+            .with_result_bytes(9.0),
+        );
+        ctx
+    }
+
+    fn fig11() -> SelectStmt {
+        let s = parse_statement(
+            "SELECT S.Name, E.BrokerName \
+             FROM StockQuotes S, Estimations E \
+             WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating",
+        )
+        .unwrap();
+        match s {
+            csq_sql::Statement::Select(sel) => sel,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fig11_units_and_predicates() {
+        let g = extract(&fig11(), &ctx()).unwrap();
+        assert_eq!(g.n_rels, 2);
+        assert_eq!(g.n_units(), 3);
+        assert_eq!(g.units[2].label(), "ClientAnalysis(S.Quotes)");
+        assert_eq!(g.predicates.len(), 2);
+        // Join predicate requires S and E.
+        assert_eq!(g.predicates[0].required, 0b011);
+        assert!(!g.predicates[0].references_udf);
+        // UDF predicate requires E and the UDF unit.
+        assert_eq!(g.predicates[1].required & 0b100, 0b100);
+        assert!(g.predicates[1].references_udf);
+        // UDF unit prerequisite is S.
+        assert_eq!(g.prereq_mask(2), 0b001);
+    }
+
+    #[test]
+    fn duplicate_udf_calls_share_a_unit() {
+        let stmt = parse_statement(
+            "SELECT ClientAnalysis(S.Quotes) FROM StockQuotes S \
+             WHERE ClientAnalysis(S.Quotes) > 100",
+        )
+        .unwrap();
+        let sel = match stmt {
+            csq_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let g = extract(&sel, &ctx()).unwrap();
+        assert_eq!(g.n_units(), 2, "one relation + one shared UDF unit");
+    }
+
+    #[test]
+    fn nested_udfs_create_dependent_units() {
+        let stmt = parse_statement(
+            "SELECT Volatility(S.Quotes, S.FuturePrices) FROM StockQuotes S \
+             WHERE ClientAnalysis(S.Quotes) > 0",
+        )
+        .unwrap();
+        let sel = match stmt {
+            csq_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let g = extract(&sel, &ctx()).unwrap();
+        assert_eq!(g.n_units(), 3);
+        // Both UDFs depend only on S.
+        assert_eq!(g.prereq_mask(1), 0b001);
+        assert_eq!(g.prereq_mask(2), 0b001);
+    }
+
+    #[test]
+    fn computed_udf_arguments_rejected() {
+        let stmt =
+            parse_statement("SELECT ClientAnalysis(S.Change / S.Close) FROM StockQuotes S")
+                .unwrap();
+        let sel = match stmt {
+            csq_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert_eq!(extract(&sel, &ctx()).unwrap_err().kind(), "plan");
+    }
+
+    #[test]
+    fn unknown_udf_rejected() {
+        let stmt = parse_statement("SELECT Mystery(S.Quotes) FROM StockQuotes S").unwrap();
+        let sel = match stmt {
+            csq_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert_eq!(extract(&sel, &ctx()).unwrap_err().kind(), "plan");
+    }
+
+    #[test]
+    fn udf_selectivity_used_for_predicates() {
+        let g = extract(&fig11(), &ctx()).unwrap();
+        // ClientAnalysis advertises 0.2.
+        assert!((g.predicates[1].selectivity - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needed_columns_shrink_as_preds_apply() {
+        let g = extract(&fig11(), &ctx()).unwrap();
+        let all = g.needed_columns(0, 0);
+        assert!(all.contains(&ColumnRef::qualified("S", "Quotes")));
+        let after = g.needed_columns(0b11, g.full_mask());
+        // Only output columns remain.
+        assert!(after.contains(&ColumnRef::qualified("S", "Name")));
+        assert!(!after.contains(&ColumnRef::qualified("S", "Quotes")));
+    }
+}

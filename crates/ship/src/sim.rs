@@ -1,0 +1,506 @@
+//! Virtual-time execution of the three strategies.
+//!
+//! These executors run the *real* client code
+//! ([`csq_client::service::TaskExecutor`]) on the *real* wire encoding, but
+//! model the network with the discrete-event [`csq_net::Link`] model, so a
+//! 28.8 kbit/s modem experiment that took the paper minutes of wall clock
+//! completes in microseconds here — deterministically. This is the
+//! substitution for the paper's physical testbed (see DESIGN.md §4).
+//!
+//! Returned [`SimRun`]s carry the completion time and per-link byte/busy
+//! accounting used by EXPERIMENTS.md and the cost-model validation.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use csq_common::{Result, Row, Schema};
+use csq_exec::{collect, RowsOp, Sort};
+use csq_net::link::SimTime;
+use csq_net::NetworkSpec;
+
+use csq_client::{ClientRuntime, Request, Response};
+use csq_client::service::TaskExecutor;
+
+use crate::spec::{ClientJoinSpec, SemiJoinSpec};
+
+/// Outcome of one simulated strategy execution.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Output rows, in the same order the threaded backend produces them.
+    pub rows: Vec<Row>,
+    /// Virtual completion time, µs (when the receiver consumed the last row).
+    pub elapsed_us: SimTime,
+    /// Bytes put on the downlink (including Install/Finish framing).
+    pub down_bytes: u64,
+    /// Bytes put on the uplink (after any inflation).
+    pub up_bytes: u64,
+    /// Downlink transmitter busy time, µs.
+    pub down_busy_us: SimTime,
+    /// Uplink transmitter busy time, µs.
+    pub up_busy_us: SimTime,
+    /// Client CPU time consumed by UDF invocations, µs.
+    pub client_cpu_us: u64,
+    /// Messages sent on the downlink.
+    pub down_messages: u64,
+    /// Messages sent on the uplink.
+    pub up_messages: u64,
+}
+
+impl SimRun {
+    /// Which link was the bottleneck (by busy time): "downlink", "uplink",
+    /// or "client".
+    pub fn bottleneck(&self) -> &'static str {
+        let mx = self
+            .down_busy_us
+            .max(self.up_busy_us)
+            .max(self.client_cpu_us);
+        if mx == self.down_busy_us {
+            "downlink"
+        } else if mx == self.up_busy_us {
+            "uplink"
+        } else {
+            "client"
+        }
+    }
+
+    /// Elapsed time in (fractional) seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_us as f64 / 1e6
+    }
+}
+
+/// Sort rows on `cols` using the engine's Sort operator.
+fn sorted_rows(schema: &Schema, rows: Vec<Row>, cols: Vec<usize>) -> Result<Vec<Row>> {
+    let mut s = Sort::new(Box::new(RowsOp::new(schema.clone(), rows)), cols);
+    collect(&mut s)
+}
+
+/// Simulate the semi-join pipeline (Figure 3) with the spec's concurrency
+/// factor, batch size, and sorting mode.
+#[allow(unused_assignments)] // final flush leaves trailing counters unread
+pub fn simulate_semijoin(
+    input_schema: &Schema,
+    input_rows: Vec<Row>,
+    spec: &SemiJoinSpec,
+    runtime: Arc<ClientRuntime>,
+    net: &NetworkSpec,
+) -> Result<SimRun> {
+    let task = spec.client_task(input_schema)?;
+    let mut executor = TaskExecutor::new(runtime, task.clone())?;
+    let arg_cols = spec.arg_union(input_schema.len());
+    let rows = if spec.sorted {
+        sorted_rows(input_schema, input_rows, arg_cols.clone())?
+    } else {
+        input_rows
+    };
+
+    let mut down = net.make_downlink();
+    let mut up = net.make_uplink();
+
+    // Install the task; the client must have processed it before the first
+    // batch arrives, which is guaranteed by in-order delivery.
+    let install = Request::Install(task).encode();
+    down.transmit(0, net.downlink_bytes(install.len()));
+
+    let k = spec.concurrency.max(1);
+    let batch_size = spec.batch_size.max(1);
+
+    // Pipeline state.
+    let mut sender_clock: SimTime = 0;
+    let mut client_free: SimTime = 0;
+    let mut outstanding: VecDeque<(usize, SimTime)> = VecDeque::new(); // (tuples, completion)
+    let mut outstanding_tuples = 0usize;
+    let mut last_completion: SimTime = 0;
+
+    // Result bookkeeping for output assembly.
+    let mut results: HashMap<Row, Row> = HashMap::new();
+    let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
+    let mut prev_key: Option<Row> = None;
+
+    let mut batch_args: Vec<Row> = Vec::with_capacity(batch_size);
+    let mut span = 0usize;
+
+    let mut cpu_seen = 0u64;
+
+    macro_rules! flush {
+        () => {{
+            if !batch_args.is_empty() || span > 0 {
+                // Buffer admission: wait until the span fits into K.
+                while outstanding_tuples + span > k {
+                    match outstanding.pop_front() {
+                        Some((t, done)) => {
+                            outstanding_tuples -= t;
+                            sender_clock = sender_clock.max(done);
+                        }
+                        None => break, // span alone exceeds K: proceed.
+                    }
+                }
+                if !batch_args.is_empty() {
+                    let args = std::mem::take(&mut batch_args);
+                    let msg = Request::Batch(args.clone()).encode();
+                    let (_, arrive) =
+                        down.transmit(sender_clock, net.downlink_bytes(msg.len()));
+                    // Client processes the batch serially.
+                    let out = executor.process(args.clone())?;
+                    let cpu_now = executor.cpu_us();
+                    client_free = client_free.max(arrive) + (cpu_now - cpu_seen);
+                    cpu_seen = cpu_now;
+                    for (a, r) in args.into_iter().zip(out.iter()) {
+                        results.insert(a, r.clone());
+                    }
+                    let resp = Response::Batch(out).encode();
+                    let (_, arrive_back) =
+                        up.transmit(client_free, net.uplink_bytes(resp.len()) );
+                    outstanding.push_back((span, arrive_back));
+                    outstanding_tuples += span;
+                    last_completion = last_completion.max(arrive_back);
+                } else {
+                    // A span of pure duplicates: consumed by the receiver as
+                    // soon as the previous completion allows; attach to the
+                    // latest outstanding entry (or immediately when none).
+                    outstanding.push_back((span, sender_clock.max(last_completion)));
+                    outstanding_tuples += span;
+                }
+                span = 0;
+            }
+        }};
+    }
+
+    for row in &rows {
+        let key = row.project(&arg_cols);
+        let fresh = if spec.sorted {
+            let is_new = prev_key.as_ref() != Some(&key);
+            prev_key = Some(key.clone());
+            is_new
+        } else {
+            seen.insert(key.clone())
+        };
+        if fresh {
+            batch_args.push(key);
+        }
+        span += 1;
+        if batch_args.len() >= batch_size {
+            flush!();
+        }
+    }
+    flush!();
+
+    // Finish message (bytes counted; does not gate completion).
+    let finish = Request::Finish.encode();
+    down.transmit(sender_clock, net.downlink_bytes(finish.len()));
+
+    // Assemble output in input order.
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let key = row.project(&arg_cols);
+        let result = results.get(&key).ok_or_else(|| {
+            csq_common::CsqError::Exec("simulate_semijoin: missing result".into())
+        })?;
+        out_rows.push(row.join(result));
+    }
+
+    Ok(SimRun {
+        rows: out_rows,
+        elapsed_us: last_completion,
+        down_bytes: down.bytes_sent(),
+        up_bytes: up.bytes_sent(),
+        down_busy_us: down.busy_time(),
+        up_busy_us: up.busy_time(),
+        client_cpu_us: executor.cpu_us(),
+        down_messages: down.messages_sent(),
+        up_messages: up.messages_sent(),
+    })
+}
+
+/// Simulate the client-site join (Figure 4): the sender streams whole
+/// records as fast as the downlink admits; no sender↔receiver buffer.
+pub fn simulate_client_join(
+    input_schema: &Schema,
+    input_rows: Vec<Row>,
+    spec: &ClientJoinSpec,
+    runtime: Arc<ClientRuntime>,
+    net: &NetworkSpec,
+) -> Result<SimRun> {
+    let task = spec.client_task(input_schema)?;
+    let mut executor = TaskExecutor::new(runtime, task.clone())?;
+    let rows = if spec.sort_on_args {
+        sorted_rows(input_schema, input_rows, spec.arg_union(input_schema.len()))?
+    } else {
+        input_rows
+    };
+
+    let mut down = net.make_downlink();
+    let mut up = net.make_uplink();
+
+    let install = Request::Install(task).encode();
+    down.transmit(0, net.downlink_bytes(install.len()));
+
+    let mut client_free: SimTime = 0;
+    let mut cpu_seen = 0u64;
+    let mut last_response: SimTime = 0;
+    let mut out_rows = Vec::new();
+
+    let batch_size = spec.batch_size.max(1);
+    for chunk in rows.chunks(batch_size) {
+        let msg = Request::Batch(chunk.to_vec()).encode();
+        // The sender is never blocked: the link itself serializes.
+        let (_, arrive) = down.transmit(0, net.downlink_bytes(msg.len()));
+        let out = executor.process(chunk.to_vec())?;
+        let cpu_now = executor.cpu_us();
+        client_free = client_free.max(arrive) + (cpu_now - cpu_seen);
+        cpu_seen = cpu_now;
+        let resp = Response::Batch(out.clone()).encode();
+        let (_, arrive_back) = up.transmit(client_free, net.uplink_bytes(resp.len()));
+        last_response = last_response.max(arrive_back);
+        out_rows.extend(out);
+    }
+
+    let finish = Request::Finish.encode();
+    down.transmit(down.free_at(), net.downlink_bytes(finish.len()));
+
+    Ok(SimRun {
+        rows: out_rows,
+        elapsed_us: last_response,
+        down_bytes: down.bytes_sent(),
+        up_bytes: up.bytes_sent(),
+        down_busy_us: down.busy_time(),
+        up_busy_us: up.busy_time(),
+        client_cpu_us: executor.cpu_us(),
+        down_messages: down.messages_sent(),
+        up_messages: up.messages_sent(),
+    })
+}
+
+/// Simulate the naive tuple-at-a-time strategy (§2.1): one blocking round
+/// trip per distinct argument (result caching on), full RTT exposed.
+pub fn simulate_naive(
+    input_schema: &Schema,
+    input_rows: Vec<Row>,
+    spec: &SemiJoinSpec,
+    runtime: Arc<ClientRuntime>,
+    net: &NetworkSpec,
+) -> Result<SimRun> {
+    let task = spec.client_task(input_schema)?;
+    let mut executor = TaskExecutor::new(runtime, task.clone())?;
+    let arg_cols = spec.arg_union(input_schema.len());
+
+    let mut down = net.make_downlink();
+    let mut up = net.make_uplink();
+
+    let install = Request::Install(task).encode();
+    let (_, install_arrive) = down.transmit(0, net.downlink_bytes(install.len()));
+    let mut now: SimTime = install_arrive.saturating_sub(net.down_latency);
+    let mut client_free: SimTime = 0;
+    let mut cpu_seen = 0u64;
+
+    let mut cache: HashMap<Row, Row> = HashMap::new();
+    let mut out_rows = Vec::with_capacity(input_rows.len());
+
+    for row in &input_rows {
+        let key = row.project(&arg_cols);
+        if let Some(result) = cache.get(&key) {
+            out_rows.push(row.join(result));
+            continue;
+        }
+        let msg = Request::Batch(vec![key.clone()]).encode();
+        let (_, arrive) = down.transmit(now, net.downlink_bytes(msg.len()));
+        let out = executor.process(vec![key.clone()])?;
+        let cpu_now = executor.cpu_us();
+        client_free = client_free.max(arrive) + (cpu_now - cpu_seen);
+        cpu_seen = cpu_now;
+        let result = out.into_iter().next().ok_or_else(|| {
+            csq_common::CsqError::Exec("simulate_naive: missing result".into())
+        })?;
+        let resp = Response::Batch(vec![result.clone()]).encode();
+        let (_, arrive_back) = up.transmit(client_free, net.uplink_bytes(resp.len()));
+        // Blocking: the server waits for the response before the next tuple.
+        now = arrive_back;
+        cache.insert(key, result.clone());
+        out_rows.push(row.join(&result));
+    }
+
+    let finish = Request::Finish.encode();
+    down.transmit(now, net.downlink_bytes(finish.len()));
+
+    Ok(SimRun {
+        rows: out_rows,
+        elapsed_us: now,
+        down_bytes: down.bytes_sent(),
+        up_bytes: up.bytes_sent(),
+        down_busy_us: down.busy_time(),
+        up_busy_us: up.busy_time(),
+        client_cpu_us: executor.cpu_us(),
+        down_messages: down.messages_sent(),
+        up_messages: up.messages_sent(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::UdfApplication;
+    use csq_client::synthetic::ObjectUdf;
+    use csq_common::{Blob, DataType, Field, Value};
+
+    fn runtime() -> Arc<ClientRuntime> {
+        let rt = ClientRuntime::new();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100))).unwrap();
+        Arc::new(rt)
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("Id", DataType::Int),
+            Field::new("Arg", DataType::Blob),
+        ])
+    }
+
+    fn rows(n: usize, arg_size: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Blob(Blob::synthetic(arg_size, i as u64)),
+                ])
+            })
+            .collect()
+    }
+
+    fn app() -> UdfApplication {
+        UdfApplication::new("Analyze", vec![1], Field::new("res", DataType::Blob))
+    }
+
+    #[test]
+    fn higher_concurrency_is_faster_until_bdp() {
+        // Figure 6's shape: time(K) decreases then flattens.
+        let net = NetworkSpec::modem_28_8();
+        let data = rows(40, 495); // ~500B messages
+        let mut times = Vec::new();
+        for k in [1usize, 2, 5, 10, 20] {
+            let spec = SemiJoinSpec::new(vec![app()], k);
+            let run =
+                simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &net).unwrap();
+            times.push(run.elapsed_us);
+        }
+        assert!(times[0] > times[1], "{times:?}");
+        assert!(times[1] > times[2], "{times:?}");
+        // Beyond the bandwidth-delay product, little further gain.
+        let gain_tail = times[3] as f64 / times[4] as f64;
+        assert!(gain_tail < 1.15, "{times:?}");
+    }
+
+    #[test]
+    fn naive_equals_semijoin_k1_in_shape() {
+        // Naive ≈ SJ with K=1: both expose the full RTT per tuple.
+        let net = NetworkSpec::modem_28_8();
+        let data = rows(20, 200);
+        let naive =
+            simulate_naive(&schema(), data.clone(), &SemiJoinSpec::new(vec![app()], 1), runtime(), &net)
+                .unwrap();
+        let sj1 =
+            simulate_semijoin(&schema(), data.clone(), &SemiJoinSpec::new(vec![app()], 1), runtime(), &net)
+                .unwrap();
+        let sj10 =
+            simulate_semijoin(&schema(), data, &SemiJoinSpec::new(vec![app()], 10), runtime(), &net)
+                .unwrap();
+        let ratio = naive.elapsed_us as f64 / sj1.elapsed_us as f64;
+        assert!((0.8..1.25).contains(&ratio), "naive {} vs sj1 {}", naive.elapsed_us, sj1.elapsed_us);
+        assert!(sj10.elapsed_us * 3 < naive.elapsed_us, "concurrency must win big");
+    }
+
+    #[test]
+    fn identical_rows_across_backends_shape() {
+        let net = NetworkSpec::lan();
+        let data = rows(10, 50);
+        let sj = simulate_semijoin(
+            &schema(),
+            data.clone(),
+            &SemiJoinSpec::new(vec![app()], 4),
+            runtime(),
+            &net,
+        )
+        .unwrap();
+        assert_eq!(sj.rows.len(), 10);
+        let csj = simulate_client_join(
+            &schema(),
+            data,
+            &ClientJoinSpec::new(vec![app()]),
+            runtime(),
+            &net,
+        )
+        .unwrap();
+        assert_eq!(sj.rows, csj.rows);
+    }
+
+    #[test]
+    fn semijoin_dedup_reduces_bytes() {
+        let net = NetworkSpec::lan();
+        let distinct: Vec<Row> = rows(20, 100);
+        let dups: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Blob(Blob::synthetic(100, (i % 4) as u64)),
+                ])
+            })
+            .collect();
+        let spec = SemiJoinSpec::new(vec![app()], 8);
+        let a = simulate_semijoin(&schema(), distinct, &spec, runtime(), &net).unwrap();
+        let b = simulate_semijoin(&schema(), dups, &spec, runtime(), &net).unwrap();
+        assert!(b.down_bytes < a.down_bytes / 2, "{} vs {}", b.down_bytes, a.down_bytes);
+        assert!(b.up_bytes < a.up_bytes / 2);
+        assert_eq!(b.rows.len(), 20);
+    }
+
+    #[test]
+    fn uplink_inflation_matches_true_asymmetry_in_uplink_time() {
+        // The paper's emulation (§4.3) and true asymmetric links should
+        // charge comparable uplink busy time for the same workload.
+        let data = rows(10, 300);
+        let spec = SemiJoinSpec::new(vec![app()], 8);
+        let real = NetworkSpec::cable_asymmetric();
+        let emulated = NetworkSpec::cable_asymmetric_emulated();
+        let a = simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &real).unwrap();
+        let b = simulate_semijoin(&schema(), data, &spec, runtime(), &emulated).unwrap();
+        let ratio = a.up_busy_us as f64 / b.up_busy_us as f64;
+        assert!((0.9..1.1).contains(&ratio), "{} vs {}", a.up_busy_us, b.up_busy_us);
+    }
+
+    #[test]
+    fn client_cpu_can_become_bottleneck() {
+        use csq_client::UdfCost;
+        let rt = ClientRuntime::new();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100).with_cost(UdfCost {
+            fixed_us: 200_000.0,
+            per_byte_us: 0.0,
+        })))
+        .unwrap();
+        let net = NetworkSpec::lan();
+        let run = simulate_semijoin(
+            &schema(),
+            rows(10, 50),
+            &SemiJoinSpec::new(vec![app()], 4),
+            Arc::new(rt),
+            &net,
+        )
+        .unwrap();
+        assert_eq!(run.bottleneck(), "client");
+        assert!(run.elapsed_us >= 2_000_000);
+    }
+
+    #[test]
+    fn empty_input_completes_instantly() {
+        let net = NetworkSpec::modem_28_8();
+        let run = simulate_semijoin(
+            &schema(),
+            vec![],
+            &SemiJoinSpec::new(vec![app()], 4),
+            runtime(),
+            &net,
+        )
+        .unwrap();
+        assert_eq!(run.rows.len(), 0);
+        assert_eq!(run.elapsed_us, 0);
+        assert!(run.down_bytes > 0, "install+finish still cross the wire");
+    }
+}

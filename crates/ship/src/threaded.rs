@@ -1,0 +1,796 @@
+//! Threaded execution of the three strategies over a real endpoint.
+//!
+//! The architecture is Figure 3/4 of the paper: a *sender* thread pulls
+//! input rows, ships argument (or whole-record) batches to the client, and —
+//! for the semi-join — enqueues the full records onto a **bounded buffer**
+//! whose capacity is the pipeline concurrency factor. The *receiver* is the
+//! operator itself (the calling thread): it dequeues records, pairs them
+//! with results arriving from the client, and emits joined rows. The client
+//! runs in its own thread (see [`csq_client::spawn_client`]).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use csq_common::{CsqError, Result, Row, Schema};
+use csq_exec::{collect, Operator, Sort};
+use csq_net::{Endpoint, NetReceiver, NetSender};
+
+use csq_client::{Request, Response};
+
+use crate::spec::{ClientJoinSpec, SemiJoinSpec, UdfApplication};
+
+/// Sender → receiver buffer entries.
+enum Pending {
+    /// A record waiting for (or reusing) a UDF result.
+    Rec {
+        row: Row,
+        key: Row,
+        /// True when this record's argument tuple was newly shipped — its
+        /// result is the next one in the response stream.
+        fresh: bool,
+    },
+    /// The sender failed (input error or network error).
+    Err(CsqError),
+}
+
+/// Result cache at the receiver: hash cache for unsorted input (one entry
+/// per distinct argument), last-value cache for sorted input (duplicates are
+/// adjacent, so O(1) memory — the "merge-join" receiver of §2.3.1).
+enum ResultCache {
+    Hash(HashMap<Row, Row>),
+    Last(Option<(Row, Row)>),
+}
+
+impl ResultCache {
+    fn insert(&mut self, key: Row, result: Row) {
+        match self {
+            ResultCache::Hash(m) => {
+                m.insert(key, result);
+            }
+            ResultCache::Last(slot) => *slot = Some((key, result)),
+        }
+    }
+
+    fn get(&self, key: &Row) -> Option<&Row> {
+        match self {
+            ResultCache::Hash(m) => m.get(key),
+            ResultCache::Last(slot) => match slot {
+                Some((k, r)) if k == key => Some(r),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// The semi-join operator (Figure 3): sender thread + bounded buffer +
+/// receiver pulling matched rows.
+pub struct ThreadedSemiJoin {
+    schema: Schema,
+    buffer_rx: Receiver<Pending>,
+    net_rx: NetReceiver,
+    cache: ResultCache,
+    results_fifo: VecDeque<Row>,
+    sender: Option<JoinHandle<()>>,
+    failed: bool,
+}
+
+impl ThreadedSemiJoin {
+    /// Start the pipeline. `endpoint` is the server side of a duplex whose
+    /// client side is served by [`csq_client::spawn_client`].
+    pub fn new(
+        input: Box<dyn Operator + Send>,
+        spec: SemiJoinSpec,
+        endpoint: Endpoint,
+    ) -> Result<ThreadedSemiJoin> {
+        let input_schema = input.schema().clone();
+        let schema = spec.output_schema(&input_schema);
+        let task = spec.client_task(&input_schema)?;
+        let (net_tx, net_rx) = endpoint.split();
+        let (buffer_tx, buffer_rx) = bounded(spec.concurrency);
+        let cache = if spec.sorted {
+            ResultCache::Last(None)
+        } else {
+            ResultCache::Hash(HashMap::new())
+        };
+        let arg_cols = spec.arg_union(input_schema.len());
+        let batch_size = spec.batch_size.max(1);
+        let sorted = spec.sorted;
+        let sender = std::thread::Builder::new()
+            .name("csq-sj-sender".into())
+            .spawn(move || {
+                semijoin_sender(
+                    input, task, arg_cols, batch_size, sorted, net_tx, buffer_tx,
+                )
+            })
+            .expect("failed to spawn semi-join sender");
+        Ok(ThreadedSemiJoin {
+            schema,
+            buffer_rx,
+            net_rx,
+            cache,
+            results_fifo: VecDeque::new(),
+            sender: Some(sender),
+            failed: false,
+        })
+    }
+
+    fn next_result(&mut self) -> Result<Row> {
+        loop {
+            if let Some(r) = self.results_fifo.pop_front() {
+                return Ok(r);
+            }
+            let Some(buf) = self.net_rx.recv() else {
+                return Err(CsqError::Net(
+                    "client closed connection before all results arrived".into(),
+                ));
+            };
+            match Response::decode(&buf)? {
+                Response::Batch(rows) => self.results_fifo.extend(rows),
+                Response::Error(msg) => {
+                    return Err(CsqError::Client(format!("client-site failure: {msg}")))
+                }
+            }
+        }
+    }
+
+    fn join_sender(&mut self) {
+        if let Some(h) = self.sender.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Operator for ThreadedSemiJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.failed {
+            return Ok(None);
+        }
+        match self.buffer_rx.recv() {
+            Err(_) => {
+                // Sender finished and the buffer drained.
+                self.join_sender();
+                Ok(None)
+            }
+            Ok(Pending::Err(e)) => {
+                self.failed = true;
+                self.join_sender();
+                Err(e)
+            }
+            Ok(Pending::Rec { row, key, fresh }) => {
+                if fresh {
+                    let result = match self.next_result() {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.failed = true;
+                            return Err(e);
+                        }
+                    };
+                    self.cache.insert(key.clone(), result);
+                }
+                let result = self.cache.get(&key).cloned().ok_or_else(|| {
+                    CsqError::Exec(
+                        "semi-join receiver: missing cached result for duplicate \
+                         argument (sender/receiver protocol violation)"
+                            .into(),
+                    )
+                })?;
+                Ok(Some(row.join(&result)))
+            }
+        }
+    }
+}
+
+/// Sender-thread body for the semi-join.
+#[allow(clippy::too_many_arguments)]
+fn semijoin_sender(
+    mut input: Box<dyn Operator + Send>,
+    task: csq_client::ClientTask,
+    arg_cols: Vec<usize>,
+    batch_size: usize,
+    sorted: bool,
+    net_tx: NetSender,
+    buffer_tx: Sender<Pending>,
+) {
+    let fail = |buffer_tx: &Sender<Pending>, e: CsqError| {
+        let _ = buffer_tx.send(Pending::Err(e));
+    };
+
+    if net_tx.send(Request::Install(task).encode()).is_err() {
+        fail(&buffer_tx, CsqError::Net("client unreachable".into()));
+        return;
+    }
+
+    // Materialize + sort when requested (makes argument duplicates adjacent).
+    let rows: Vec<Row> = if sorted {
+        let schema = input.schema().clone();
+        let collected = match collect(input.as_mut()) {
+            Ok(r) => r,
+            Err(e) => return fail(&buffer_tx, e),
+        };
+        let mut sorter = Sort::new(
+            Box::new(csq_exec::RowsOp::new(schema, collected)),
+            arg_cols.clone(),
+        );
+        match collect(&mut sorter) {
+            Ok(r) => r,
+            Err(e) => return fail(&buffer_tx, e),
+        }
+    } else {
+        match collect_lazy(input) {
+            Ok(r) => r,
+            Err(e) => return fail(&buffer_tx, e),
+        }
+    };
+
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut prev_key: Option<Row> = None;
+    let mut batch_args: Vec<Row> = Vec::with_capacity(batch_size);
+    let mut batch_records: Vec<Pending> = Vec::new();
+
+    macro_rules! flush {
+        () => {{
+            if !batch_args.is_empty() {
+                let msg = Request::Batch(std::mem::take(&mut batch_args)).encode();
+                if net_tx.send(msg).is_err() {
+                    // Receiver/client gone; stop quietly.
+                    return;
+                }
+            }
+            for rec in batch_records.drain(..) {
+                if buffer_tx.send(rec).is_err() {
+                    return; // receiver dropped (e.g. LIMIT) — stop.
+                }
+            }
+        }};
+    }
+
+    for row in rows {
+        let key = row.project(&arg_cols);
+        let fresh = if sorted {
+            let is_new = prev_key.as_ref() != Some(&key);
+            prev_key = Some(key.clone());
+            is_new
+        } else {
+            seen.insert(key.clone())
+        };
+        if fresh {
+            batch_args.push(key.clone());
+        }
+        let rec = Pending::Rec { row, key, fresh };
+        if fresh || !batch_args.is_empty() {
+            // Part of the current unsent batch's span: must wait for flush.
+            batch_records.push(rec);
+        } else {
+            // Duplicate of an already-shipped argument: goes straight to
+            // the buffer (its result is already in flight or cached).
+            if buffer_tx.send(rec).is_err() {
+                return;
+            }
+        }
+        if batch_args.len() >= batch_size {
+            flush!();
+        }
+    }
+    flush!();
+    let _ = net_tx.send(Request::Finish.encode());
+    // Dropping buffer_tx closes the buffer; the receiver then terminates.
+}
+
+/// Collect rows from a boxed operator (helper that keeps ownership).
+fn collect_lazy(mut input: Box<dyn Operator + Send>) -> Result<Vec<Row>> {
+    collect(input.as_mut())
+}
+
+/// The client-site join operator (Figure 4): sender streams whole records,
+/// the client filters/projects, the receiver forwards returned rows. No
+/// sender↔receiver synchronization is required.
+pub struct ThreadedClientJoin {
+    schema: Schema,
+    tickets_rx: Receiver<Result<()>>,
+    net_rx: NetReceiver,
+    current: VecDeque<Row>,
+    sender: Option<JoinHandle<()>>,
+    failed: bool,
+}
+
+impl ThreadedClientJoin {
+    /// Start the pipeline.
+    pub fn new(
+        input: Box<dyn Operator + Send>,
+        spec: ClientJoinSpec,
+        endpoint: Endpoint,
+    ) -> Result<ThreadedClientJoin> {
+        let input_schema = input.schema().clone();
+        let schema = spec.output_schema(&input_schema);
+        let task = spec.client_task(&input_schema)?;
+        let (net_tx, net_rx) = endpoint.split();
+        let (tickets_tx, tickets_rx) = unbounded();
+        let batch_size = spec.batch_size.max(1);
+        let sort_cols = if spec.sort_on_args {
+            Some(spec.arg_union(input_schema.len()))
+        } else {
+            None
+        };
+        let sender = std::thread::Builder::new()
+            .name("csq-csj-sender".into())
+            .spawn(move || {
+                client_join_sender(input, task, batch_size, sort_cols, net_tx, tickets_tx)
+            })
+            .expect("failed to spawn client-join sender");
+        Ok(ThreadedClientJoin {
+            schema,
+            tickets_rx,
+            net_rx,
+            current: VecDeque::new(),
+            sender: Some(sender),
+            failed: false,
+        })
+    }
+
+    fn join_sender(&mut self) {
+        if let Some(h) = self.sender.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Operator for ThreadedClientJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.failed {
+            return Ok(None);
+        }
+        loop {
+            if let Some(row) = self.current.pop_front() {
+                return Ok(Some(row));
+            }
+            match self.tickets_rx.recv() {
+                Err(_) => {
+                    self.join_sender();
+                    return Ok(None);
+                }
+                Ok(Err(e)) => {
+                    self.failed = true;
+                    self.join_sender();
+                    return Err(e);
+                }
+                Ok(Ok(())) => {
+                    let Some(buf) = self.net_rx.recv() else {
+                        self.failed = true;
+                        return Err(CsqError::Net(
+                            "client closed connection mid-query".into(),
+                        ));
+                    };
+                    match Response::decode(&buf)? {
+                        Response::Batch(rows) => self.current.extend(rows),
+                        Response::Error(msg) => {
+                            self.failed = true;
+                            return Err(CsqError::Client(format!(
+                                "client-site failure: {msg}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn client_join_sender(
+    mut input: Box<dyn Operator + Send>,
+    task: csq_client::ClientTask,
+    batch_size: usize,
+    sort_cols: Option<Vec<usize>>,
+    net_tx: NetSender,
+    tickets_tx: Sender<Result<()>>,
+) {
+    if net_tx.send(Request::Install(task).encode()).is_err() {
+        let _ = tickets_tx.send(Err(CsqError::Net("client unreachable".into())));
+        return;
+    }
+    let rows: Vec<Row> = if let Some(cols) = sort_cols {
+        let schema = input.schema().clone();
+        let collected = match collect(input.as_mut()) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = tickets_tx.send(Err(e));
+                return;
+            }
+        };
+        let mut sorter = Sort::new(Box::new(csq_exec::RowsOp::new(schema, collected)), cols);
+        match collect(&mut sorter) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = tickets_tx.send(Err(e));
+                return;
+            }
+        }
+    } else {
+        match collect(input.as_mut()) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = tickets_tx.send(Err(e));
+                return;
+            }
+        }
+    };
+
+    for chunk in rows.chunks(batch_size.max(1)) {
+        if net_tx.send(Request::Batch(chunk.to_vec()).encode()).is_err() {
+            return;
+        }
+        if tickets_tx.send(Ok(())).is_err() {
+            return;
+        }
+    }
+    let _ = net_tx.send(Request::Finish.encode());
+}
+
+/// The naive strategy of §2.1: treat the client-site UDF like a server-site
+/// UDF that happens to make a blocking remote call per tuple. One message
+/// round-trip per distinct argument (with \[HN97]-style result caching, as
+/// the "established approach" does), full latency exposed on every call.
+pub struct NaiveRemoteUdf {
+    input: Box<dyn Operator + Send>,
+    schema: Schema,
+    arg_cols: Vec<usize>,
+    net_tx: NetSender,
+    net_rx: NetReceiver,
+    cache: HashMap<Row, Row>,
+    use_cache: bool,
+    installed: bool,
+    task: csq_client::ClientTask,
+    finished: bool,
+}
+
+impl NaiveRemoteUdf {
+    /// Build the naive executor for `udfs` over `input`.
+    pub fn new(
+        input: Box<dyn Operator + Send>,
+        udfs: Vec<UdfApplication>,
+        endpoint: Endpoint,
+        use_cache: bool,
+    ) -> Result<NaiveRemoteUdf> {
+        let spec = SemiJoinSpec::new(udfs, 1);
+        let input_schema = input.schema().clone();
+        let schema = spec.output_schema(&input_schema);
+        let task = spec.client_task(&input_schema)?;
+        let arg_cols = spec.arg_union(input_schema.len());
+        let (net_tx, net_rx) = endpoint.split();
+        Ok(NaiveRemoteUdf {
+            input,
+            schema,
+            arg_cols,
+            net_tx,
+            net_rx,
+            cache: HashMap::new(),
+            use_cache,
+            installed: false,
+            task,
+            finished: false,
+        })
+    }
+}
+
+impl Operator for NaiveRemoteUdf {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.installed {
+            self.net_tx
+                .send(Request::Install(self.task.clone()).encode())?;
+            self.installed = true;
+        }
+        match self.input.next()? {
+            None => {
+                self.finished = true;
+                let _ = self.net_tx.send(Request::Finish.encode());
+                Ok(None)
+            }
+            Some(row) => {
+                let key = row.project(&self.arg_cols);
+                if self.use_cache {
+                    if let Some(result) = self.cache.get(&key) {
+                        return Ok(Some(row.join(result)));
+                    }
+                }
+                // Blocking round trip — the whole point of §2.1's critique.
+                self.net_tx
+                    .send(Request::Batch(vec![key.clone()]).encode())?;
+                let Some(buf) = self.net_rx.recv() else {
+                    return Err(CsqError::Net("client closed connection".into()));
+                };
+                let result = match Response::decode(&buf)? {
+                    Response::Batch(mut rows) => {
+                        if rows.len() != 1 {
+                            return Err(CsqError::Exec(format!(
+                                "naive execution expected 1 result, got {}",
+                                rows.len()
+                            )));
+                        }
+                        rows.pop().unwrap()
+                    }
+                    Response::Error(msg) => {
+                        return Err(CsqError::Client(format!(
+                            "client-site failure: {msg}"
+                        )))
+                    }
+                };
+                if self.use_cache {
+                    self.cache.insert(key, result.clone());
+                }
+                Ok(Some(row.join(&result)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_client::{spawn_client, ClientRuntime};
+    use csq_common::{Blob, DataType, Field, Value};
+    use csq_exec::RowsOp;
+    use csq_expr::{BinaryOp, PhysExpr};
+    use csq_net::in_memory_duplex;
+    use std::sync::Arc;
+
+    fn runtime() -> Arc<ClientRuntime> {
+        use csq_client::synthetic::{ObjectUdf, PredicateUdf};
+        let rt = ClientRuntime::new();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 16))).unwrap();
+        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5))).unwrap();
+        Arc::new(rt)
+    }
+
+    fn input_schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("R", "Id", DataType::Int),
+            Field::qualified("R", "Arg", DataType::Blob),
+        ])
+    }
+
+    fn rows(n: usize, distinct: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Blob(Blob::synthetic(40, (i % distinct) as u64)),
+                ])
+            })
+            .collect()
+    }
+
+    fn analyze_app() -> UdfApplication {
+        UdfApplication::new("Analyze", vec![1], Field::new("result", DataType::Blob))
+    }
+
+    fn run_semijoin(spec: SemiJoinSpec, data: Vec<Row>) -> Result<Vec<Row>> {
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+        let input = Box::new(RowsOp::new(input_schema(), data));
+        let mut op = ThreadedSemiJoin::new(input, spec, server)?;
+        let out = collect(&mut op);
+        drop(op);
+        let _ = handle.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn semijoin_produces_one_output_per_input() {
+        let out = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 5), rows(20, 20)).unwrap();
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.value(0), &Value::Int(i as i64), "input order preserved");
+            assert_eq!(r.value(2).as_blob().unwrap().len(), 16);
+        }
+    }
+
+    #[test]
+    fn semijoin_deduplicates_arguments() {
+        let rt = runtime();
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(rt.clone(), client);
+        let input = Box::new(RowsOp::new(input_schema(), rows(30, 3)));
+        let mut op =
+            ThreadedSemiJoin::new(input, SemiJoinSpec::new(vec![analyze_app()], 4), server)
+                .unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 30);
+        assert_eq!(rt.invocations(), 3, "only distinct arguments shipped");
+        // 1 install + 3 argument messages + finish.
+        assert_eq!(stats.down_messages(), 5);
+        // Duplicates share results.
+        assert_eq!(out[0].value(2), out[3].value(2));
+    }
+
+    #[test]
+    fn semijoin_sorted_mode_matches_unsorted_results() {
+        let data = rows(24, 6);
+        let mut a = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 4), data.clone()).unwrap();
+        let mut spec = SemiJoinSpec::new(vec![analyze_app()], 4);
+        spec.sorted = true;
+        let mut b = run_semijoin(spec, data).unwrap();
+        let key = |r: &Row| format!("{r}");
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn semijoin_batched_messages() {
+        let rt = runtime();
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(rt, client);
+        let mut spec = SemiJoinSpec::new(vec![analyze_app()], 8);
+        spec.batch_size = 4;
+        let input = Box::new(RowsOp::new(input_schema(), rows(16, 16)));
+        let mut op = ThreadedSemiJoin::new(input, spec, server).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 16);
+        // 1 install + 4 batches + finish.
+        assert_eq!(stats.down_messages(), 6);
+    }
+
+    #[test]
+    fn semijoin_concurrency_one_still_completes() {
+        let out = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 1), rows(10, 10)).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn client_join_filters_at_client() {
+        let rt = runtime();
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(rt, client);
+        let keep = UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool));
+        let mut spec = ClientJoinSpec::new(vec![keep]);
+        spec.pushed_predicate = Some(PhysExpr::Binary {
+            left: Box::new(PhysExpr::Column(2)),
+            op: BinaryOp::Eq,
+            right: Box::new(PhysExpr::Literal(Value::Bool(true))),
+        });
+        spec.return_cols = Some(vec![0, 2]);
+        let input = Box::new(RowsOp::new(input_schema(), rows(100, 100)));
+        let mut op = ThreadedClientJoin::new(input, spec, server).unwrap();
+        assert_eq!(op.schema().len(), 2);
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert!(!out.is_empty() && out.len() < 100);
+        for r in &out {
+            assert_eq!(r.value(1), &Value::Bool(true));
+        }
+    }
+
+    #[test]
+    fn client_join_ships_duplicates_but_caches_invocations() {
+        let rt = runtime();
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(rt.clone(), client);
+        let mut spec = ClientJoinSpec::new(vec![analyze_app()]);
+        spec.sort_on_args = true;
+        spec.client_cache = true;
+        let input = Box::new(RowsOp::new(input_schema(), rows(30, 3)));
+        let mut op = ThreadedClientJoin::new(input, spec, server).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 30);
+        // All 30 records cross the network (no transfer dedup)...
+        assert_eq!(stats.down_messages(), 32); // install + 30 batches + finish
+        // ...but the client invoked each distinct argument only once.
+        assert_eq!(rt.invocations(), 3);
+        assert_eq!(rt.cache_hits(), 27);
+    }
+
+    #[test]
+    fn naive_blocking_roundtrips() {
+        let rt = runtime();
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(rt.clone(), client);
+        let input = Box::new(RowsOp::new(input_schema(), rows(12, 4)));
+        let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, true).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 12);
+        assert_eq!(rt.invocations(), 4, "cache eliminates duplicate calls");
+        // install + 4 round trips + finish.
+        assert_eq!(stats.down_messages(), 6);
+        assert_eq!(stats.up_messages(), 4);
+    }
+
+    #[test]
+    fn naive_without_cache_reinvokes() {
+        let rt = runtime();
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(rt.clone(), client);
+        let input = Box::new(RowsOp::new(input_schema(), rows(12, 4)));
+        let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, false).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 12);
+        assert_eq!(rt.invocations(), 12);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let data = rows(25, 5);
+        let sj = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 6), data.clone()).unwrap();
+
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+        let input = Box::new(RowsOp::new(input_schema(), data.clone()));
+        let mut op =
+            ThreadedClientJoin::new(input, ClientJoinSpec::new(vec![analyze_app()]), server)
+                .unwrap();
+        let csj = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+        let input = Box::new(RowsOp::new(input_schema(), data));
+        let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, true).unwrap();
+        let naive = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+
+        assert_eq!(sj, csj);
+        assert_eq!(sj, naive);
+    }
+
+    #[test]
+    fn early_drop_of_receiver_shuts_pipeline_down() {
+        // LIMIT-style early termination: dropping the operator must not hang.
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(runtime(), client);
+        let input = Box::new(RowsOp::new(input_schema(), rows(50, 50)));
+        let mut op =
+            ThreadedSemiJoin::new(input, SemiJoinSpec::new(vec![analyze_app()], 2), server)
+                .unwrap();
+        let first = op.next().unwrap().unwrap();
+        assert_eq!(first.value(0), &Value::Int(0));
+        drop(op);
+        let _ = handle.join().unwrap();
+    }
+
+    #[test]
+    fn grouped_udfs_ship_argument_union_once() {
+        let rt = runtime();
+        let (server, client, _) = in_memory_duplex();
+        let handle = spawn_client(rt.clone(), client);
+        let apps = vec![
+            analyze_app(),
+            UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool)),
+        ];
+        let input = Box::new(RowsOp::new(input_schema(), rows(10, 10)));
+        let mut op = ThreadedSemiJoin::new(input, SemiJoinSpec::new(apps, 4), server).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].len(), 4); // id, arg, analyze result, keep result
+        assert_eq!(rt.invocations(), 20); // two UDFs × 10 distinct args
+    }
+}

@@ -1,0 +1,171 @@
+//! Pipeline auto-tuning: choosing the concurrency factor at runtime.
+//!
+//! §3.1.2 derives the optimal buffer size analytically (`bandwidth ×
+//! round-trip time`, in tuples), but a real deployment rarely knows its
+//! link parameters a priori — a modem, a multiplexed cable segment, and a
+//! LAN differ by orders of magnitude. [`ConcurrencyTuner`] estimates the
+//! bandwidth-delay product *online* from observed per-message round trips
+//! and converges on the paper's optimum without configuration.
+//!
+//! The estimator is deliberately simple and fully deterministic given its
+//! inputs (no clocks of its own), so both the threaded engine (feeding it
+//! wall-clock observations) and simulations (feeding virtual times) can use
+//! it — and tests can drive it directly.
+
+use csq_net::SimTime;
+
+/// Online estimator of the optimal pipeline concurrency factor.
+///
+/// Feed it one observation per message round trip: the payload sizes and
+/// the observed one-way/round-trip times. It maintains exponentially
+/// weighted estimates of per-byte service time and fixed latency, and
+/// recommends `ceil(total_time / service_time)` — the §3.1.2 rule.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyTuner {
+    /// EWMA smoothing factor in (0,1]; higher = more reactive.
+    alpha: f64,
+    /// Estimated service time per tuple at the bottleneck resource, µs.
+    service_us: Option<f64>,
+    /// Estimated end-to-end pipeline time per tuple, µs.
+    total_us: Option<f64>,
+    /// Bounds for the recommendation.
+    min_k: usize,
+    max_k: usize,
+    observations: u64,
+}
+
+impl Default for ConcurrencyTuner {
+    fn default() -> Self {
+        ConcurrencyTuner::new(0.25, 1, 1024)
+    }
+}
+
+impl ConcurrencyTuner {
+    /// Create a tuner with smoothing `alpha` and recommendation bounds.
+    pub fn new(alpha: f64, min_k: usize, max_k: usize) -> ConcurrencyTuner {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(min_k >= 1 && max_k >= min_k);
+        ConcurrencyTuner {
+            alpha,
+            service_us: None,
+            total_us: None,
+            min_k,
+            max_k,
+            observations: 0,
+        }
+    }
+
+    /// Record one round trip: `service_us` is the bottleneck occupancy the
+    /// message caused (its transmission time on the slower link, or the
+    /// client compute time if larger); `total_us` is submission-to-result
+    /// time.
+    pub fn observe(&mut self, service_us: SimTime, total_us: SimTime) {
+        let (s, t) = (service_us.max(1) as f64, total_us.max(1) as f64);
+        self.service_us = Some(match self.service_us {
+            None => s,
+            Some(old) => old + self.alpha * (s - old),
+        });
+        self.total_us = Some(match self.total_us {
+            None => t,
+            Some(old) => old + self.alpha * (t - old),
+        });
+        self.observations += 1;
+    }
+
+    /// Number of observations so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The current recommendation: `ceil(total / service)`, clamped to the
+    /// configured bounds; `min_k` until the first observation.
+    pub fn recommend(&self) -> usize {
+        match (self.service_us, self.total_us) {
+            (Some(s), Some(t)) if s > 0.0 => {
+                let k = (t / s).ceil() as usize;
+                k.clamp(self.min_k, self.max_k)
+            }
+            _ => self.min_k,
+        }
+    }
+
+    /// Convenience: derive an initial recommendation from a known network
+    /// spec and message sizes (the analytic §3.1.2 answer), then refine
+    /// online.
+    pub fn seeded(
+        net: &csq_net::NetworkSpec,
+        arg_msg_bytes: usize,
+        result_msg_bytes: usize,
+        client_us: u64,
+    ) -> (ConcurrencyTuner, usize) {
+        let k = csq_cost::optimal_concurrency(net, arg_msg_bytes, result_msg_bytes, client_us);
+        (ConcurrencyTuner::default(), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_net::NetworkSpec;
+
+    #[test]
+    fn converges_to_analytic_optimum() {
+        // Modem: 1000-byte messages each way. Analytic optimum from the
+        // cost model:
+        let net = NetworkSpec::modem_28_8();
+        let analytic = csq_cost::optimal_concurrency(&net, 1000, 1000, 0);
+
+        // Feed the tuner what the link would actually exhibit: service =
+        // one message transmission (1000/3600 s), total = down tx + down
+        // latency + up tx + up latency.
+        let tx = (1000.0 / net.down_bandwidth * 1e6) as u64;
+        let total = tx + net.down_latency + tx + net.up_latency;
+        let mut tuner = ConcurrencyTuner::default();
+        for _ in 0..20 {
+            tuner.observe(tx, total);
+        }
+        let k = tuner.recommend();
+        assert!(
+            (k as i64 - analytic as i64).abs() <= 1,
+            "tuner {k} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn adapts_when_conditions_change() {
+        let mut tuner = ConcurrencyTuner::new(0.5, 1, 1024);
+        // Fast LAN: tiny RTT, service-dominated → K stays small.
+        for _ in 0..10 {
+            tuner.observe(100, 150);
+        }
+        assert!(tuner.recommend() <= 2, "{}", tuner.recommend());
+        // Link degrades to high latency → K grows.
+        for _ in 0..20 {
+            tuner.observe(100, 5_000);
+        }
+        assert!(tuner.recommend() >= 30, "{}", tuner.recommend());
+    }
+
+    #[test]
+    fn respects_bounds_and_cold_start() {
+        let tuner = ConcurrencyTuner::new(0.2, 4, 16);
+        assert_eq!(tuner.recommend(), 4, "cold start uses min_k");
+        let mut tuner = ConcurrencyTuner::new(0.2, 4, 16);
+        tuner.observe(1, 1_000_000);
+        assert_eq!(tuner.recommend(), 16, "clamped to max_k");
+        assert_eq!(tuner.observations(), 1);
+    }
+
+    #[test]
+    fn seeded_matches_cost_model() {
+        let net = NetworkSpec::modem_28_8();
+        let (_, k) = ConcurrencyTuner::seeded(&net, 500, 500, 0);
+        assert_eq!(k, csq_cost::optimal_concurrency(&net, 500, 500, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        let _ = ConcurrencyTuner::new(0.0, 1, 8);
+    }
+}

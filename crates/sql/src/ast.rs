@@ -1,0 +1,55 @@
+//! Statement-level AST produced by the parser.
+
+use csq_common::DataType;
+use csq_expr::Expr;
+
+/// A table reference in FROM: `name [alias]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub name: String,
+    /// Alias (defaults to the table name when omitted).
+    pub alias: String,
+}
+
+/// One SELECT item: an expression with an optional output alias, or `*`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of the FROM product.
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (implicit cross product, constrained by WHERE).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate, if any.
+    pub where_clause: Option<Expr>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions in order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `INSERT INTO name VALUES (..), (..)` — values must be literals
+    /// (possibly signed numbers).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literal expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// A SELECT query.
+    Select(SelectStmt),
+}

@@ -1,0 +1,331 @@
+//! SQL lexer.
+
+use csq_common::{CsqError, Result};
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `src` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_simple(&mut tokens, TokenKind::LParen, start, &mut i),
+            ')' => push_simple(&mut tokens, TokenKind::RParen, start, &mut i),
+            ',' => push_simple(&mut tokens, TokenKind::Comma, start, &mut i),
+            '.' => push_simple(&mut tokens, TokenKind::Dot, start, &mut i),
+            '*' => push_simple(&mut tokens, TokenKind::Star, start, &mut i),
+            '+' => push_simple(&mut tokens, TokenKind::Plus, start, &mut i),
+            '-' => push_simple(&mut tokens, TokenKind::Minus, start, &mut i),
+            '/' => push_simple(&mut tokens, TokenKind::Slash, start, &mut i),
+            ';' => push_simple(&mut tokens, TokenKind::Semicolon, start, &mut i),
+            '=' => push_simple(&mut tokens, TokenKind::Eq, start, &mut i),
+            '<' => {
+                i += 1;
+                let kind = if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    TokenKind::LtEq
+                } else if i < bytes.len() && bytes[i] == b'>' {
+                    i += 1;
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Lt
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '>' => {
+                i += 1;
+                let kind = if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '!' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
+                } else {
+                    return Err(err_at(src, start, "expected '=' after '!'"));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err_at(src, start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Strings are UTF-8; copy byte-wise (valid since src is str).
+                    let ch_len = utf8_len(bytes[i]);
+                    s.push_str(&src[i..i + ch_len]);
+                    i += ch_len;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && (bytes[end + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                    let mut j = end + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                        end = j;
+                    }
+                }
+                let text = &src[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| err_at(src, start, &format!("bad float: {e}")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| err_at(src, start, &format!("bad integer: {e}")))?,
+                    )
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let c = bytes[end] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(err_at(src, start, &format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+fn push_simple(tokens: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize) {
+    *i += 1;
+    tokens.push(Token { kind, offset: start });
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Build a parse error showing line/column.
+pub fn err_at(src: &str, offset: usize, msg: &str) -> CsqError {
+    let clamped = offset.min(src.len());
+    let prefix = &src[..clamped];
+    let line = prefix.matches('\n').count() + 1;
+    let col = clamped - prefix.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+    CsqError::Parse(format!("line {line}, column {col}: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query_tokens() {
+        let ks = kinds("SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 500");
+        assert!(ks.contains(&TokenKind::Ident("ClientAnalysis".into())));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert!(ks.contains(&TokenKind::Int(500)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(
+            kinds("1 2.5 0.2 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(0.2),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_reference_is_ident_dot_ident() {
+        assert_eq!(
+            kinds("S.Close"),
+            vec![
+                TokenKind::Ident("S".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("Close".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            kinds("'it''s' 'héllo'"),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("héllo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- this is a comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        let e = tokenize("SELECT 'oops").unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        assert!(e.message().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

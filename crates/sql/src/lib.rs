@@ -1,0 +1,22 @@
+//! # csq-sql — SQL front end
+//!
+//! A hand-written lexer and recursive-descent parser for the SQL subset the
+//! paper's queries use:
+//!
+//! ```sql
+//! CREATE TABLE StockQuotes (Name STRING, Close FLOAT, Quotes BLOB);
+//! INSERT INTO StockQuotes VALUES ('acme', 100.0, NULL);
+//! SELECT S.Name, S.Report
+//! FROM   StockQuotes S
+//! WHERE  S.Change / S.Close > 0.2 AND ClientAnalysis(S.Quotes) > 500;
+//! ```
+//!
+//! UDF calls parse as ordinary function-call expressions; whether a function
+//! is client-site is resolved later against the function registry.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{SelectStmt, Statement, TableRef};
+pub use parser::{parse_expression, parse_statement, parse_statements};

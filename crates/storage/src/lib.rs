@@ -1,0 +1,357 @@
+//! # csq-storage — in-memory tables and the server catalog
+//!
+//! The paper's experiments run over small in-memory relations (100 rows of
+//! sized data objects); this crate provides exactly that substrate: typed
+//! heap [`Table`]s with insert-time type checking, and a thread-safe
+//! [`Catalog`] mapping case-insensitive names to tables.
+//!
+//! Tables are snapshot-scanned: a scan observes the rows present when it
+//! started, never a torn state, which keeps the threaded shipping strategies
+//! race-free without operator-level locking.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use csq_common::{CsqError, DataType, Field, Result, Row, Schema, Value};
+
+/// A named, typed, in-memory relation.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: RwLock<Vec<Row>>,
+}
+
+impl Table {
+    /// Create an empty table. Field names must be non-empty and unique
+    /// (case-insensitive).
+    pub fn new(name: impl Into<String>, schema: Schema) -> Result<Table> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(CsqError::Catalog("table name must be non-empty".into()));
+        }
+        let mut seen = HashMap::new();
+        for f in schema.fields() {
+            if f.name.is_empty() {
+                return Err(CsqError::Catalog(format!(
+                    "table '{name}': column names must be non-empty"
+                )));
+            }
+            if seen
+                .insert(f.name.to_ascii_lowercase(), ())
+                .is_some()
+            {
+                return Err(CsqError::Catalog(format!(
+                    "table '{name}': duplicate column '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Table {
+            name,
+            schema,
+            rows: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema (fields are unqualified; scans qualify them with
+    /// the table alias).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a row, checking arity and types (NULL fits any column).
+    pub fn insert(&self, row: Row) -> Result<()> {
+        self.typecheck(&row)?;
+        self.rows.write().push(row);
+        Ok(())
+    }
+
+    /// Insert many rows; all-or-nothing on type errors.
+    pub fn insert_all(&self, rows: Vec<Row>) -> Result<()> {
+        for r in &rows {
+            self.typecheck(r)?;
+        }
+        self.rows.write().extend(rows);
+        Ok(())
+    }
+
+    fn typecheck(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(CsqError::Type(format!(
+                "table '{}': expected {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                let expected = self.schema.field(i).dtype;
+                if !expected.accepts(dt) {
+                    return Err(CsqError::Type(format!(
+                        "table '{}', column '{}': expected {}, got {}",
+                        self.name,
+                        self.schema.field(i).name,
+                        expected,
+                        dt
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+
+    /// A consistent snapshot of all rows (cheap: values are refcounted).
+    pub fn snapshot(&self) -> Vec<Row> {
+        self.rows.read().clone()
+    }
+
+    /// Average wire size of a row, in bytes — the paper's `I` for this table.
+    /// Returns 0.0 for an empty table.
+    pub fn avg_row_wire_size(&self) -> f64 {
+        let rows = self.rows.read();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.wire_size() as f64).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Fraction of distinct values in the given columns — the paper's `D`
+    /// for a UDF whose argument columns are `cols`. Returns 1.0 when empty.
+    pub fn distinct_fraction(&self, cols: &[usize]) -> f64 {
+        let rows = self.rows.read();
+        if rows.is_empty() {
+            return 1.0;
+        }
+        let mut set = std::collections::HashSet::new();
+        for r in rows.iter() {
+            set.insert(r.project(cols));
+        }
+        set.len() as f64 / rows.len() as f64
+    }
+}
+
+/// Convenience builder used by tests and workload generators.
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    rows: Vec<Row>,
+}
+
+impl TableBuilder {
+    /// Start a builder for table `name`.
+    pub fn new(name: impl Into<String>) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a column.
+    pub fn column(mut self, name: &str, dtype: DataType) -> TableBuilder {
+        self.fields.push(Field::new(name, dtype));
+        self
+    }
+
+    /// Add a row of values.
+    pub fn row(mut self, values: Vec<Value>) -> TableBuilder {
+        self.rows.push(Row::new(values));
+        self
+    }
+
+    /// Build the table, inserting all rows.
+    pub fn build(self) -> Result<Table> {
+        let t = Table::new(self.name, Schema::new(self.fields))?;
+        t.insert_all(self.rows)?;
+        Ok(t)
+    }
+}
+
+/// The server catalog: case-insensitive table name → table.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table; errors if a table with the same name exists.
+    pub fn register(&self, table: Table) -> Result<Arc<Table>> {
+        let key = table.name().to_ascii_lowercase();
+        let arc = Arc::new(table);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(CsqError::Catalog(format!(
+                "table '{}' already exists",
+                arc.name()
+            )));
+        }
+        tables.insert(key, arc.clone());
+        Ok(arc)
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| CsqError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| CsqError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Names of all registered tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.name().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::Blob;
+
+    fn stock_table() -> Table {
+        TableBuilder::new("StockQuotes")
+            .column("Name", DataType::Str)
+            .column("Close", DataType::Float)
+            .column("Quotes", DataType::Blob)
+            .row(vec![
+                Value::from("acme"),
+                Value::Float(100.0),
+                Value::Blob(Blob::synthetic(50, 1)),
+            ])
+            .row(vec![
+                Value::from("globex"),
+                Value::Float(42.0),
+                Value::Blob(Blob::synthetic(50, 2)),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_snapshot() {
+        let t = stock_table();
+        assert_eq!(t.len(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].value(0), &Value::from("acme"));
+    }
+
+    #[test]
+    fn insert_typechecks_arity_and_types() {
+        let t = stock_table();
+        let short = Row::new(vec![Value::from("x")]);
+        assert_eq!(t.insert(short).unwrap_err().kind(), "type");
+        let wrong = Row::new(vec![Value::Int(1), Value::Float(1.0), Value::Int(2)]);
+        assert_eq!(t.insert(wrong).unwrap_err().kind(), "type");
+        assert_eq!(t.len(), 2, "failed inserts must not mutate");
+    }
+
+    #[test]
+    fn int_widens_to_float_on_insert() {
+        let t = stock_table();
+        t.insert(Row::new(vec![
+            Value::from("initech"),
+            Value::Int(7),
+            Value::Blob(Blob::synthetic(10, 3)),
+        ]))
+        .unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn null_fits_any_column() {
+        let t = stock_table();
+        t.insert(Row::new(vec![Value::Null, Value::Null, Value::Null]))
+            .unwrap();
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .column("A", DataType::Int)
+            .build();
+        assert_eq!(r.unwrap_err().kind(), "catalog");
+    }
+
+    #[test]
+    fn avg_row_wire_size() {
+        let t = TableBuilder::new("t")
+            .column("x", DataType::Blob)
+            .row(vec![Value::Blob(Blob::synthetic(95, 1))])
+            .row(vec![Value::Blob(Blob::synthetic(195, 2))])
+            .build()
+            .unwrap();
+        // Blob wire size = 5 + len → 100 and 200.
+        assert!((t.avg_row_wire_size() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_fraction_counts_argument_duplicates() {
+        let t = TableBuilder::new("t")
+            .column("arg", DataType::Int)
+            .column("other", DataType::Int)
+            .row(vec![Value::Int(1), Value::Int(10)])
+            .row(vec![Value::Int(1), Value::Int(20)])
+            .row(vec![Value::Int(2), Value::Int(30)])
+            .row(vec![Value::Int(2), Value::Int(40)])
+            .build()
+            .unwrap();
+        assert!((t.distinct_fraction(&[0]) - 0.5).abs() < 1e-9);
+        assert!((t.distinct_fraction(&[0, 1]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_register_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.register(stock_table()).unwrap();
+        assert!(c.get("stockquotes").is_ok());
+        assert!(c.get("STOCKQUOTES").is_ok());
+        assert_eq!(c.get("nope").unwrap_err().kind(), "catalog");
+        assert_eq!(c.register(stock_table()).unwrap_err().kind(), "catalog");
+        assert_eq!(c.table_names(), vec!["StockQuotes".to_string()]);
+        c.drop_table("StockQuotes").unwrap();
+        assert!(c.get("StockQuotes").is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Safe execution of *untrusted* client extensions — the [GMHE98]/[CSM98]
+//! angle of the paper. UDFs written for the sandboxed stack VM run under
+//! fuel, stack, and allocation limits: a runaway or hostile extension is
+//! terminated without harming the host or the query session.
+//!
+//! ```sh
+//! cargo run --example sandboxed_udf
+//! ```
+
+use std::sync::Arc;
+
+use csq::Database;
+use csq_client::vm::{assemble, VmLimits, VmUdf};
+use csq_common::{Blob, DataType, Value};
+use csq_net::NetworkSpec;
+use csq_storage::TableBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new(NetworkSpec::lan());
+
+    let mut t = TableBuilder::new("Docs")
+        .column("Id", DataType::Int)
+        .column("Body", DataType::Blob);
+    for i in 0..8i64 {
+        t = t.row(vec![
+            Value::Int(i),
+            Value::Blob(Blob::synthetic((100 * (i as usize + 1)) % 700, i as u64)),
+        ]);
+    }
+    db.catalog().register(t.build()?)?;
+
+    // A well-behaved VM UDF: "is this document big?" — the Figure 1 idea
+    // (ClientAnalysis(blob) compared to a threshold) written in VM assembly.
+    let big_doc = assemble(
+        "load_arg 0    -- the document blob\n\
+         blob_len\n\
+         push_int 400\n\
+         gt\n\
+         ret",
+    )?;
+    db.register_udf(Arc::new(VmUdf::new(
+        "IsBigDoc",
+        vec![DataType::Blob],
+        DataType::Bool,
+        big_doc,
+    )))?;
+
+    let out = db.execute("SELECT D.Id FROM Docs D WHERE IsBigDoc(D.Body)")?;
+    println!("big documents: {} of 8", out.rows.len());
+
+    // A hostile UDF: infinite loop. The fuel limit terminates it and the
+    // error surfaces as an ordinary query failure — the server, the client
+    // runtime, and subsequent queries are unaffected.
+    let hostile = assemble("spin:\njump spin")?;
+    db.register_udf(Arc::new(
+        VmUdf::new("Hostile", vec![DataType::Blob], DataType::Bool, hostile).with_limits(
+            VmLimits {
+                fuel: 100_000,
+                stack: 64,
+                alloc_bytes: 1 << 20,
+            },
+        ),
+    ))?;
+    let err = db
+        .execute("SELECT D.Id FROM Docs D WHERE Hostile(D.Body)")
+        .unwrap_err();
+    println!("hostile UDF terminated: {err}");
+
+    // A memory bomb: blob allocations beyond the cap are refused.
+    let bomb = assemble(
+        "push_int 1000000000\n\
+         push_int 1\n\
+         blob_fill\n\
+         ret",
+    )?;
+    db.register_udf(Arc::new(
+        VmUdf::new("Bomb", vec![DataType::Blob], DataType::Blob, bomb).with_limits(VmLimits {
+            fuel: u64::MAX,
+            stack: 64,
+            alloc_bytes: 1 << 20,
+        }),
+    ))?;
+    let err = db
+        .execute("SELECT Bomb(D.Body) FROM Docs D")
+        .unwrap_err();
+    println!("memory bomb refused:   {err}");
+
+    // The session is still healthy.
+    let out = db.execute("SELECT D.Id FROM Docs D WHERE IsBigDoc(D.Body)")?;
+    println!("session still works: {} big documents", out.rows.len());
+    Ok(())
+}

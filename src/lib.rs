@@ -1,0 +1,2 @@
+//! Facade crate: re-exports the public API of the workspace.
+pub use csq_core::*;

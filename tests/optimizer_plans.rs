@@ -1,0 +1,313 @@
+//! §5 optimizer scenarios: the plan-shape choices of Figures 12 and 13 as
+//! network/workload parameters vary, plus the rank-order baseline ablation.
+
+use csq_common::{DataType, Field, Schema};
+use csq_net::NetworkSpec;
+use csq_opt::{
+    optimize, rank_order_baseline, OptContext, PlanNode, TableStats, UdfMeta, UdfStrategy,
+};
+use csq_sql::{parse_statement, Statement};
+
+fn select(sql: &str) -> csq_sql::SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Select(s) => s,
+        _ => unreachable!(),
+    }
+}
+
+/// The Figure 11 environment: StockQuotes (big Quotes blobs) ⋈ Estimations.
+fn fig11_ctx(net: NetworkSpec) -> OptContext {
+    let mut ctx = OptContext::new(net);
+    ctx.add_table(
+        "StockQuotes",
+        TableStats {
+            schema: Schema::new(vec![
+                Field::new("Name", DataType::Str),
+                Field::new("Quotes", DataType::Blob),
+                Field::new("FuturePrices", DataType::Blob),
+            ]),
+            rows: 100.0,
+            row_bytes: 2025.0,
+            col_bytes: vec![25.0, 1000.0, 1000.0],
+        },
+    );
+    ctx.add_table(
+        "Estimations",
+        TableStats {
+            schema: Schema::new(vec![
+                Field::new("CompanyName", DataType::Str),
+                Field::new("BrokerName", DataType::Str),
+                Field::new("Rating", DataType::Int),
+            ]),
+            rows: 1000.0,
+            row_bytes: 59.0,
+            col_bytes: vec![25.0, 25.0, 9.0],
+        },
+    );
+    ctx
+}
+
+const FIG11: &str = "SELECT S.Name, E.BrokerName \
+                     FROM StockQuotes S, Estimations E \
+                     WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating";
+
+fn udf_strategies(plan: &PlanNode) -> Vec<UdfStrategy> {
+    plan.udf_applications()
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
+}
+
+#[test]
+fn small_results_pick_semijoin() {
+    // Tiny results, symmetric fast-ish network: the semi-join ships only
+    // 1000-byte argument blobs + 9-byte results; shipping whole records
+    // (CSJ) cannot win.
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(9.0)
+            .with_selectivity(0.001),
+    );
+    let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let strategies = udf_strategies(&plan.root);
+    assert_eq!(strategies.len(), 1);
+    assert!(
+        matches!(strategies[0], UdfStrategy::SemiJoin { .. }),
+        "{}",
+        plan.root.explain(&g)
+    );
+}
+
+#[test]
+fn huge_results_on_slow_uplink_pick_client_join_with_pushdown() {
+    // 50 KB results over a 28.8k uplink with a selective predicate: the
+    // client-site join pushes `ClientAnalysis(S.Quotes) = E.Rating` and
+    // ships only survivors; the semi-join must return every huge result.
+    let mut ctx = fig11_ctx(NetworkSpec::cable_asymmetric());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(50_000.0)
+            .with_selectivity(0.01),
+    );
+    let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let strategies = udf_strategies(&plan.root);
+    // Any uplink-avoiding strategy qualifies: a client-site join with the
+    // predicate pushed, or a semi-join that leaves the huge results at the
+    // client and filters on delivery (the optimizer may find the latter,
+    // which is strictly better — it also dedups arguments).
+    let explain = plan.root.explain(&g);
+    let avoids_uplink = strategies.iter().any(|s| {
+        matches!(
+            s,
+            UdfStrategy::ClientJoin { pushed_preds, .. } if !pushed_preds.is_empty()
+        ) || matches!(
+            s,
+            UdfStrategy::SemiJoin {
+                leave_on_client: true
+            } | UdfStrategy::ClientJoin {
+                merged_with_final: true,
+                ..
+            }
+        )
+    });
+    assert!(avoids_uplink, "{explain}");
+    // And it must beat the plain return-everything baseline decisively.
+    let base = rank_order_baseline(&g, &ctx).unwrap();
+    assert!(
+        plan.cost_seconds < base.cost_seconds * 0.2,
+        "full {} vs baseline {}\n{explain}",
+        plan.cost_seconds,
+        base.cost_seconds
+    );
+}
+
+#[test]
+fn selective_join_places_udf_after_join() {
+    // Fig 12(b): "the number of tuples and/or the number of distinct
+    // argument tuples in the relation might be reduced by the join". Here a
+    // selective broker filter plus the equi-join leaves ~10 of 100 stocks,
+    // so applying the UDF after the join ships far fewer argument blobs.
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(9.0)
+            .with_selectivity(0.5),
+    );
+    let sql = "SELECT S.Name, E.BrokerName \
+               FROM StockQuotes S, Estimations E \
+               WHERE S.Name = E.CompanyName AND E.BrokerName = 'goldman' \
+                 AND ClientAnalysis(S.Quotes) = E.Rating";
+    let g = csq_opt::query::extract(&select(sql), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    // Find the UDF unit index.
+    let udf_unit = g.n_rels; // first UDF unit
+    assert!(
+        plan.root.udf_after_join(udf_unit),
+        "{}",
+        plan.root.explain(&g)
+    );
+}
+
+#[test]
+fn exploding_join_keeps_semijoin_insensitive() {
+    // §5's point (b): client-site joins are duplicate-sensitive, semi-joins
+    // are not. After a row-multiplying join (10 estimations per company),
+    // the optimizer must not pick a client-site join that ships every
+    // duplicated record when the semi-join dedups arguments.
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(500.0)
+            .with_selectivity(0.3),
+    );
+    let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    // Whatever the placement, a duplicate-blind whole-record CSJ after the
+    // exploding join must not be chosen over the dedup'ing semi-join.
+    let after_join_csj = plan
+        .root
+        .udf_applications()
+        .iter()
+        .any(|(u, s)| {
+            matches!(s, UdfStrategy::ClientJoin { .. }) && plan.root.udf_after_join(*u)
+        });
+    assert!(!after_join_csj, "{}", plan.root.explain(&g));
+}
+
+#[test]
+fn final_merge_or_leave_chosen_when_output_is_udf_result() {
+    // Fig 12(d): the query returns the UDF result itself; with no further
+    // server-site operation the optimizer should avoid returning results
+    // (client-join merged with final, or semi-join leaving them at the
+    // client) when results are big.
+    let mut ctx = fig11_ctx(NetworkSpec::cable_asymmetric());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(20_000.0)
+            .with_selectivity(1.0),
+    );
+    let sql = "SELECT S.Name, ClientAnalysis(S.Quotes) FROM StockQuotes S";
+    let g = csq_opt::query::extract(&select(sql), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    let merged = udf_strategies(&plan.root).iter().any(|s| {
+        matches!(
+            s,
+            UdfStrategy::ClientJoin {
+                merged_with_final: true,
+                ..
+            } | UdfStrategy::SemiJoin {
+                leave_on_client: true
+            }
+        )
+    });
+    assert!(merged, "{explain}");
+    // The Final node should report client-resident output columns.
+    assert!(explain.contains("already at client"), "{explain}");
+}
+
+#[test]
+fn shared_argument_udfs_group_on_client() {
+    // Fig 13: ClientAnalysis(S.Quotes) and Volatility(S.Quotes,
+    // S.FuturePrices) share the Quotes argument. The optimizer should pick
+    // a plan where the second client-site op reuses client-resident
+    // arguments (a leave-on-client step followed by a free-downlink step).
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(9.0)
+            .with_selectivity(1.0),
+    );
+    ctx.add_udf(
+        UdfMeta::client(
+            "Volatility",
+            vec![DataType::Blob, DataType::Blob],
+            DataType::Float,
+        )
+        .with_result_bytes(9.0),
+    );
+    let sql = "SELECT S.Name, ClientAnalysis(S.Quotes), Volatility(S.Quotes, S.FuturePrices) \
+               FROM StockQuotes S";
+    let g = csq_opt::query::extract(&select(sql), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(
+        explain.contains("leave-on-client") || explain.contains("merged with final"),
+        "expected grouped client-site execution:\n{explain}"
+    );
+}
+
+#[test]
+fn rank_order_baseline_never_cheaper_and_sometimes_much_worse() {
+    let configs = [
+        (9.0, 0.5, NetworkSpec::modem_28_8()),
+        (20_000.0, 0.01, NetworkSpec::cable_asymmetric()),
+        (2_000.0, 0.2, NetworkSpec::modem_28_8()),
+    ];
+    let mut strictly_better = 0;
+    for (r, s, net) in configs {
+        let mut ctx = fig11_ctx(net);
+        ctx.add_udf(
+            UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+                .with_result_bytes(r)
+                .with_selectivity(s),
+        );
+        let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+        let full = optimize(&g, &ctx).unwrap();
+        let base = rank_order_baseline(&g, &ctx).unwrap();
+        assert!(
+            full.cost_seconds <= base.cost_seconds + 1e-9,
+            "r={r}, s={s}"
+        );
+        if full.cost_seconds < base.cost_seconds * 0.8 {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 1,
+        "the site-aware optimizer should clearly beat rank ordering somewhere"
+    );
+}
+
+#[test]
+fn plan_search_space_is_exponential_but_bounded() {
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(9.0),
+    );
+    ctx.add_udf(
+        UdfMeta::client(
+            "Volatility",
+            vec![DataType::Blob, DataType::Blob],
+            DataType::Float,
+        )
+        .with_result_bytes(9.0),
+    );
+    let sql = "SELECT S.Name, Volatility(S.Quotes, S.FuturePrices) \
+               FROM StockQuotes S, Estimations E \
+               WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating";
+    let g = csq_opt::query::extract(&select(sql), &ctx).unwrap();
+    assert_eq!(g.n_units(), 4); // 2 rels + 2 UDFs → 2^4 subsets
+    let plan = optimize(&g, &ctx).unwrap();
+    assert!(plan.states_explored > 10);
+    assert!(plan.states_explored < 100_000);
+}
+
+#[test]
+fn explain_is_stable_and_readable() {
+    let mut ctx = fig11_ctx(NetworkSpec::modem_28_8());
+    ctx.add_udf(
+        UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+            .with_result_bytes(9.0),
+    );
+    let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+    let a = optimize(&g, &ctx).unwrap().root.explain(&g);
+    let b = optimize(&g, &ctx).unwrap().root.explain(&g);
+    assert_eq!(a, b, "optimization must be deterministic");
+    assert!(a.contains("Scan"));
+    assert!(a.contains("Final"));
+}

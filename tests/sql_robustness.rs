@@ -1,0 +1,118 @@
+//! SQL front-end robustness: fuzzed inputs never panic, and parse→display
+//! →parse is stable for expression trees.
+
+use proptest::prelude::*;
+
+use csq_expr::{BinaryOp, Expr};
+use csq_sql::{parse_expression, parse_statement, parse_statements};
+
+/// Identifiers must avoid the parser's reserved words (the SQL subset has
+/// no quoted identifiers, matching the paper's queries).
+fn is_reserved(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "select", "from", "where", "and", "or", "not", "as", "create", "table", "insert",
+        "into", "values", "true", "false", "null",
+    ];
+    KW.contains(&s.to_ascii_lowercase().as_str())
+}
+
+fn arb_ident(pattern: &'static str) -> impl Strategy<Value = String> {
+    pattern.prop_filter("identifier collides with keyword", |s: &String| {
+        !is_reserved(s)
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1i64..1000).prop_map(Expr::lit),
+        (0.5f64..100.0).prop_map(Expr::lit),
+        arb_ident("[a-z][a-z0-9]{0,6}").prop_map(|s| Expr::col_bare(&s)),
+        (arb_ident("[A-Z][a-z]{0,6}"), arb_ident("[a-z][a-z0-9]{0,6}"))
+            .prop_map(|(q, c)| Expr::col(&q, &c)),
+        Just(Expr::lit(true)),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
+                a,
+                BinaryOp::Add,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
+                a,
+                BinaryOp::Lt,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::binary(a, BinaryOp::Or, b)),
+            (arb_ident("[A-Z][a-z]{0,5}"), prop::collection::vec(inner, 1..3))
+                .prop_map(|(name, args)| Expr::udf(&name, args)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn display_then_parse_is_identity(e in arb_expr()) {
+        let text = e.to_string();
+        let reparsed = parse_expression(&text).unwrap();
+        // Display adds parentheses, so compare displays (canonical form).
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "[ -~]{0,80}") {
+        let _ = parse_statement(&s);
+        let _ = parse_statements(&s);
+        let _ = parse_expression(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_keyword_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("FROM".to_string()),
+                Just("WHERE".to_string()), Just("AND".to_string()),
+                Just("INSERT".to_string()), Just("VALUES".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just(",".to_string()), Just("*".to_string()),
+                Just("t".to_string()), Just("1".to_string()),
+                Just("'x'".to_string()),
+            ],
+            0..16,
+        )
+    ) {
+        let s = words.join(" ");
+        let _ = parse_statement(&s);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut e = String::from("1");
+    for _ in 0..200 {
+        e = format!("({e} + 1)");
+    }
+    let sql = format!("SELECT {e} FROM t");
+    // Must not stack-overflow; success or graceful error both acceptable.
+    let _ = parse_statement(&sql);
+}
+
+#[test]
+fn statement_display_of_results_and_explain() {
+    use csq_core::Database;
+    use csq_net::NetworkSpec;
+    let db = Database::new(NetworkSpec::lan());
+    db.execute("CREATE TABLE t (a INT, b STRING)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+    let out = db.execute("SELECT t.a AS n, t.b FROM t t").unwrap();
+    let table = out.to_table();
+    assert!(table.contains("n | t.b"), "{table}");
+    assert!(table.contains("1 | 'x'"), "{table}");
+    let plan = db.explain("SELECT t.a FROM t t WHERE t.a = 1").unwrap();
+    assert!(plan.contains("Scan t"), "{plan}");
+    assert!(plan.contains("Filter"), "{plan}");
+}
