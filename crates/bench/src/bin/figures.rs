@@ -43,12 +43,7 @@ fn main() {
     let want = |name: &str| which.is_empty() || which.iter().any(|w| w == name || w == "all");
 
     if want("fig2") {
-        emit(
-            "fig2",
-            &figures::fig2(),
-            "K (0=naive)",
-            "seconds",
-        );
+        emit("fig2", &figures::fig2(), "K (0=naive)", "seconds");
     }
     if want("fig6") {
         emit(
@@ -59,17 +54,35 @@ fn main() {
         );
     }
     if want("fig8") {
-        emit("fig8", &figures::fig8(), "selectivity", "CSJ/SJ relative time");
+        emit(
+            "fig8",
+            &figures::fig8(),
+            "selectivity",
+            "CSJ/SJ relative time",
+        );
     }
     if want("fig9") {
-        emit("fig9", &figures::fig9(), "selectivity", "CSJ/SJ relative time, N=100");
+        emit(
+            "fig9",
+            &figures::fig9(),
+            "selectivity",
+            "CSJ/SJ relative time, N=100",
+        );
     }
     if want("fig10") {
-        emit("fig10", &figures::fig10(), "result bytes", "CSJ/SJ relative time");
+        emit(
+            "fig10",
+            &figures::fig10(),
+            "result bytes",
+            "CSJ/SJ relative time",
+        );
     }
     if want("cost-validation") {
         let rows = figures::cost_validation();
-        let mut text = format!("{:<44} {:>10} {:>10} {:>8}\n", "config", "predicted", "measured", "err%");
+        let mut text = format!(
+            "{:<44} {:>10} {:>10} {:>8}\n",
+            "config", "predicted", "measured", "err%"
+        );
         for (label, p, m) in &rows {
             text.push_str(&format!(
                 "{label:<44} {p:>10.3} {m:>10.3} {:>7.1}%\n",

@@ -9,8 +9,7 @@ use csq_ship::{
 use csq_sql::{parse_statement, Statement};
 
 use crate::workloads::{
-    fig6_app, fig6_rows, fig6_runtime, fig6_schema, fig7_apps, fig7_rows, fig7_runtime,
-    fig7_schema,
+    fig6_app, fig6_rows, fig6_runtime, fig6_schema, fig7_apps, fig7_rows, fig7_runtime, fig7_schema,
 };
 use crate::Series;
 
@@ -174,7 +173,11 @@ pub fn cost_validation() -> Vec<(String, f64, f64)> {
         .with_paper_projection();
         let predicted = csq_cost::relative_time(&params);
         let measured = relative_time(&net, 50, arg, nonarg, 50, s, r);
-        out.push((format!("arg={arg} nonarg={nonarg} S={s} R={r}"), predicted, measured));
+        out.push((
+            format!("arg={arg} nonarg={nonarg} S={s} R={r}"),
+            predicted,
+            measured,
+        ));
     }
     out
 }
@@ -239,7 +242,12 @@ pub fn fig12_plan_space() -> String {
                          FROM StockQuotes S, Estimations E \
                          WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating";
     let configs = [
-        ("modem, 9B results, sel 0.5", NetworkSpec::modem_28_8(), 9.0, 0.5),
+        (
+            "modem, 9B results, sel 0.5",
+            NetworkSpec::modem_28_8(),
+            9.0,
+            0.5,
+        ),
         (
             "cable N=100, 20KB results, sel 0.01",
             NetworkSpec::cable_asymmetric(),
@@ -272,8 +280,7 @@ pub fn fig12_plan_space() -> String {
 
 /// Figures 13/16: semi-join grouping for the two-UDF query.
 pub fn fig13_plan_space() -> String {
-    const FIG13: &str =
-        "SELECT S.Name, E.BrokerName, Volatility(S.Quotes, S.FuturePrices) \
+    const FIG13: &str = "SELECT S.Name, E.BrokerName, Volatility(S.Quotes, S.FuturePrices) \
          FROM StockQuotes S, Estimations E \
          WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating";
     let mut out = String::new();
@@ -349,17 +356,10 @@ pub fn ablate_receiver_join() -> Vec<Series> {
         let rows = fig7_rows(60, 495, 495, distinct);
         let d = distinct as f64 / 60.0;
         let mut spec = SemiJoinSpec::new(vec![udf1.clone(), udf2.clone()], 16);
-        let hash = simulate_semijoin(
-            &schema,
-            rows.clone(),
-            &spec,
-            fig7_runtime(0.5, 1000),
-            &net,
-        )
-        .unwrap();
+        let hash =
+            simulate_semijoin(&schema, rows.clone(), &spec, fig7_runtime(0.5, 1000), &net).unwrap();
         spec.sorted = true;
-        let merge =
-            simulate_semijoin(&schema, rows, &spec, fig7_runtime(0.5, 1000), &net).unwrap();
+        let merge = simulate_semijoin(&schema, rows, &spec, fig7_runtime(0.5, 1000), &net).unwrap();
         assert_eq!(hash.down_bytes, merge.down_bytes, "same dedup, same bytes");
         hash_points.push((d, hash.elapsed_secs()));
         merge_points.push((d, merge.elapsed_secs()));
@@ -382,7 +382,10 @@ pub fn ablate_asymmetry_emulation() -> Vec<Series> {
     let mut out = Vec::new();
     for (label, net) in [
         ("true asymmetric", NetworkSpec::cable_asymmetric()),
-        ("byte-inflation emulation", NetworkSpec::cable_asymmetric_emulated()),
+        (
+            "byte-inflation emulation",
+            NetworkSpec::cable_asymmetric_emulated(),
+        ),
     ] {
         let mut points = Vec::new();
         for step in [1usize, 2, 4, 8] {

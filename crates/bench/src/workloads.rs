@@ -85,7 +85,9 @@ pub fn zipf_rows(
     assert!(universe >= 1);
     assert!(theta >= 0.0);
     // Precompute the Zipf CDF.
-    let weights: Vec<f64> = (1..=universe).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+    let weights: Vec<f64> = (1..=universe)
+        .map(|r| 1.0 / (r as f64).powf(theta))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(universe);
     let mut acc = 0.0;
@@ -118,8 +120,7 @@ pub fn measured_d(rows: &[Row]) -> f64 {
     if rows.is_empty() {
         return 1.0;
     }
-    let distinct: std::collections::HashSet<_> =
-        rows.iter().map(|r| r.value(0).clone()).collect();
+    let distinct: std::collections::HashSet<_> = rows.iter().map(|r| r.value(0).clone()).collect();
     distinct.len() as f64 / rows.len() as f64
 }
 

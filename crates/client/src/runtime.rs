@@ -215,7 +215,10 @@ mod tests {
     fn register_invoke_account() {
         let rt = ClientRuntime::new();
         rt.register(Arc::new(Doubler::new())).unwrap();
-        assert_eq!(rt.invoke("double", &[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert_eq!(
+            rt.invoke("double", &[Value::Int(21)]).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(rt.invocations(), 1);
         rt.record_cache_hit();
         assert_eq!(rt.cache_hits(), 1);

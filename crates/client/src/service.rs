@@ -68,8 +68,7 @@ impl TaskExecutor {
             }
             let mut extended = row;
             for (i, step) in steps.iter().enumerate() {
-                let arg_idx: Vec<usize> =
-                    step.arg_cols.iter().map(|&c| c as usize).collect();
+                let arg_idx: Vec<usize> = step.arg_cols.iter().map(|&c| c as usize).collect();
                 let args = extended.project(&arg_idx);
                 let result = if dedup {
                     if let Some(v) = self.caches[i].get(&args) {
@@ -140,10 +139,7 @@ impl ClientHandle {
 /// Protocol: the server first sends [`Request::Install`], then any number of
 /// [`Request::Batch`] (each answered by exactly one [`Response::Batch`] or
 /// [`Response::Error`]), then [`Request::Finish`] (or just closes).
-pub fn spawn_client(
-    runtime: Arc<ClientRuntime>,
-    endpoint: Endpoint,
-) -> JoinHandle<Result<()>> {
+pub fn spawn_client(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> JoinHandle<Result<()>> {
     std::thread::Builder::new()
         .name("csq-client".into())
         .spawn(move || client_loop(runtime, endpoint))
@@ -198,13 +194,18 @@ mod tests {
 
     fn runtime() -> Arc<ClientRuntime> {
         let rt = ClientRuntime::new();
-        rt.register(Arc::new(ObjectUdf::sized("Analyze", 32))).unwrap();
-        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5))).unwrap();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 32)))
+            .unwrap();
+        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5)))
+            .unwrap();
         Arc::new(rt)
     }
 
     fn record(i: u64) -> Row {
-        Row::new(vec![Value::Int(i as i64), Value::Blob(Blob::synthetic(50, i))])
+        Row::new(vec![
+            Value::Int(i as i64),
+            Value::Blob(Blob::synthetic(50, i)),
+        ])
     }
 
     fn sj_task() -> ClientTask {

@@ -194,7 +194,9 @@ impl ScalarUdf for RatingUdf {
 
     fn invoke(&self, args: &[Value]) -> Result<Value> {
         let arg = args[0].as_blob()?;
-        Ok(Value::Int((fnv1a(arg.as_bytes()) % self.buckets as u64) as i64))
+        Ok(Value::Int(
+            (fnv1a(arg.as_bytes()) % self.buckets as u64) as i64,
+        ))
     }
 
     fn result_size_hint(&self) -> Option<usize> {

@@ -155,9 +155,9 @@ pub fn execute(program: &Program, args: &[Value], limits: VmLimits) -> Result<Va
 
     macro_rules! pop {
         () => {
-            stack.pop().ok_or_else(|| {
-                CsqError::Client(format!("stack underflow at instruction {pc}"))
-            })?
+            stack
+                .pop()
+                .ok_or_else(|| CsqError::Client(format!("stack underflow at instruction {pc}")))?
         };
     }
 
@@ -181,9 +181,9 @@ pub fn execute(program: &Program, args: &[Value], limits: VmLimits) -> Result<Va
             Instr::PushBool(b) => push!(Value::Bool(*b)),
             Instr::PushNull => push!(Value::Null),
             Instr::LoadArg(n) => {
-                let v = args.get(*n as usize).ok_or_else(|| {
-                    CsqError::Client(format!("argument {n} out of range"))
-                })?;
+                let v = args
+                    .get(*n as usize)
+                    .ok_or_else(|| CsqError::Client(format!("argument {n} out of range")))?;
                 push!(v.clone());
             }
             Instr::Add | Instr::Sub | Instr::Mul | Instr::Div => {
@@ -214,9 +214,7 @@ pub fn execute(program: &Program, args: &[Value], limits: VmLimits) -> Result<Va
                 let r = pop!().as_bool()?;
                 let l = pop!().as_bool()?;
                 let out = match (&instrs[pc], l, r) {
-                    (Instr::And, Some(false), _) | (Instr::And, _, Some(false)) => {
-                        Some(false)
-                    }
+                    (Instr::And, Some(false), _) | (Instr::And, _, Some(false)) => Some(false),
                     (Instr::And, Some(true), Some(true)) => Some(true),
                     (Instr::Or, Some(true), _) | (Instr::Or, _, Some(true)) => Some(true),
                     (Instr::Or, Some(false), Some(false)) => Some(false),
@@ -265,11 +263,8 @@ pub fn execute(program: &Program, args: &[Value], limits: VmLimits) -> Result<Va
                 let idx = pop!().as_i64()?;
                 let b = pop!();
                 let b = b.as_blob()?;
-                let byte = b
-                    .as_bytes()
-                    .get(idx as usize)
-                    .copied()
-                    .ok_or_else(|| {
+                let byte =
+                    b.as_bytes().get(idx as usize).copied().ok_or_else(|| {
                         CsqError::Client(format!("blob index {idx} out of range"))
                     })?;
                 push!(Value::Int(byte as i64));
@@ -368,7 +363,9 @@ pub fn assemble(src: &str) -> Result<Program> {
                     .map_err(|_| err("bad integer operand"))?,
             ),
             "push_float" => Instr::PushFloat(
-                need(arg, *lineno)?.parse().map_err(|_| err("bad float operand"))?,
+                need(arg, *lineno)?
+                    .parse()
+                    .map_err(|_| err("bad float operand"))?,
             ),
             "push_true" => Instr::PushBool(true),
             "push_false" => Instr::PushBool(false),

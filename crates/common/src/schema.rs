@@ -230,7 +230,10 @@ mod tests {
     #[test]
     fn qualify_replaces_qualifier() {
         let s = demo().qualify("X");
-        assert!(s.fields().iter().all(|f| f.qualifier.as_deref() == Some("X")));
+        assert!(s
+            .fields()
+            .iter()
+            .all(|f| f.qualifier.as_deref() == Some("X")));
         assert_eq!(s.index_of(Some("X"), "Rating").unwrap(), 2);
         assert!(s.index_of(Some("E"), "Rating").is_err());
     }

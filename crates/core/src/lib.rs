@@ -38,13 +38,19 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use csq_client::{ClientRuntime, ScalarUdf};
-use csq_common::{CsqError, Result, Row, Value};
 use csq_expr::bind;
-use csq_net::NetworkSpec;
-use csq_opt::{OptContext, OptimizedPlan, UdfMeta};
+use csq_opt::OptContext;
 use csq_sql::{parse_statement, Statement};
-use csq_storage::{Catalog, Table};
+
+// Re-exported so the `csq` facade crate offers the full public vocabulary:
+// building a database, loading tables, registering UDFs, and reading results
+// all work from `csq::...` alone.
+pub use csq_client::synthetic;
+pub use csq_client::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
+pub use csq_common::{Blob, CsqError, DataType, Field, Result, Row, Schema, Value};
+pub use csq_net::{NetStats, NetworkSpec};
+pub use csq_opt::{OptimizedPlan, UdfMeta};
+pub use csq_storage::{Catalog, Table, TableBuilder};
 
 /// The database: server catalog + client runtime + optimizer + network.
 pub struct Database {
@@ -146,9 +152,7 @@ impl Database {
                     let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
                     for e in exprs {
                         let bound = bind(&e, &empty_schema).map_err(|_| {
-                            CsqError::Plan(
-                                "INSERT values must be literal expressions".into(),
-                            )
+                            CsqError::Plan("INSERT values must be literal expressions".into())
                         })?;
                         values.push(bound.eval(&empty_row)?);
                     }
@@ -264,9 +268,7 @@ impl Database {
                     let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
                     for e in exprs {
                         let bound = bind(&e, &empty_schema).map_err(|_| {
-                            CsqError::Plan(
-                                "INSERT values must be literal expressions".into(),
-                            )
+                            CsqError::Plan("INSERT values must be literal expressions".into())
                         })?;
                         values.push(bound.eval(&empty_row)?);
                     }

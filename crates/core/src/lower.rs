@@ -17,7 +17,6 @@
 //! as their plain counterparts and the savings show up in the optimizer's
 //! estimates and the cost-model benches.
 
-
 use csq_client::spawn_client;
 use csq_common::{codec, CsqError, Field, Result, Row, Schema};
 use csq_exec::{collect, Filter, MemScan, NestedLoopJoin, Operator, RowsOp};
@@ -187,11 +186,7 @@ fn build_threaded(
 }
 
 /// Project the final operator output onto the query's SELECT list.
-fn project_output(
-    graph: &QueryGraph,
-    schema: &Schema,
-    rows: Vec<Row>,
-) -> Result<QueryResult> {
+fn project_output(graph: &QueryGraph, schema: &Schema, rows: Vec<Row>) -> Result<QueryResult> {
     let mut bound = Vec::with_capacity(graph.output.len());
     let mut fields = Vec::with_capacity(graph.output.len());
     for (e, name) in &graph.output {
@@ -256,7 +251,8 @@ fn run_simulated(
             let rows = collect(&mut j)?;
             Ok((j.schema().clone(), rows))
         }
-        PlanNode::Filter { input, preds } | PlanNode::Final {
+        PlanNode::Filter { input, preds }
+        | PlanNode::Final {
             input,
             pushed_preds: preds,
             ..
@@ -287,18 +283,10 @@ fn run_simulated(
             match strategy {
                 UdfStrategy::SemiJoin { .. } => {
                     let spec = SemiJoinSpec::new(vec![app], DEFAULT_CONCURRENCY);
-                    let run = simulate_semijoin(
-                        &schema,
-                        rows,
-                        &spec,
-                        db.client_runtime().clone(),
-                        &net,
-                    )?;
+                    let run =
+                        simulate_semijoin(&schema, rows, &spec, db.client_runtime().clone(), &net)?;
                     summary.absorb(&run);
-                    Ok((
-                        schema.with_field(result_field(graph, *unit)),
-                        run.rows,
-                    ))
+                    Ok((schema.with_field(result_field(graph, *unit)), run.rows))
                 }
                 UdfStrategy::ClientJoin { pushed_preds, .. } => {
                     let extended = schema.with_field(result_field(graph, *unit));

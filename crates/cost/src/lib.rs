@@ -177,8 +177,7 @@ pub fn predicted_seconds(
     let down_secs = costs.down * tuples as f64 / net.down_bandwidth;
     // `up_weighted` folded N in; undo it and charge the real uplink.
     let up_bytes = costs.up_weighted / p.n;
-    let up_secs =
-        up_bytes * net.uplink_inflation * tuples as f64 / net.up_bandwidth;
+    let up_secs = up_bytes * net.uplink_inflation * tuples as f64 / net.up_bandwidth;
     down_secs.max(up_secs)
 }
 
@@ -265,21 +264,14 @@ pub fn optimal_concurrency(
     if service <= 0.0 {
         return 1;
     }
-    let total = down_t
-        + net.down_latency as f64
-        + client_us as f64
-        + up_t
-        + net.up_latency as f64;
+    let total = down_t + net.down_latency as f64 + client_us as f64 + up_t + net.up_latency as f64;
     (total / service).ceil().max(1.0) as usize
 }
 
 /// Measure `I`, `A`, and `D` from actual rows: the average record wire
 /// size, the argument fraction, and the distinct-argument fraction over the
 /// given argument column ordinals.
-pub fn measure_params(
-    rows: &[csq_common::Row],
-    arg_cols: &[usize],
-) -> (f64, f64, f64) {
+pub fn measure_params(rows: &[csq_common::Row], arg_cols: &[usize]) -> (f64, f64, f64) {
     if rows.is_empty() {
         return (0.0, 1.0, 1.0);
     }
@@ -311,8 +303,8 @@ pub fn naive_roundtrip_us(
     client_us: u64,
 ) -> SimTime {
     let down_t = (arg_msg_bytes as f64 / net.down_bandwidth * 1e6).ceil() as SimTime;
-    let up_t = (result_msg_bytes as f64 * net.uplink_inflation / net.up_bandwidth * 1e6)
-        .ceil() as SimTime;
+    let up_t =
+        (result_msg_bytes as f64 * net.uplink_inflation / net.up_bandwidth * 1e6).ceil() as SimTime;
     down_t + net.down_latency + client_us + up_t + net.up_latency
 }
 

@@ -35,11 +35,7 @@ impl HashJoin {
         left_key: Vec<usize>,
         right_key: Vec<usize>,
     ) -> HashJoin {
-        assert_eq!(
-            left_key.len(),
-            right_key.len(),
-            "join key arity mismatch"
-        );
+        assert_eq!(left_key.len(), right_key.len(), "join key arity mismatch");
         let schema = left.schema().join(right.schema());
         HashJoin {
             left,
@@ -199,11 +195,7 @@ impl Operator for MergeJoin {
     }
 }
 
-fn compare_rows_as_keys(
-    a: &Row,
-    b: &Row,
-    _width: &usize,
-) -> Result<std::cmp::Ordering> {
+fn compare_rows_as_keys(a: &Row, b: &Row, _width: &usize) -> Result<std::cmp::Ordering> {
     let key: Vec<usize> = (0..a.len()).collect();
     compare_on(a, b, &key)
 }
@@ -342,12 +334,7 @@ mod tests {
 
         let sorted_l = Sort::new(Box::new(RowsOp::new(ls, lr)), vec![0]);
         let sorted_r = Sort::new(Box::new(RowsOp::new(rs, rr)), vec![0]);
-        let mut merge = MergeJoin::new(
-            Box::new(sorted_l),
-            Box::new(sorted_r),
-            vec![0],
-            vec![0],
-        );
+        let mut merge = MergeJoin::new(Box::new(sorted_l), Box::new(sorted_r), vec![0], vec![0]);
         let mut got = collect(&mut merge).unwrap();
 
         expected.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
@@ -385,7 +372,6 @@ mod tests {
             None,
         );
         assert_eq!(collect(&mut cross).unwrap().len(), 4);
-
     }
 
     #[test]

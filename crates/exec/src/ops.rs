@@ -115,10 +115,7 @@ pub struct Project {
 
 impl Project {
     /// `exprs` paired with their output fields.
-    pub fn new(
-        input: Box<dyn Operator + Send>,
-        exprs: Vec<(PhysExpr, Field)>,
-    ) -> Project {
+    pub fn new(input: Box<dyn Operator + Send>, exprs: Vec<(PhysExpr, Field)>) -> Project {
         let (exprs, fields): (Vec<_>, Vec<_>) = exprs.into_iter().unzip();
         Project {
             input,
@@ -156,9 +153,9 @@ pub fn compare_on(a: &Row, b: &Row, key: &[usize]) -> Result<Ordering> {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
-            (false, false) => va.sql_cmp(vb)?.ok_or_else(|| {
-                CsqError::Exec("incomparable values in sort key".into())
-            })?,
+            (false, false) => va
+                .sql_cmp(vb)?
+                .ok_or_else(|| CsqError::Exec("incomparable values in sort key".into()))?,
         };
         if ord != Ordering::Equal {
             return Ok(ord);
@@ -354,7 +351,11 @@ mod tests {
     fn project_computes_expressions() {
         let (schema, rows) = int_rows(&[(1, 10), (2, 20)]);
         let sum = bind(
-            &Expr::binary(Expr::col_bare("a"), csq_expr::BinaryOp::Add, Expr::col_bare("b")),
+            &Expr::binary(
+                Expr::col_bare("a"),
+                csq_expr::BinaryOp::Add,
+                Expr::col_bare("b"),
+            ),
             &schema,
         )
         .unwrap();

@@ -240,7 +240,11 @@ mod tests {
     #[test]
     fn display_roundtrips_shape() {
         let e = Expr::binary(
-            Expr::binary(Expr::col("S", "Change"), BinaryOp::Div, Expr::col("S", "Close")),
+            Expr::binary(
+                Expr::col("S", "Change"),
+                BinaryOp::Div,
+                Expr::col("S", "Close"),
+            ),
             BinaryOp::Gt,
             Expr::lit(0.2),
         );

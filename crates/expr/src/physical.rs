@@ -89,9 +89,9 @@ impl PhysExpr {
     /// Infer the output type given the input schema (used by projections).
     pub fn infer_type(&self, schema: &Schema) -> Result<DataType> {
         match self {
-            PhysExpr::Literal(v) => v.data_type().ok_or_else(|| {
-                CsqError::Type("cannot infer type of bare NULL literal".into())
-            }),
+            PhysExpr::Literal(v) => v
+                .data_type()
+                .ok_or_else(|| CsqError::Type("cannot infer type of bare NULL literal".into())),
             PhysExpr::Column(i) => Ok(schema.field(*i).dtype),
             PhysExpr::Unary { op, expr } => match op {
                 UnaryOp::Not => Ok(DataType::Bool),
@@ -238,7 +238,11 @@ mod tests {
     fn bind_and_eval_paper_predicate() {
         // S.Change / S.Close > 0.2  — the server-site predicate of Figure 1.
         let e = Expr::binary(
-            Expr::binary(Expr::col("S", "Change"), BinaryOp::Div, Expr::col("S", "Close")),
+            Expr::binary(
+                Expr::col("S", "Change"),
+                BinaryOp::Div,
+                Expr::col("S", "Close"),
+            ),
             BinaryOp::Gt,
             Expr::lit(0.2),
         );

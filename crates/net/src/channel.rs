@@ -135,9 +135,7 @@ impl NetReceiver {
                 Ok(Some(msg.payload))
             }
             Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => {
-                Err(CsqError::Net("peer endpoint closed".into()))
-            }
+            Err(TryRecvError::Disconnected) => Err(CsqError::Net("peer endpoint closed".into())),
         }
     }
 }
@@ -166,9 +164,7 @@ impl Endpoint {
     }
 }
 
-fn build_pair(
-    spec: Option<&NetworkSpec>,
-) -> (Endpoint, Endpoint, NetStats) {
+fn build_pair(spec: Option<&NetworkSpec>) -> (Endpoint, Endpoint, NetStats) {
     let stats = NetStats::new();
     let (down_tx, down_rx) = unbounded::<Message>();
     let (up_tx, up_rx) = unbounded::<Message>();

@@ -42,11 +42,7 @@ impl NetworkSpec {
     }
 
     /// An asymmetric network with downlink `n` times faster than uplink.
-    pub fn asymmetric(
-        down_bandwidth: f64,
-        n: f64,
-        latency: SimTime,
-    ) -> NetworkSpec {
+    pub fn asymmetric(down_bandwidth: f64, n: f64, latency: SimTime) -> NetworkSpec {
         assert!(n > 0.0, "asymmetry factor must be positive");
         NetworkSpec {
             down_bandwidth,
@@ -63,8 +59,9 @@ impl NetworkSpec {
     /// direction (round-trip ≈ 5000 bytes — the paper observes the optimal
     /// concurrency factor corresponds to ~5000 bytes in the pipeline).
     pub fn modem_28_8() -> NetworkSpec {
-        let bw = kbit_per_sec(28.8); // 3600 B/s
-        // 2500 bytes / 3600 B/s ≈ 0.694 s one-way latency.
+        // 28.8 kbit/s = 3600 B/s; 2500 bytes / 3600 B/s ≈ 0.694 s one-way
+        // latency.
+        let bw = kbit_per_sec(28.8);
         NetworkSpec::symmetric(bw, 694_444)
     }
 

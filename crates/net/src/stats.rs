@@ -26,13 +26,17 @@ impl NetStats {
 
     /// Record a server→client message of `bytes` payload bytes.
     pub fn record_down(&self, bytes: usize) {
-        self.inner.down_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .down_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner.down_messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a client→server message of `bytes` payload bytes.
     pub fn record_up(&self, bytes: usize) {
-        self.inner.up_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .up_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner.up_messages.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -171,7 +171,7 @@ mod tests {
             .column("name", DataType::Str)
             .column("obj", DataType::Blob)
             .row(vec![
-                Value::from("abcde"),               // wire 10
+                Value::from("abcde"),                // wire 10
                 Value::Blob(Blob::synthetic(95, 1)), // wire 100
             ])
             .build()

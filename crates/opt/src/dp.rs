@@ -48,12 +48,7 @@ struct State {
 }
 
 fn key_of(s: &State) -> (u64, u64, String) {
-    let cols = s
-        .client_cols
-        .iter()
-        .cloned()
-        .collect::<Vec<_>>()
-        .join(",");
+    let cols = s.client_cols.iter().cloned().collect::<Vec<_>>().join(",");
     (s.mask, s.applied_preds, cols)
 }
 
@@ -291,11 +286,7 @@ pub(crate) fn optimize_inner(
 
     // Finalize every full-mask state.
     let mut best: Option<State> = None;
-    let finals: Vec<State> = table
-        .values()
-        .filter(|s| s.mask == full)
-        .cloned()
-        .collect();
+    let finals: Vec<State> = table.values().filter(|s| s.mask == full).cloned().collect();
     for s in finals {
         if let Some(done) = finalize(&ctx, &s) {
             states_explored += 1;
@@ -472,7 +463,9 @@ fn apply_udf_client_join(
     full: u64,
 ) -> Option<State> {
     let Unit::Udf {
-        meta: _, result_col, ..
+        meta: _,
+        result_col,
+        ..
     } = &ctx.graph.units[unit]
     else {
         return None;

@@ -141,9 +141,7 @@ impl PlanNode {
             } => {
                 let mut note = String::new();
                 if *client_resident > 0 {
-                    note.push_str(&format!(
-                        " [{client_resident} column(s) already at client]"
-                    ));
+                    note.push_str(&format!(" [{client_resident} column(s) already at client]"));
                 }
                 if !pushed_preds.is_empty() {
                     note.push_str(&format!(" [client filter: {}]", preds_str(pushed_preds)));

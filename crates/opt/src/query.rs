@@ -6,9 +6,7 @@
 use std::collections::BTreeSet;
 
 use csq_common::{CsqError, Result};
-use csq_expr::{
-    analysis, ColumnRef, Expr,
-};
+use csq_expr::{analysis, ColumnRef, Expr};
 use csq_sql::ast::{SelectItem, SelectStmt};
 
 use crate::context::{OptContext, TableStats, UdfMeta};
@@ -137,9 +135,9 @@ impl QueryGraph {
     pub fn required_units(&self, expr: &Expr) -> Result<u64> {
         let mut mask = 0u64;
         for col in analysis::columns_referenced(expr) {
-            let owner = self.owner_of(&col).ok_or_else(|| {
-                CsqError::Plan(format!("unresolvable column '{col}' in query"))
-            })?;
+            let owner = self
+                .owner_of(&col)
+                .ok_or_else(|| CsqError::Plan(format!("unresolvable column '{col}' in query")))?;
             mask |= 1 << owner;
             // A UDF result reference also requires the UDF's prerequisites;
             // handled transitively by the DP (the UDF unit itself encodes
@@ -222,9 +220,7 @@ pub fn extract(stmt: &SelectStmt, ctx: &OptContext) -> Result<QueryGraph> {
 
     // Walk every expression, extracting client UDF calls bottom-up.
     let mut udf_units: Vec<Unit> = Vec::new();
-    let mut rewrite = |e: &Expr| -> Result<Expr> {
-        extract_udfs(e.clone(), ctx, &mut udf_units)
-    };
+    let mut rewrite = |e: &Expr| -> Result<Expr> { extract_udfs(e.clone(), ctx, &mut udf_units) };
 
     let mut output = Vec::new();
     for item in &stmt.items {
@@ -512,9 +508,8 @@ mod tests {
 
     #[test]
     fn computed_udf_arguments_rejected() {
-        let stmt =
-            parse_statement("SELECT ClientAnalysis(S.Change / S.Close) FROM StockQuotes S")
-                .unwrap();
+        let stmt = parse_statement("SELECT ClientAnalysis(S.Change / S.Close) FROM StockQuotes S")
+            .unwrap();
         let sel = match stmt {
             csq_sql::Statement::Select(s) => s,
             _ => unreachable!(),

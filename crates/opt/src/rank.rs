@@ -61,9 +61,7 @@ mod tests {
     #[test]
     fn baseline_never_beats_full_optimizer() {
         let g = extract(
-            &select(
-                "SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 100",
-            ),
+            &select("SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 100"),
             &ctx(),
         )
         .unwrap();
@@ -78,9 +76,7 @@ mod tests {
         // results; the full optimizer can push the predicate client-side and
         // avoid most of the uplink — a strict win.
         let g = extract(
-            &select(
-                "SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 100",
-            ),
+            &select("SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 100"),
             &ctx(),
         )
         .unwrap();

@@ -18,8 +18,8 @@ use csq_exec::{collect, RowsOp, Sort};
 use csq_net::link::SimTime;
 use csq_net::NetworkSpec;
 
-use csq_client::{ClientRuntime, Request, Response};
 use csq_client::service::TaskExecutor;
+use csq_client::{ClientRuntime, Request, Response};
 
 use crate::spec::{ClientJoinSpec, SemiJoinSpec};
 
@@ -138,8 +138,7 @@ pub fn simulate_semijoin(
                 if !batch_args.is_empty() {
                     let args = std::mem::take(&mut batch_args);
                     let msg = Request::Batch(args.clone()).encode();
-                    let (_, arrive) =
-                        down.transmit(sender_clock, net.downlink_bytes(msg.len()));
+                    let (_, arrive) = down.transmit(sender_clock, net.downlink_bytes(msg.len()));
                     // Client processes the batch serially.
                     let out = executor.process(args.clone())?;
                     let cpu_now = executor.cpu_us();
@@ -149,8 +148,7 @@ pub fn simulate_semijoin(
                         results.insert(a, r.clone());
                     }
                     let resp = Response::Batch(out).encode();
-                    let (_, arrive_back) =
-                        up.transmit(client_free, net.uplink_bytes(resp.len()) );
+                    let (_, arrive_back) = up.transmit(client_free, net.uplink_bytes(resp.len()));
                     outstanding.push_back((span, arrive_back));
                     outstanding_tuples += span;
                     last_completion = last_completion.max(arrive_back);
@@ -308,9 +306,10 @@ pub fn simulate_naive(
         let cpu_now = executor.cpu_us();
         client_free = client_free.max(arrive) + (cpu_now - cpu_seen);
         cpu_seen = cpu_now;
-        let result = out.into_iter().next().ok_or_else(|| {
-            csq_common::CsqError::Exec("simulate_naive: missing result".into())
-        })?;
+        let result = out
+            .into_iter()
+            .next()
+            .ok_or_else(|| csq_common::CsqError::Exec("simulate_naive: missing result".into()))?;
         let resp = Response::Batch(vec![result.clone()]).encode();
         let (_, arrive_back) = up.transmit(client_free, net.uplink_bytes(resp.len()));
         // Blocking: the server waits for the response before the next tuple.
@@ -344,7 +343,8 @@ mod tests {
 
     fn runtime() -> Arc<ClientRuntime> {
         let rt = ClientRuntime::new();
-        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100))).unwrap();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100)))
+            .unwrap();
         Arc::new(rt)
     }
 
@@ -378,8 +378,7 @@ mod tests {
         let mut times = Vec::new();
         for k in [1usize, 2, 5, 10, 20] {
             let spec = SemiJoinSpec::new(vec![app()], k);
-            let run =
-                simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &net).unwrap();
+            let run = simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &net).unwrap();
             times.push(run.elapsed_us);
         }
         assert!(times[0] > times[1], "{times:?}");
@@ -394,18 +393,41 @@ mod tests {
         // Naive ≈ SJ with K=1: both expose the full RTT per tuple.
         let net = NetworkSpec::modem_28_8();
         let data = rows(20, 200);
-        let naive =
-            simulate_naive(&schema(), data.clone(), &SemiJoinSpec::new(vec![app()], 1), runtime(), &net)
-                .unwrap();
-        let sj1 =
-            simulate_semijoin(&schema(), data.clone(), &SemiJoinSpec::new(vec![app()], 1), runtime(), &net)
-                .unwrap();
-        let sj10 =
-            simulate_semijoin(&schema(), data, &SemiJoinSpec::new(vec![app()], 10), runtime(), &net)
-                .unwrap();
+        let naive = simulate_naive(
+            &schema(),
+            data.clone(),
+            &SemiJoinSpec::new(vec![app()], 1),
+            runtime(),
+            &net,
+        )
+        .unwrap();
+        let sj1 = simulate_semijoin(
+            &schema(),
+            data.clone(),
+            &SemiJoinSpec::new(vec![app()], 1),
+            runtime(),
+            &net,
+        )
+        .unwrap();
+        let sj10 = simulate_semijoin(
+            &schema(),
+            data,
+            &SemiJoinSpec::new(vec![app()], 10),
+            runtime(),
+            &net,
+        )
+        .unwrap();
         let ratio = naive.elapsed_us as f64 / sj1.elapsed_us as f64;
-        assert!((0.8..1.25).contains(&ratio), "naive {} vs sj1 {}", naive.elapsed_us, sj1.elapsed_us);
-        assert!(sj10.elapsed_us * 3 < naive.elapsed_us, "concurrency must win big");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "naive {} vs sj1 {}",
+            naive.elapsed_us,
+            sj1.elapsed_us
+        );
+        assert!(
+            sj10.elapsed_us * 3 < naive.elapsed_us,
+            "concurrency must win big"
+        );
     }
 
     #[test]
@@ -447,7 +469,12 @@ mod tests {
         let spec = SemiJoinSpec::new(vec![app()], 8);
         let a = simulate_semijoin(&schema(), distinct, &spec, runtime(), &net).unwrap();
         let b = simulate_semijoin(&schema(), dups, &spec, runtime(), &net).unwrap();
-        assert!(b.down_bytes < a.down_bytes / 2, "{} vs {}", b.down_bytes, a.down_bytes);
+        assert!(
+            b.down_bytes < a.down_bytes / 2,
+            "{} vs {}",
+            b.down_bytes,
+            a.down_bytes
+        );
         assert!(b.up_bytes < a.up_bytes / 2);
         assert_eq!(b.rows.len(), 20);
     }
@@ -463,17 +490,24 @@ mod tests {
         let a = simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &real).unwrap();
         let b = simulate_semijoin(&schema(), data, &spec, runtime(), &emulated).unwrap();
         let ratio = a.up_busy_us as f64 / b.up_busy_us as f64;
-        assert!((0.9..1.1).contains(&ratio), "{} vs {}", a.up_busy_us, b.up_busy_us);
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{} vs {}",
+            a.up_busy_us,
+            b.up_busy_us
+        );
     }
 
     #[test]
     fn client_cpu_can_become_bottleneck() {
         use csq_client::UdfCost;
         let rt = ClientRuntime::new();
-        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100).with_cost(UdfCost {
-            fixed_us: 200_000.0,
-            per_byte_us: 0.0,
-        })))
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 100).with_cost(
+            UdfCost {
+                fixed_us: 200_000.0,
+                per_byte_us: 0.0,
+            },
+        )))
         .unwrap();
         let net = NetworkSpec::lan();
         let run = simulate_semijoin(

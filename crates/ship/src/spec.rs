@@ -134,9 +134,7 @@ impl SemiJoinSpec {
             input_width: proj_width as u32,
             steps,
             predicate: None,
-            return_cols: Some(
-                (proj_width..proj_width + n).map(|c| c as u32).collect(),
-            ),
+            return_cols: Some((proj_width..proj_width + n).map(|c| c as u32).collect()),
             dedup_cache: self.client_cache,
         };
         task.validate()?;

@@ -100,9 +100,7 @@ impl ThreadedSemiJoin {
         let sender = std::thread::Builder::new()
             .name("csq-sj-sender".into())
             .spawn(move || {
-                semijoin_sender(
-                    input, task, arg_cols, batch_size, sorted, net_tx, buffer_tx,
-                )
+                semijoin_sender(input, task, arg_cols, batch_size, sorted, net_tx, buffer_tx)
             })
             .expect("failed to spawn semi-join sender");
         Ok(ThreadedSemiJoin {
@@ -366,17 +364,13 @@ impl Operator for ThreadedClientJoin {
                 Ok(Ok(())) => {
                     let Some(buf) = self.net_rx.recv() else {
                         self.failed = true;
-                        return Err(CsqError::Net(
-                            "client closed connection mid-query".into(),
-                        ));
+                        return Err(CsqError::Net("client closed connection mid-query".into()));
                     };
                     match Response::decode(&buf)? {
                         Response::Batch(rows) => self.current.extend(rows),
                         Response::Error(msg) => {
                             self.failed = true;
-                            return Err(CsqError::Client(format!(
-                                "client-site failure: {msg}"
-                            )));
+                            return Err(CsqError::Client(format!("client-site failure: {msg}")));
                         }
                     }
                 }
@@ -425,7 +419,10 @@ fn client_join_sender(
     };
 
     for chunk in rows.chunks(batch_size.max(1)) {
-        if net_tx.send(Request::Batch(chunk.to_vec()).encode()).is_err() {
+        if net_tx
+            .send(Request::Batch(chunk.to_vec()).encode())
+            .is_err()
+        {
             return;
         }
         if tickets_tx.send(Ok(())).is_err() {
@@ -525,9 +522,7 @@ impl Operator for NaiveRemoteUdf {
                         rows.pop().unwrap()
                     }
                     Response::Error(msg) => {
-                        return Err(CsqError::Client(format!(
-                            "client-site failure: {msg}"
-                        )))
+                        return Err(CsqError::Client(format!("client-site failure: {msg}")))
                     }
                 };
                 if self.use_cache {
@@ -552,8 +547,10 @@ mod tests {
     fn runtime() -> Arc<ClientRuntime> {
         use csq_client::synthetic::{ObjectUdf, PredicateUdf};
         let rt = ClientRuntime::new();
-        rt.register(Arc::new(ObjectUdf::sized("Analyze", 16))).unwrap();
-        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5))).unwrap();
+        rt.register(Arc::new(ObjectUdf::sized("Analyze", 16)))
+            .unwrap();
+        rt.register(Arc::new(PredicateUdf::new("Keep", 0.5)))
+            .unwrap();
         Arc::new(rt)
     }
 
@@ -695,8 +692,9 @@ mod tests {
         drop(op);
         let _ = handle.join().unwrap();
         assert_eq!(out.len(), 30);
-        // All 30 records cross the network (no transfer dedup)...
-        assert_eq!(stats.down_messages(), 32); // install + 30 batches + finish
+        // All 30 records cross the network — no transfer dedup:
+        // install + 30 batches + finish...
+        assert_eq!(stats.down_messages(), 32);
         // ...but the client invoked each distinct argument only once.
         assert_eq!(rt.invocations(), 3);
         assert_eq!(rt.cache_hits(), 27);

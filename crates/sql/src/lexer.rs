@@ -87,7 +87,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Lt
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             '>' => {
                 i += 1;
@@ -97,7 +100,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Gt
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             '!' => {
                 i += 1;
@@ -180,7 +186,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                             .map_err(|e| err_at(src, start, &format!("bad integer: {e}")))?,
                     )
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -200,7 +209,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i = end;
             }
             other => {
-                return Err(err_at(src, start, &format!("unexpected character '{other}'")));
+                return Err(err_at(
+                    src,
+                    start,
+                    &format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -213,7 +226,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
 
 fn push_simple(tokens: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize) {
     *i += 1;
-    tokens.push(Token { kind, offset: start });
+    tokens.push(Token {
+        kind,
+        offset: start,
+    });
 }
 
 fn utf8_len(first: u8) -> usize {

@@ -138,11 +138,7 @@ impl<'a> Parser<'a> {
 
     fn err_here(&self, msg: &str) -> CsqError {
         let t = self.peek();
-        crate::lexer::err_at(
-            self.src,
-            t.offset,
-            &format!("{msg} (found {:?})", t.kind),
-        )
+        crate::lexer::err_at(self.src, t.offset, &format!("{msg} (found {:?})", t.kind))
     }
 
     // ---- statements ------------------------------------------------------
@@ -176,7 +172,9 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RParen, "')'")?;
         if columns.is_empty() {
-            return Err(CsqError::Parse("CREATE TABLE needs at least one column".into()));
+            return Err(CsqError::Parse(
+                "CREATE TABLE needs at least one column".into(),
+            ));
         }
         Ok(Statement::CreateTable { name, columns })
     }
@@ -418,8 +416,8 @@ impl<'a> Parser<'a> {
 /// Keywords that cannot be identifiers (kept minimal so e.g. `Name` works).
 fn is_reserved(s: &str) -> bool {
     const KW: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "CREATE", "TABLE", "INSERT",
-        "INTO", "VALUES", "TRUE", "FALSE", "NULL",
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "CREATE", "TABLE", "INSERT", "INTO",
+        "VALUES", "TRUE", "FALSE", "NULL",
     ];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -516,8 +514,7 @@ mod tests {
 
     #[test]
     fn insert_multi_row_with_negatives() {
-        let stmt =
-            parse_statement("INSERT INTO t VALUES (1, -2.5, 'x'), (-3, 4.0, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t VALUES (1, -2.5, 'x'), (-3, 4.0, NULL)").unwrap();
         let Statement::Insert { table, rows } = stmt else {
             panic!()
         };
@@ -541,10 +538,9 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

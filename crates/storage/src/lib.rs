@@ -39,10 +39,7 @@ impl Table {
                     "table '{name}': column names must be non-empty"
                 )));
             }
-            if seen
-                .insert(f.name.to_ascii_lowercase(), ())
-                .is_some()
-            {
+            if seen.insert(f.name.to_ascii_lowercase(), ()).is_some() {
                 return Err(CsqError::Catalog(format!(
                     "table '{name}': duplicate column '{}'",
                     f.name

@@ -14,7 +14,9 @@ use csq_client::ClientRuntime;
 use csq_common::{Blob, DataType, Field, Row, Schema, Value};
 use csq_cost::CostParams;
 use csq_net::NetworkSpec;
-use csq_ship::{simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication};
+use csq_ship::{
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = NetworkSpec::cable_asymmetric();
@@ -41,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result_size = 1000usize;
     println!("result size {result_size} B; CSJ/SJ relative time vs selectivity:");
-    println!("{:>6} {:>12} {:>12} {:>10}", "S", "measured", "predicted", "winner");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "S", "measured", "predicted", "winner"
+    );
 
     for s in [0.01, 0.05, 0.1, 0.2, 0.4, 0.8] {
         let runtime = || {

@@ -80,9 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             alloc_bytes: 1 << 20,
         }),
     ))?;
-    let err = db
-        .execute("SELECT Bomb(D.Body) FROM Docs D")
-        .unwrap_err();
+    let err = db.execute("SELECT Bomb(D.Body) FROM Docs D").unwrap_err();
     println!("memory bomb refused:   {err}");
 
     // The session is still healthy.

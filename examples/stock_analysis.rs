@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyze = UdfApplication::new("Analyze", vec![1], Field::new("report", DataType::Blob));
 
     println!("query: screen 100 companies, build reports for survivors");
-    println!("network: 28.8 kbit/s modem, RTT {:.2}s\n", net.rtt() as f64 / 1e6);
+    println!(
+        "network: 28.8 kbit/s modem, RTT {:.2}s\n",
+        net.rtt() as f64 / 1e6
+    );
 
     // Naive tuple-at-a-time (§2.1): blocking round trip per tuple.
     let naive = simulate_naive(
@@ -81,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     csj_spec.return_cols = Some(vec![0, 3]); // Name + report
     let csj = simulate_client_join(&schema, rows, &csj_spec, runtime(), &net)?;
 
-    println!("{:<22} {:>10} {:>12} {:>12} {:>8}", "strategy", "time", "down", "up", "rows");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>8}",
+        "strategy", "time", "down", "up", "rows"
+    );
     for (name, run, rows_out) in [
         ("naive tuple-at-a-time", &naive, naive.rows.len()),
         (&format!("semi-join (K={k})"), &sj, sj.rows.len()),
@@ -89,7 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!(
             "{:<22} {:>8.1}s {:>10} B {:>10} B {:>8}",
-            name, run.elapsed_secs(), run.down_bytes, run.up_bytes, rows_out
+            name,
+            run.elapsed_secs(),
+            run.down_bytes,
+            run.up_bytes,
+            rows_out
         );
     }
     println!(

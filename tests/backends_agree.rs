@@ -74,8 +74,8 @@ fn semijoin_bytes_match_between_backends() {
         let mut spec = SemiJoinSpec::new(vec![analyze()], 6);
         spec.batch_size = batch;
         let (t_rows, t_down, t_up, t_dm, t_um) = threaded_sj(spec.clone(), data.clone());
-        let sim = simulate_semijoin(&schema(), data, &spec, runtime(), &NetworkSpec::lan())
-            .unwrap();
+        let sim =
+            simulate_semijoin(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
         assert_eq!(t_rows, sim.rows, "rows (n={n}, d={distinct}, b={batch})");
         assert_eq!(t_down, sim.down_bytes, "down bytes");
         assert_eq!(t_up, sim.up_bytes, "up bytes");
@@ -90,8 +90,7 @@ fn semijoin_sorted_bytes_match() {
     let mut spec = SemiJoinSpec::new(vec![analyze()], 5);
     spec.sorted = true;
     let (t_rows, t_down, t_up, _, _) = threaded_sj(spec.clone(), data.clone());
-    let sim =
-        simulate_semijoin(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
+    let sim = simulate_semijoin(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
     assert_eq!(t_rows, sim.rows);
     assert_eq!(t_down, sim.down_bytes);
     assert_eq!(t_up, sim.up_bytes);
@@ -120,8 +119,7 @@ fn client_join_bytes_match_between_backends() {
         let _ = handle.join().unwrap();
 
         let sim =
-            simulate_client_join(&schema(), data, &spec, runtime(), &NetworkSpec::lan())
-                .unwrap();
+            simulate_client_join(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
         assert_eq!(t_rows, sim.rows, "batch={batch}");
         assert_eq!(stats.down_bytes(), sim.down_bytes);
         assert_eq!(stats.up_bytes(), sim.up_bytes);
@@ -164,9 +162,14 @@ fn strategies_all_agree_under_randomized_workloads() {
 
         let mut spec = SemiJoinSpec::new(vec![analyze()], k);
         spec.batch_size = batch;
-        let sj =
-            simulate_semijoin(&schema(), data.clone(), &spec, runtime(), &NetworkSpec::lan())
-                .unwrap();
+        let sj = simulate_semijoin(
+            &schema(),
+            data.clone(),
+            &spec,
+            runtime(),
+            &NetworkSpec::lan(),
+        )
+        .unwrap();
         let csj = simulate_client_join(
             &schema(),
             data.clone(),
@@ -175,8 +178,7 @@ fn strategies_all_agree_under_randomized_workloads() {
             &NetworkSpec::lan(),
         )
         .unwrap();
-        let naive =
-            simulate_naive(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
+        let naive = simulate_naive(&schema(), data, &spec, runtime(), &NetworkSpec::lan()).unwrap();
         assert_eq!(sj.rows, csj.rows, "trial {trial}");
         assert_eq!(sj.rows, naive.rows, "trial {trial}");
         // The semi-join never ships more argument bytes than the client join

@@ -7,7 +7,9 @@ use csq_client::synthetic::{ObjectUdf, PredicateUdf};
 use csq_client::ClientRuntime;
 use csq_common::{Blob, DataType, Field, Row, Schema, Value};
 use csq_net::NetworkSpec;
-use csq_ship::{simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication};
+use csq_ship::{
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication,
+};
 
 /// Figure 7's relation: Argument and NonArgument objects.
 fn fig7_schema() -> Schema {
@@ -41,14 +43,7 @@ fn fig7_runtime(s: f64, result_size: usize) -> Arc<ClientRuntime> {
 /// The measured CSJ/SJ relative time for the Figure 7 query at selectivity
 /// `s` and result size `r` over network `net`, with `i` split as `arg` +
 /// `nonarg` payload bytes.
-fn relative_time(
-    net: &NetworkSpec,
-    n: usize,
-    arg: usize,
-    nonarg: usize,
-    s: f64,
-    r: usize,
-) -> f64 {
+fn relative_time(net: &NetworkSpec, n: usize, arg: usize, nonarg: usize, s: f64, r: usize) -> f64 {
     let schema = fig7_schema();
     let rows = fig7_rows(n, arg, nonarg);
     let rt = fig7_runtime(s, r);

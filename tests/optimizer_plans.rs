@@ -167,11 +167,8 @@ fn exploding_join_keeps_semijoin_insensitive() {
     let plan = optimize(&g, &ctx).unwrap();
     // Whatever the placement, a duplicate-blind whole-record CSJ after the
     // exploding join must not be chosen over the dedup'ing semi-join.
-    let after_join_csj = plan
-        .root
-        .udf_applications()
-        .iter()
-        .any(|(u, s)| {
+    let after_join_csj =
+        plan.root.udf_applications().iter().any(|(u, s)| {
             matches!(s, UdfStrategy::ClientJoin { .. }) && plan.root.udf_after_join(*u)
         });
     assert!(!after_join_csj, "{}", plan.root.explain(&g));

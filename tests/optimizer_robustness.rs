@@ -17,7 +17,10 @@ fn three_table_db() -> Database {
         .column("id", DataType::Int)
         .column("obj", DataType::Blob);
     for i in 0..12i64 {
-        a = a.row(vec![Value::Int(i), Value::Blob(Blob::synthetic(64, i as u64))]);
+        a = a.row(vec![
+            Value::Int(i),
+            Value::Blob(Blob::synthetic(64, i as u64)),
+        ]);
     }
     db.catalog().register(a.build().unwrap()).unwrap();
     let mut b = TableBuilder::new("B")
@@ -91,7 +94,11 @@ fn udf_with_arguments_from_two_relations() {
     // be applied after the join.
     let (graph, plan) = db.optimize(sql).unwrap();
     let udf_unit = graph.n_rels;
-    assert!(plan.root.udf_after_join(udf_unit), "{}", plan.root.explain(&graph));
+    assert!(
+        plan.root.udf_after_join(udf_unit),
+        "{}",
+        plan.root.explain(&graph)
+    );
 }
 
 #[test]

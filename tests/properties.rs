@@ -9,7 +9,9 @@ use csq_client::ClientRuntime;
 use csq_common::codec::{decode_rows, encode_rows, Decoder};
 use csq_common::{Blob, DataType, Field, Row, Schema, Value};
 use csq_net::{Link, NetworkSpec};
-use csq_ship::{simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication};
+use csq_ship::{
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication,
+};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![

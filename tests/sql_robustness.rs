@@ -10,8 +10,8 @@ use csq_sql::{parse_expression, parse_statement, parse_statements};
 /// no quoted identifiers, matching the paper's queries).
 fn is_reserved(s: &str) -> bool {
     const KW: &[&str] = &[
-        "select", "from", "where", "and", "or", "not", "as", "create", "table", "insert",
-        "into", "values", "true", "false", "null",
+        "select", "from", "where", "and", "or", "not", "as", "create", "table", "insert", "into",
+        "values", "true", "false", "null",
     ];
     KW.contains(&s.to_ascii_lowercase().as_str())
 }
@@ -27,26 +27,23 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         (1i64..1000).prop_map(Expr::lit),
         (0.5f64..100.0).prop_map(Expr::lit),
         arb_ident("[a-z][a-z0-9]{0,6}").prop_map(|s| Expr::col_bare(&s)),
-        (arb_ident("[A-Z][a-z]{0,6}"), arb_ident("[a-z][a-z0-9]{0,6}"))
+        (
+            arb_ident("[A-Z][a-z]{0,6}"),
+            arb_ident("[a-z][a-z0-9]{0,6}")
+        )
             .prop_map(|(q, c)| Expr::col(&q, &c)),
         Just(Expr::lit(true)),
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
-                a,
-                BinaryOp::Add,
-                b
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
-                a,
-                BinaryOp::Lt,
-                b
-            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Add, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Lt, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::binary(a, BinaryOp::Or, b)),
-            (arb_ident("[A-Z][a-z]{0,5}"), prop::collection::vec(inner, 1..3))
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Or, b)),
+            (
+                arb_ident("[A-Z][a-z]{0,5}"),
+                prop::collection::vec(inner, 1..3)
+            )
                 .prop_map(|(name, args)| Expr::udf(&name, args)),
         ]
     })
@@ -107,7 +104,8 @@ fn statement_display_of_results_and_explain() {
     use csq_net::NetworkSpec;
     let db = Database::new(NetworkSpec::lan());
     db.execute("CREATE TABLE t (a INT, b STRING)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
     let out = db.execute("SELECT t.a AS n, t.b FROM t t").unwrap();
     let table = out.to_table();
     assert!(table.contains("n | t.b"), "{table}");

@@ -67,10 +67,22 @@ fn wallclock_concurrency_speedup_matches_model_direction() {
     // single-threaded client blocks in its throttled send before receiving
     // the next request, which caps achievable pipelining at high
     // utilization.
-    let sim1 = simulate_semijoin(&schema(), rows(n), &SemiJoinSpec::new(vec![app()], 1), runtime(), &net)
-        .unwrap();
-    let sim8 = simulate_semijoin(&schema(), rows(n), &SemiJoinSpec::new(vec![app()], 8), runtime(), &net)
-        .unwrap();
+    let sim1 = simulate_semijoin(
+        &schema(),
+        rows(n),
+        &SemiJoinSpec::new(vec![app()], 1),
+        runtime(),
+        &net,
+    )
+    .unwrap();
+    let sim8 = simulate_semijoin(
+        &schema(),
+        rows(n),
+        &SemiJoinSpec::new(vec![app()], 8),
+        runtime(),
+        &net,
+    )
+    .unwrap();
     let wall_ratio = t1 / t8;
     let sim_ratio = sim1.elapsed_us as f64 / sim8.elapsed_us as f64;
     assert!(

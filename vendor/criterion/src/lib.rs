@@ -1,0 +1,130 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides the slice of the criterion API the workspace's benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. It times each benchmark
+//! over `sample_size` iterations and prints mean wall-clock time per
+//! iteration — enough to compare runs by hand; no statistics, plots, or
+//! baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `routine` and report mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed / bencher.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        eprintln!("  {}/{id}: {per_iter:?} per iteration", self.name);
+        self
+    }
+
+    /// End the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the configured iteration count, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a function that runs each listed benchmark with a fresh
+/// [`Criterion`], mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running each group, mirroring `criterion::criterion_main!`.
+/// CLI arguments (`--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_configured_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u64;
+        g.sample_size(7)
+            .bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 7);
+    }
+}
