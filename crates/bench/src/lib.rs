@@ -10,6 +10,7 @@
 //! engine (asserted by the `backends_agree` integration tests).
 
 pub mod figures;
+pub mod throughput;
 pub mod workloads;
 
 /// One plotted curve: label plus (x, y) points.

@@ -1,0 +1,861 @@
+//! Local-engine throughput workload: batch engine vs. the pre-vectorization
+//! row-at-a-time engine.
+//!
+//! The `rowref` module is a faithful replica of the executor as it existed
+//! before the batch rework (per-row virtual dispatch, per-row projection
+//! allocation, clone-per-row distinct, uncapacitied collect) so that
+//! `results/BENCH_throughput.json` records a true before-vs-after
+//! trajectory on the same data and expressions. Pipelines cover the
+//! scan→filter→project hot path, hash-based distinct, hash join, and the
+//! client-site VM UDF loop.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use csq_client::service::TaskExecutor;
+use csq_client::{ClientRuntime, ClientTask, TaskMode, UdfStep};
+use csq_common::{DataType, Field, Result, Row, Schema, Value, DEFAULT_BATCH_SIZE};
+use csq_exec::{collect, Distinct, Filter, HashJoin, Project, RowsOp};
+use csq_expr::{BinaryOp, PhysExpr};
+
+/// One measured pipeline: rows/sec through each engine.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Pipeline name (stable key for the regression gate).
+    pub pipeline: String,
+    /// Input rows driven through the pipeline.
+    pub rows: usize,
+    /// Row-at-a-time reference engine throughput.
+    pub row_rows_per_sec: f64,
+    /// Batch engine throughput.
+    pub batch_rows_per_sec: f64,
+}
+
+impl PipelineResult {
+    /// Batch over row speedup factor.
+    pub fn speedup(&self) -> f64 {
+        if self.row_rows_per_sec > 0.0 {
+            self.batch_rows_per_sec / self.row_rows_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+// ---- the pre-vectorization reference engine --------------------------------
+
+/// Replica of the engine before the batch rework, kept verbatim so the
+/// benchmark's "before" side stays honest across future PRs.
+mod rowref {
+    use super::*;
+
+    /// Clone a value with the *seed* cost model: before this PR,
+    /// `Value::Str` held a plain `String`, so every clone on the
+    /// project/distinct/join paths deep-copied the payload (`Blob` was
+    /// already refcounted). The reference engine reproduces that cost;
+    /// the batch engine's refcounted `Str` is part of the measured change.
+    pub fn seed_clone(v: &Value) -> Value {
+        match v {
+            Value::Str(s) => Value::from(s.as_str().to_owned()),
+            other => other.clone(),
+        }
+    }
+
+    /// Seed-cost expression evaluation: bare columns deep-copy like the
+    /// pre-change `Value::clone`; anything else falls back to the shared
+    /// evaluator (whose scalar clones cost the same in both eras).
+    fn seed_eval(e: &PhysExpr, row: &Row) -> Result<Value> {
+        match e {
+            PhysExpr::Column(i) => Ok(seed_clone(row.value(*i))),
+            other => other.eval(row),
+        }
+    }
+
+    pub trait RowOp {
+        fn schema(&self) -> &Schema;
+        fn next(&mut self) -> Result<Option<Row>>;
+    }
+
+    pub fn ref_collect(op: &mut dyn RowOp) -> Result<Vec<Row>> {
+        // Pre-change `collect`: grows from empty.
+        let mut out = Vec::new();
+        while let Some(row) = op.next()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    pub struct RefRows {
+        schema: Schema,
+        rows: std::vec::IntoIter<Row>,
+    }
+
+    impl RefRows {
+        pub fn new(schema: Schema, rows: Vec<Row>) -> RefRows {
+            RefRows {
+                schema,
+                rows: rows.into_iter(),
+            }
+        }
+    }
+
+    impl RowOp for RefRows {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Row>> {
+            Ok(self.rows.next())
+        }
+    }
+
+    pub struct RefFilter {
+        input: Box<dyn RowOp>,
+        predicate: PhysExpr,
+    }
+
+    impl RefFilter {
+        pub fn new(input: Box<dyn RowOp>, predicate: PhysExpr) -> RefFilter {
+            RefFilter { input, predicate }
+        }
+    }
+
+    impl RowOp for RefFilter {
+        fn schema(&self) -> &Schema {
+            self.input.schema()
+        }
+        fn next(&mut self) -> Result<Option<Row>> {
+            while let Some(row) = self.input.next()? {
+                if self.predicate.eval_predicate(&row)? {
+                    return Ok(Some(row));
+                }
+            }
+            Ok(None)
+        }
+    }
+
+    pub struct RefProject {
+        input: Box<dyn RowOp>,
+        exprs: Vec<PhysExpr>,
+        schema: Schema,
+    }
+
+    impl RefProject {
+        pub fn new(input: Box<dyn RowOp>, exprs: Vec<(PhysExpr, Field)>) -> RefProject {
+            let (exprs, fields): (Vec<_>, Vec<_>) = exprs.into_iter().unzip();
+            RefProject {
+                input,
+                exprs,
+                schema: Schema::new(fields),
+            }
+        }
+    }
+
+    impl RowOp for RefProject {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Row>> {
+            match self.input.next()? {
+                None => Ok(None),
+                Some(row) => {
+                    let mut values = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        values.push(seed_eval(e, &row)?);
+                    }
+                    Ok(Some(Row::new(values)))
+                }
+            }
+        }
+    }
+
+    pub struct RefDistinct {
+        input: Box<dyn RowOp>,
+        seen: HashSet<Row>,
+    }
+
+    impl RefDistinct {
+        pub fn all(input: Box<dyn RowOp>) -> RefDistinct {
+            RefDistinct {
+                input,
+                seen: Default::default(),
+            }
+        }
+    }
+
+    impl RowOp for RefDistinct {
+        fn schema(&self) -> &Schema {
+            self.input.schema()
+        }
+        fn next(&mut self) -> Result<Option<Row>> {
+            while let Some(row) = self.input.next()? {
+                // Pre-change behavior: clone every row into the seen set
+                // (deep-copying strings, as the seed's `Row::clone` did).
+                let k = Row::new(row.values().iter().map(seed_clone).collect());
+                if self.seen.insert(k) {
+                    return Ok(Some(row));
+                }
+            }
+            Ok(None)
+        }
+    }
+
+    pub struct RefHashJoin {
+        left: Box<dyn RowOp>,
+        right: Option<Box<dyn RowOp>>,
+        left_key: Vec<usize>,
+        right_key: Vec<usize>,
+        schema: Schema,
+        table: Option<HashMap<Row, Vec<Row>>>,
+        pending: Vec<Row>,
+    }
+
+    impl RefHashJoin {
+        pub fn new(
+            left: Box<dyn RowOp>,
+            right: Box<dyn RowOp>,
+            left_key: Vec<usize>,
+            right_key: Vec<usize>,
+        ) -> RefHashJoin {
+            let schema = left.schema().join(right.schema());
+            RefHashJoin {
+                left,
+                right: Some(right),
+                left_key,
+                right_key,
+                schema,
+                table: None,
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl RowOp for RefHashJoin {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Row>> {
+            if self.table.is_none() {
+                let mut right = self.right.take().expect("hash join built twice");
+                let rows = ref_collect(right.as_mut())?;
+                let mut table: HashMap<Row, Vec<Row>> = HashMap::with_capacity(rows.len());
+                for r in rows {
+                    table.entry(r.project(&self.right_key)).or_default().push(r);
+                }
+                self.table = Some(table);
+            }
+            loop {
+                if let Some(m) = self.pending.pop() {
+                    return Ok(Some(m));
+                }
+                let Some(l) = self.left.next()? else {
+                    return Ok(None);
+                };
+                let key = l.project(&self.left_key);
+                if key.values().iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                if let Some(matches) = self.table.as_ref().unwrap().get(&key) {
+                    // Seed `Row::join` deep-copied string values from both
+                    // sides into the concatenated row.
+                    self.pending = matches
+                        .iter()
+                        .rev()
+                        .map(|r| {
+                            Row::new(
+                                l.values()
+                                    .iter()
+                                    .chain(r.values())
+                                    .map(seed_clone)
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                }
+            }
+        }
+    }
+}
+
+// ---- data generators -------------------------------------------------------
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+const SYMBOLS: usize = 64;
+
+fn symbols() -> Vec<Value> {
+    (0..SYMBOLS)
+        .map(|i| Value::from(format!("SYM{i:03}")))
+        .collect()
+}
+
+/// (id INT, price FLOAT, sym STRING) — the scan→filter→project relation.
+pub fn quotes_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("price", DataType::Float),
+        Field::new("sym", DataType::Str),
+    ])
+}
+
+/// Deterministic quote rows; `price` is uniform-ish in [0, 100).
+pub fn quotes_rows(n: usize) -> Vec<Row> {
+    let syms = symbols();
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|i| {
+            let price = (xorshift(&mut state) % 10_000) as f64 / 100.0;
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Float(price),
+                syms[i % SYMBOLS].clone(),
+            ])
+        })
+        .collect()
+}
+
+// ---- pipelines -------------------------------------------------------------
+
+fn filter_pred() -> PhysExpr {
+    // Range scan predicate: price > 25 AND price < 58.33 — selectivity
+    // ≈ 1/3, the system's default selectivity assumption (see
+    // `ScalarUdf::selectivity_hint`).
+    let gt = PhysExpr::Binary {
+        left: Box::new(PhysExpr::Column(1)),
+        op: BinaryOp::Gt,
+        right: Box::new(PhysExpr::Literal(Value::Float(25.0))),
+    };
+    let lt = PhysExpr::Binary {
+        left: Box::new(PhysExpr::Column(1)),
+        op: BinaryOp::Lt,
+        right: Box::new(PhysExpr::Literal(Value::Float(58.33))),
+    };
+    PhysExpr::Binary {
+        left: Box::new(gt),
+        op: BinaryOp::And,
+        right: Box::new(lt),
+    }
+}
+
+fn project_exprs() -> Vec<(PhysExpr, Field)> {
+    // Ordered column subset: the common SELECT shape, and the one the batch
+    // engine projects in place.
+    vec![
+        (PhysExpr::Column(1), Field::new("price", DataType::Float)),
+        (PhysExpr::Column(2), Field::new("sym", DataType::Str)),
+    ]
+}
+
+fn sfp_row_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+    let scan = Box::new(rowref::RefRows::new(schema.clone(), data));
+    let filtered = Box::new(rowref::RefFilter::new(scan, filter_pred()));
+    let mut projected = rowref::RefProject::new(filtered, project_exprs());
+    rowref::ref_collect(&mut projected).expect("row sfp")
+}
+
+fn sfp_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+    let scan = Box::new(RowsOp::new(schema.clone(), data));
+    let filtered = Box::new(Filter::new(scan, filter_pred()));
+    let mut projected = Project::new(filtered, project_exprs());
+    collect(&mut projected).expect("batch sfp")
+}
+
+/// Rows with exactly `n / 256` distinct full-row values.
+pub fn dup_rows(n: usize) -> Vec<Row> {
+    let syms = symbols();
+    let distinct = (n / 256).max(1);
+    (0..n)
+        .map(|i| {
+            let j = i % distinct;
+            Row::new(vec![
+                syms[j % SYMBOLS].clone(),
+                Value::Int(j as i64),
+                Value::Int((j * 7) as i64),
+            ])
+        })
+        .collect()
+}
+
+fn dup_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("sym", DataType::Str),
+        Field::new("a", DataType::Int),
+        Field::new("b", DataType::Int),
+    ])
+}
+
+fn distinct_row_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+    let scan = Box::new(rowref::RefRows::new(schema.clone(), data));
+    let mut d = rowref::RefDistinct::all(scan);
+    rowref::ref_collect(&mut d).expect("row distinct")
+}
+
+fn distinct_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+    let scan = Box::new(RowsOp::new(schema.clone(), data));
+    let mut d = Distinct::all(scan);
+    collect(&mut d).expect("batch distinct")
+}
+
+const JOIN_BUILD: usize = 10_000;
+
+fn probe_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("k", DataType::Int),
+    ])
+}
+
+fn build_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("name", DataType::Str),
+    ])
+}
+
+/// Probe rows (id, k) with k cycling through the build side's keys.
+pub fn probe_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i % JOIN_BUILD) as i64),
+            ])
+        })
+        .collect()
+}
+
+/// Build rows (k, name).
+pub fn build_rows() -> Vec<Row> {
+    let syms = symbols();
+    (0..JOIN_BUILD)
+        .map(|k| Row::new(vec![Value::Int(k as i64), syms[k % SYMBOLS].clone()]))
+        .collect()
+}
+
+fn join_row_engine(probe: Vec<Row>, build: Vec<Row>) -> Vec<Row> {
+    let l = Box::new(rowref::RefRows::new(probe_schema(), probe));
+    let r = Box::new(rowref::RefRows::new(build_schema(), build));
+    let mut j = rowref::RefHashJoin::new(l, r, vec![1], vec![0]);
+    rowref::ref_collect(&mut j).expect("row join")
+}
+
+fn join_batch_engine(probe: Vec<Row>, build: Vec<Row>) -> Vec<Row> {
+    let l = Box::new(RowsOp::new(probe_schema(), probe));
+    let r = Box::new(RowsOp::new(build_schema(), build));
+    let mut j = HashJoin::new(l, r, vec![1], vec![0]);
+    collect(&mut j).expect("batch join")
+}
+
+/// A VM UDF runtime hashing a 64-byte blob argument.
+pub fn vm_runtime() -> Arc<ClientRuntime> {
+    use csq_client::vm::{assemble, VmUdf};
+    let program = assemble("load_arg 0\nblob_hash\nret").expect("vm program");
+    let rt = ClientRuntime::new();
+    rt.register(Arc::new(VmUdf::new(
+        "Digest",
+        vec![DataType::Blob],
+        DataType::Int,
+        program,
+    )))
+    .expect("register");
+    Arc::new(rt)
+}
+
+/// (id INT, obj BLOB) rows for the UDF pipeline.
+pub fn udf_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Blob(csq_common::Blob::synthetic(64, (i % 512) as u64)),
+            ])
+        })
+        .collect()
+}
+
+fn udf_task() -> ClientTask {
+    ClientTask {
+        mode: TaskMode::ClientJoin,
+        input_width: 2,
+        steps: vec![UdfStep {
+            udf: "Digest".into(),
+            arg_cols: vec![1],
+        }],
+        predicate: None,
+        return_cols: None,
+        dedup_cache: false,
+    }
+}
+
+/// Pre-change client loop: per-row invoke (fresh VM stack each call) and
+/// `with_value` (clones the whole row's value vector).
+fn udf_row_engine(rt: &Arc<ClientRuntime>, rows: Vec<Row>) -> Vec<Row> {
+    let arg_cols = [1usize];
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let args = row.project(&arg_cols);
+        let v = rt.invoke("Digest", args.values()).expect("invoke");
+        out.push(row.with_value(v));
+    }
+    out
+}
+
+fn udf_batch_engine(rt: &Arc<ClientRuntime>, rows: Vec<Row>) -> Vec<Row> {
+    let mut ex = TaskExecutor::new(rt.clone(), udf_task()).expect("executor");
+    let mut out = Vec::with_capacity(rows.len());
+    let mut it = rows.into_iter();
+    loop {
+        let chunk: Vec<Row> = it.by_ref().take(DEFAULT_BATCH_SIZE).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.extend(ex.process(chunk).expect("process"));
+    }
+    out
+}
+
+// ---- harness ---------------------------------------------------------------
+
+const REPS: usize = 5;
+
+/// Best-of-`REPS` throughput of `run` over `rows` input rows. `prep`
+/// produces each repetition's input *outside* the timed section, and the
+/// output rows are dropped *after* the clock stops, so the measurement
+/// covers exactly the pipeline's production of its result.
+fn measure<T, P, F>(rows: usize, prep: P, mut run: F) -> f64
+where
+    P: Fn() -> T,
+    F: FnMut(T) -> Vec<Row>,
+{
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let input = prep();
+        let start = Instant::now();
+        let out = std::hint::black_box(run(input));
+        let secs = start.elapsed().as_secs_f64();
+        assert!(out.len() <= rows * 2, "sanity: output explosion");
+        drop(out);
+        if secs < best {
+            best = secs;
+        }
+    }
+    rows as f64 / best
+}
+
+/// Run every pipeline at full scale (1M-row scan) or quick scale (÷10).
+pub fn run_all(quick: bool) -> Vec<PipelineResult> {
+    let scale = if quick { 10 } else { 1 };
+    let sfp_n = 1_000_000 / scale;
+    let distinct_n = 1_000_000 / scale;
+    let join_n = 500_000 / scale;
+    let udf_n = 200_000 / scale;
+    let mut out = Vec::new();
+
+    {
+        let schema = quotes_schema();
+        let data = quotes_rows(sfp_n);
+        let row = measure(sfp_n, || data.clone(), |d| sfp_row_engine(&schema, d));
+        let batch = measure(sfp_n, || data.clone(), |d| sfp_batch_engine(&schema, d));
+        out.push(PipelineResult {
+            pipeline: "scan_filter_project".into(),
+            rows: sfp_n,
+            row_rows_per_sec: row,
+            batch_rows_per_sec: batch,
+        });
+    }
+    {
+        let schema = dup_schema();
+        let data = dup_rows(distinct_n);
+        let row = measure(
+            distinct_n,
+            || data.clone(),
+            |d| distinct_row_engine(&schema, d),
+        );
+        let batch = measure(
+            distinct_n,
+            || data.clone(),
+            |d| distinct_batch_engine(&schema, d),
+        );
+        out.push(PipelineResult {
+            pipeline: "distinct".into(),
+            rows: distinct_n,
+            row_rows_per_sec: row,
+            batch_rows_per_sec: batch,
+        });
+    }
+    {
+        let probe = probe_rows(join_n);
+        let build = build_rows();
+        let prep = || (probe.clone(), build.clone());
+        let row = measure(join_n, prep, |(p, b)| join_row_engine(p, b));
+        let batch = measure(join_n, prep, |(p, b)| join_batch_engine(p, b));
+        out.push(PipelineResult {
+            pipeline: "hash_join".into(),
+            rows: join_n,
+            row_rows_per_sec: row,
+            batch_rows_per_sec: batch,
+        });
+    }
+    {
+        let rt = vm_runtime();
+        let data = udf_rows(udf_n);
+        let row = measure(udf_n, || data.clone(), |d| udf_row_engine(&rt, d));
+        let batch = measure(udf_n, || data.clone(), |d| udf_batch_engine(&rt, d));
+        out.push(PipelineResult {
+            pipeline: "vm_udf".into(),
+            rows: udf_n,
+            row_rows_per_sec: row,
+            batch_rows_per_sec: batch,
+        });
+    }
+    out
+}
+
+// ---- results file ----------------------------------------------------------
+
+/// One line of `results/BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonEntry {
+    /// "full" or "quick".
+    pub mode: String,
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Input rows.
+    pub rows: usize,
+    /// Reference engine rows/sec.
+    pub row_rows_per_sec: f64,
+    /// Batch engine rows/sec.
+    pub batch_rows_per_sec: f64,
+    /// batch / row.
+    pub speedup: f64,
+}
+
+/// Convert measured results into entries for `mode`.
+pub fn to_entries(mode: &str, results: &[PipelineResult]) -> Vec<JsonEntry> {
+    results
+        .iter()
+        .map(|r| JsonEntry {
+            mode: mode.to_string(),
+            pipeline: r.pipeline.clone(),
+            rows: r.rows,
+            row_rows_per_sec: r.row_rows_per_sec,
+            batch_rows_per_sec: r.batch_rows_per_sec,
+            speedup: r.speedup(),
+        })
+        .collect()
+}
+
+/// Render the results document. Every entry is one line so the parser (and
+/// diffs) stay trivial.
+pub fn render_document(entries: &[JsonEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"csq_throughput\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"unit\": \"rows_per_sec\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"pipeline\": \"{}\", \"rows\": {}, \
+             \"row_engine_rows_per_sec\": {:.0}, \"batch_engine_rows_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            e.mode, e.pipeline, e.rows, e.row_rows_per_sec, e.batch_rows_per_sec, e.speedup, sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the entries out of a results document written by
+/// [`render_document`] (line-oriented; not a general JSON parser).
+pub fn parse_entries(text: &str) -> Vec<JsonEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(JsonEntry {
+                mode: field_str(line, "mode")?,
+                pipeline: field_str(line, "pipeline")?,
+                rows: field_num(line, "rows")? as usize,
+                row_rows_per_sec: field_num(line, "row_engine_rows_per_sec")?,
+                batch_rows_per_sec: field_num(line, "batch_engine_rows_per_sec")?,
+                speedup: field_num(line, "speedup")?,
+            })
+        })
+        .collect()
+}
+
+/// Compare a fresh run against a committed baseline. A pipeline regresses
+/// when either
+///
+/// * its batch-over-row **speedup** fell below `(1 - tolerance)` of the
+///   same-mode baseline speedup (machine-invariant: both engines ran on
+///   the same hardware in the same process), or
+/// * its batch rows/sec fell below `(1 - tolerance)` of baseline *and* the
+///   row-engine rows/sec is within `tolerance` of its baseline — evidence
+///   the hardware is comparable, so the absolute drop is real and not a
+///   slower CI runner.
+///
+/// Returns human-readable failures.
+pub fn check_regressions(
+    current: &[JsonEntry],
+    baseline: &[JsonEntry],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for c in current {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.mode == c.mode && b.pipeline == c.pipeline)
+        else {
+            continue;
+        };
+        // Near-1x pipelines (join, VM UDF) have almost no headroom between
+        // "baseline" and "no speedup at all", and the ratio wobbles with
+        // the host's allocator/cache behavior — gate the ratio only where
+        // the vectorization win is big enough for a 20% drop to be signal.
+        let speedup_gated = b.speedup >= 1.5;
+        if speedup_gated && c.speedup < b.speedup * (1.0 - tolerance) {
+            failures.push(format!(
+                "{} ({}): speedup {:.2}x fell more than {}% below baseline {:.2}x",
+                c.pipeline,
+                c.mode,
+                c.speedup,
+                (tolerance * 100.0) as u64,
+                b.speedup,
+            ));
+            continue;
+        }
+        let comparable_hw =
+            (c.row_rows_per_sec - b.row_rows_per_sec).abs() <= b.row_rows_per_sec * tolerance;
+        let floor = b.batch_rows_per_sec * (1.0 - tolerance);
+        if comparable_hw && c.batch_rows_per_sec < floor {
+            failures.push(format!(
+                "{} ({}): batch engine {:.0} rows/s < {:.0} ({}% below baseline {:.0}, \
+                 row engine within {}% of baseline so hardware is comparable)",
+                c.pipeline,
+                c.mode,
+                c.batch_rows_per_sec,
+                floor,
+                (tolerance * 100.0) as u64,
+                b.batch_rows_per_sec,
+                (tolerance * 100.0) as u64,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_batch_pipelines_agree_on_counts() {
+        let schema = quotes_schema();
+        let data = quotes_rows(5_000);
+        assert_eq!(
+            sfp_row_engine(&schema, data.clone()),
+            sfp_batch_engine(&schema, data)
+        );
+        let schema = dup_schema();
+        let data = dup_rows(5_000);
+        assert_eq!(
+            distinct_row_engine(&schema, data.clone()),
+            distinct_batch_engine(&schema, data)
+        );
+        let probe = probe_rows(20_000);
+        let build = build_rows();
+        assert_eq!(
+            join_row_engine(probe.clone(), build.clone()),
+            join_batch_engine(probe, build)
+        );
+        let rt = vm_runtime();
+        let data = udf_rows(3_000);
+        assert_eq!(
+            udf_row_engine(&rt, data.clone()),
+            udf_batch_engine(&rt, data)
+        );
+    }
+
+    #[test]
+    fn udf_engines_agree_on_values() {
+        let rt = vm_runtime();
+        let rows = udf_rows(100);
+        let mut ex = TaskExecutor::new(rt.clone(), udf_task()).unwrap();
+        let batch_out = ex.process(rows.clone()).unwrap();
+        for (row, got) in rows.into_iter().zip(batch_out) {
+            let args = row.project(&[1]);
+            let v = rt.invoke("Digest", args.values()).unwrap();
+            assert_eq!(got, row.with_value(v));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_and_regression_check() {
+        let entries = vec![
+            JsonEntry {
+                mode: "quick".into(),
+                pipeline: "scan_filter_project".into(),
+                rows: 100_000,
+                row_rows_per_sec: 1_000_000.0,
+                batch_rows_per_sec: 4_000_000.0,
+                speedup: 4.0,
+            },
+            JsonEntry {
+                mode: "full".into(),
+                pipeline: "scan_filter_project".into(),
+                rows: 1_000_000,
+                row_rows_per_sec: 1_100_000.0,
+                batch_rows_per_sec: 4_400_000.0,
+                speedup: 4.0,
+            },
+        ];
+        let doc = render_document(&entries);
+        let parsed = parse_entries(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].mode, "quick");
+        assert_eq!(parsed[1].rows, 1_000_000);
+        assert!((parsed[0].batch_rows_per_sec - 4_000_000.0).abs() < 1.0);
+
+        // Same numbers: no regression.
+        assert!(check_regressions(&parsed, &entries, 0.2).is_empty());
+        // 30% batch drop on same hardware (row engine unchanged): flagged.
+        let mut slower = parsed.clone();
+        slower[0].batch_rows_per_sec *= 0.7;
+        slower[0].speedup *= 0.7;
+        let fails = check_regressions(&slower, &entries, 0.2);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("scan_filter_project"));
+        // A uniformly slower machine (both engines halved, speedup intact)
+        // is not a regression.
+        let mut slow_hw = parsed.clone();
+        for e in &mut slow_hw {
+            e.row_rows_per_sec *= 0.5;
+            e.batch_rows_per_sec *= 0.5;
+        }
+        assert!(check_regressions(&slow_hw, &entries, 0.2).is_empty());
+        // Entries missing from the baseline are skipped, not failed.
+        let mut extra = parsed.clone();
+        extra[0].pipeline = "brand_new".into();
+        assert!(check_regressions(&extra, &entries, 0.2).len() <= 1);
+    }
+}

@@ -387,12 +387,24 @@ impl Request {
         out
     }
 
-    /// Decode from wire bytes.
-    pub fn decode(buf: &[u8]) -> Result<Request> {
-        let mut d = Decoder::new(buf);
+    /// Encode a `Request::Batch` message directly from borrowed rows —
+    /// byte-identical to `Request::Batch(rows.to_vec()).encode()` without
+    /// cloning the rows first. This is what the shipping senders use on
+    /// their hot path.
+    pub fn encode_batch<'r, I>(rows: I) -> Vec<u8>
+    where
+        I: ExactSizeIterator<Item = &'r Row> + Clone,
+    {
+        let mut out = Vec::new();
+        out.push(REQ_BATCH);
+        csq_common::codec::encode_rows_iter(rows, &mut out);
+        out
+    }
+
+    fn decode_with(d: &mut Decoder<'_>) -> Result<Request> {
         let req = match d.take_u8()? {
-            REQ_INSTALL => Request::Install(decode_task(&mut d)?),
-            REQ_BATCH => Request::Batch(decode_row_batch(&mut d)?),
+            REQ_INSTALL => Request::Install(decode_task(d)?),
+            REQ_BATCH => Request::Batch(decode_row_batch(d)?),
             REQ_FINISH => Request::Finish,
             other => return Err(CsqError::Codec(format!("bad request tag {other}"))),
         };
@@ -400,6 +412,17 @@ impl Request {
             return Err(CsqError::Codec("trailing bytes after request".into()));
         }
         Ok(req)
+    }
+
+    /// Decode from wire bytes (copies string/blob payloads).
+    pub fn decode(buf: &[u8]) -> Result<Request> {
+        Request::decode_with(&mut Decoder::new(buf))
+    }
+
+    /// Zero-copy decode: `Str`/`Blob` values in a `Batch` borrow their
+    /// payloads from the shared message buffer.
+    pub fn decode_shared(buf: &std::sync::Arc<Vec<u8>>) -> Result<Request> {
+        Request::decode_with(&mut Decoder::shared(buf))
     }
 }
 
@@ -420,18 +443,27 @@ impl Response {
         out
     }
 
-    /// Decode from wire bytes.
-    pub fn decode(buf: &[u8]) -> Result<Response> {
-        let mut d = Decoder::new(buf);
+    fn decode_with(d: &mut Decoder<'_>) -> Result<Response> {
         let resp = match d.take_u8()? {
-            RESP_BATCH => Response::Batch(decode_row_batch(&mut d)?),
-            RESP_ERROR => Response::Error(take_str(&mut d)?),
+            RESP_BATCH => Response::Batch(decode_row_batch(d)?),
+            RESP_ERROR => Response::Error(take_str(d)?),
             other => return Err(CsqError::Codec(format!("bad response tag {other}"))),
         };
         if !d.is_exhausted() {
             return Err(CsqError::Codec("trailing bytes after response".into()));
         }
         Ok(resp)
+    }
+
+    /// Decode from wire bytes (copies string/blob payloads).
+    pub fn decode(buf: &[u8]) -> Result<Response> {
+        Response::decode_with(&mut Decoder::new(buf))
+    }
+
+    /// Zero-copy decode: `Str`/`Blob` values in a `Batch` borrow their
+    /// payloads from the shared message buffer.
+    pub fn decode_shared(buf: &std::sync::Arc<Vec<u8>>) -> Result<Response> {
+        Response::decode_with(&mut Decoder::shared(buf))
     }
 }
 

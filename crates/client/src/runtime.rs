@@ -89,6 +89,14 @@ pub trait ScalarUdf: Send + Sync {
     /// Evaluate on one argument tuple.
     fn invoke(&self, args: &[Value]) -> Result<Value>;
 
+    /// Evaluate on a batch of argument tuples. The default maps
+    /// [`ScalarUdf::invoke`]; implementations override to amortize
+    /// per-invocation setup across the batch (the VM reuses one value
+    /// stack, see `csq_client::vm::VmUdf`).
+    fn invoke_batch(&self, batch: &[&[Value]]) -> Result<Vec<Value>> {
+        batch.iter().map(|args| self.invoke(args)).collect()
+    }
+
     /// Expected wire size of one result, bytes — the paper's `R`, used by
     /// the cost model and optimizer. `None` when unknown (a default is
     /// assumed).
@@ -155,6 +163,32 @@ impl ClientRuntime {
         udf.signature().check_args(args)?;
         self.invocations.fetch_add(1, Ordering::Relaxed);
         udf.invoke(args)
+    }
+
+    /// Invoke `name` on a whole batch of argument tuples: signatures are
+    /// checked per tuple, the invocation counter advances by the batch
+    /// size, and the UDF's (possibly amortized) batch entry point runs.
+    /// The counter covers the whole batch even when the UDF fails midway
+    /// (errors poison the session, so per-tuple precision on the error
+    /// path buys nothing).
+    pub fn invoke_batch(&self, name: &str, batch: &[&[Value]]) -> Result<Vec<Value>> {
+        let udf = self.get(name)?;
+        for args in batch {
+            udf.signature().check_args(args)?;
+        }
+        self.invocations
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let out = udf.invoke_batch(batch)?;
+        // A custom override returning the wrong arity would otherwise panic
+        // downstream consumers indexing result slots.
+        if out.len() != batch.len() {
+            return Err(CsqError::Client(format!(
+                "UDF '{name}' batch returned {} results for {} argument tuples",
+                out.len(),
+                batch.len()
+            )));
+        }
+        Ok(out)
     }
 
     /// Record a duplicate-elimination cache hit (the invocation was avoided).

@@ -54,58 +54,109 @@ impl TaskExecutor {
     }
 
     /// Process one batch: extend, filter, project.
+    ///
+    /// Vectorized: each UDF step sweeps the whole batch — cached results
+    /// are resolved first, then every remaining (deduplicated) argument
+    /// tuple goes through one [`ClientRuntime::invoke_batch`] call, so
+    /// per-invocation setup (registry lookup, VM stack) is paid per batch.
+    /// On success, accounting (invocations, cache hits, CPU µs) matches
+    /// the previous row-at-a-time loop exactly. On a failed batch the
+    /// counters cover the whole attempted batch (the row-at-a-time loop
+    /// stopped counting at the failing tuple); a failure poisons the
+    /// session either way, so nothing downstream reads the difference.
     pub fn process(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
-        let mut out = Vec::with_capacity(rows.len());
-        let steps = self.task.steps.clone();
-        let dedup = self.task.dedup_cache;
-        for row in rows {
-            if row.len() != self.task.input_width as usize {
+        /// Where a row's step result comes from.
+        enum Slot {
+            /// Served from the memo cache.
+            Ready(Value),
+            /// The n-th entry of this step's invocation batch.
+            Invoked(usize),
+        }
+
+        let width = self.task.input_width as usize;
+        for row in &rows {
+            if row.len() != width {
                 return Err(CsqError::Client(format!(
                     "batch row has width {}, task expects {}",
                     row.len(),
                     self.task.input_width
                 )));
             }
-            let mut extended = row;
-            for (i, step) in steps.iter().enumerate() {
-                let arg_idx: Vec<usize> = step.arg_cols.iter().map(|&c| c as usize).collect();
-                let args = extended.project(&arg_idx);
-                let result = if dedup {
+        }
+        let mut extended = rows;
+        let steps = self.task.steps.clone();
+        let dedup = self.task.dedup_cache;
+        for (i, step) in steps.iter().enumerate() {
+            let arg_idx: Vec<usize> = step.arg_cols.iter().map(|&c| c as usize).collect();
+            let cost = self.runtime.get(&step.udf)?.cost();
+            let mut slots: Vec<Slot> = Vec::with_capacity(extended.len());
+            let mut to_invoke: Vec<Row> = Vec::new();
+            // First-occurrence index of each argument tuple in `to_invoke`
+            // (dedup mode only): an in-batch duplicate counts as a cache
+            // hit, exactly as it would row-at-a-time once the first
+            // occurrence had populated the cache.
+            let mut pending: HashMap<Row, usize> = HashMap::new();
+            for row in &extended {
+                let args = row.project(&arg_idx);
+                if dedup {
                     if let Some(v) = self.caches[i].get(&args) {
                         self.runtime.record_cache_hit();
-                        v.clone()
+                        slots.push(Slot::Ready(v.clone()));
+                    } else if let Some(&n) = pending.get(&args) {
+                        self.runtime.record_cache_hit();
+                        slots.push(Slot::Invoked(n));
                     } else {
-                        let v = self.invoke_step(&step.udf, &args)?;
-                        self.caches[i].insert(args, v.clone());
-                        v
+                        let n = to_invoke.len();
+                        pending.insert(args.clone(), n);
+                        to_invoke.push(args);
+                        slots.push(Slot::Invoked(n));
                     }
                 } else {
-                    self.invoke_step(&step.udf, &args)?
-                };
-                extended = extended.with_value(result);
+                    slots.push(Slot::Invoked(to_invoke.len()));
+                    to_invoke.push(args);
+                }
             }
+            for args in &to_invoke {
+                self.cpu_us += cost.invocation_us(args.wire_size());
+            }
+            let invoked = if to_invoke.is_empty() {
+                Vec::new()
+            } else {
+                let arg_refs: Vec<&[Value]> = to_invoke.iter().map(|r| r.values()).collect();
+                self.runtime.invoke_batch(&step.udf, &arg_refs)?
+            };
+            if dedup {
+                for (args, v) in to_invoke.iter().zip(invoked.iter()) {
+                    self.caches[i].insert(args.clone(), v.clone());
+                }
+            }
+            for (row, slot) in extended.iter_mut().zip(slots) {
+                let v = match slot {
+                    Slot::Ready(v) => v,
+                    Slot::Invoked(n) => invoked[n].clone(),
+                };
+                row.push_value(v);
+            }
+        }
+        let return_idx: Option<Vec<usize>> = self
+            .task
+            .return_cols
+            .as_ref()
+            .map(|cols| cols.iter().map(|&c| c as usize).collect());
+        let mut out = Vec::with_capacity(extended.len());
+        for row in extended {
             if let Some(pred) = &self.task.predicate {
-                if !pred.eval_predicate(&extended)? {
+                if !pred.eval_predicate(&row)? {
                     continue;
                 }
             }
-            let returned = match &self.task.return_cols {
-                Some(cols) => {
-                    let idx: Vec<usize> = cols.iter().map(|&c| c as usize).collect();
-                    extended.project(&idx)
-                }
-                None => extended,
+            let returned = match &return_idx {
+                Some(idx) => row.project(idx),
+                None => row,
             };
             out.push(returned);
         }
         Ok(out)
-    }
-
-    fn invoke_step(&mut self, udf_name: &str, args: &Row) -> Result<Value> {
-        let udf = self.runtime.get(udf_name)?;
-        let arg_bytes = args.wire_size();
-        self.cpu_us += udf.cost().invocation_us(arg_bytes);
-        self.runtime.invoke(udf_name, args.values())
     }
 }
 
@@ -149,7 +200,9 @@ pub fn spawn_client(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> JoinHand
 fn client_loop(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> Result<()> {
     let mut executor: Option<TaskExecutor> = None;
     while let Some(buf) = endpoint.recv() {
-        match Request::decode(&buf)? {
+        // Zero-copy: batch argument payloads stay views of the message.
+        let buf = Arc::new(buf);
+        match Request::decode_shared(&buf)? {
             Request::Install(task) => match TaskExecutor::new(runtime.clone(), task) {
                 Ok(ex) => executor = Some(ex),
                 Err(e) => {

@@ -15,10 +15,21 @@
 //!
 //! Rows are encoded as a u32 column count followed by each value; see
 //! [`encode_row`].
+//!
+//! # Zero-copy decoding
+//!
+//! A [`Decoder`] built with [`Decoder::shared`] decodes `Str` and `Blob`
+//! values as *views* into the shared message buffer instead of copying
+//! their payloads: the decoded [`Value`] keeps the whole message alive via
+//! its `Arc` and borrows the payload slice. See DESIGN.md §3 for the
+//! invariants. [`Decoder::new`] keeps the old copying behavior for callers
+//! that only have a borrowed `&[u8]`.
+
+use std::sync::Arc;
 
 use crate::error::{CsqError, Result};
 use crate::row::Row;
-use crate::value::{Blob, Value};
+use crate::value::{Blob, Str, Value};
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -57,15 +68,37 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
 }
 
 /// A cursor over encoded bytes.
+///
+/// Built with [`Decoder::new`] it copies string/blob payloads out of the
+/// input; built with [`Decoder::shared`] it decodes them as zero-copy views
+/// of the shared buffer.
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When present, `buf` is exactly `&shared[..]` and decoded `Str`/`Blob`
+    /// values are constructed as views into this allocation.
+    shared: Option<Arc<Vec<u8>>>,
 }
 
 impl<'a> Decoder<'a> {
-    /// Start decoding at the beginning of `buf`.
+    /// Start decoding at the beginning of `buf` (copying decode).
     pub fn new(buf: &'a [u8]) -> Decoder<'a> {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// Start a zero-copy decode over a shared message buffer. Decoded
+    /// `Str`/`Blob` values borrow slices of `buf` (keeping it alive via the
+    /// `Arc`) instead of copying their payloads.
+    pub fn shared(buf: &'a Arc<Vec<u8>>) -> Decoder<'a> {
+        Decoder {
+            buf: &buf[..],
+            pos: 0,
+            shared: Some(Arc::clone(buf)),
+        }
     }
 
     /// Bytes consumed so far.
@@ -149,14 +182,26 @@ impl<'a> Decoder<'a> {
             TAG_FLOAT => Ok(Value::Float(f64::from_bits(self.take_u64()?))),
             TAG_STR => {
                 let len = self.take_u32()? as usize;
+                let start = self.pos;
                 let bytes = self.take(len)?;
-                let s = std::str::from_utf8(bytes)
-                    .map_err(|e| CsqError::Codec(format!("invalid UTF-8 in string: {e}")))?;
-                Ok(Value::Str(s.to_string()))
+                match &self.shared {
+                    Some(arc) => Ok(Value::Str(Str::from_shared(Arc::clone(arc), start, len)?)),
+                    None => {
+                        let s = std::str::from_utf8(bytes).map_err(|e| {
+                            CsqError::Codec(format!("invalid UTF-8 in string: {e}"))
+                        })?;
+                        Ok(Value::from(s))
+                    }
+                }
             }
             TAG_BLOB => {
                 let len = self.take_u32()? as usize;
-                Ok(Value::Blob(Blob::new(self.take(len)?.to_vec())))
+                let start = self.pos;
+                let bytes = self.take(len)?;
+                match &self.shared {
+                    Some(arc) => Ok(Value::Blob(Blob::from_shared(Arc::clone(arc), start, len)?)),
+                    None => Ok(Value::Blob(Blob::new(bytes.to_vec()))),
+                }
             }
             tag => Err(CsqError::Codec(format!("unknown value tag {tag}"))),
         }
@@ -182,17 +227,31 @@ pub fn encode_row(row: &Row, out: &mut Vec<u8>) {
 }
 
 /// Encode a batch of rows (u32 count then rows); the message payloads the
-/// shipping strategies put on the wire.
+/// shipping strategies put on the wire. Preallocates the exact output size
+/// via [`row_encoded_size`] so large batches encode without reallocation.
 pub fn encode_rows(rows: &[Row], out: &mut Vec<u8>) {
+    out.reserve(4 + rows.iter().map(row_encoded_size).sum::<usize>());
     out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
     for r in rows {
         encode_row(r, out);
     }
 }
 
-/// Decode a batch of rows encoded by [`encode_rows`].
-pub fn decode_rows(buf: &[u8]) -> Result<Vec<Row>> {
-    let mut d = Decoder::new(buf);
+/// Like [`encode_rows`] but over borrowed rows from any exactly-sized
+/// iterator (lets senders encode without first cloning rows into a `Vec`).
+/// Produces byte-identical output to `encode_rows` on the same rows.
+pub fn encode_rows_iter<'r, I>(rows: I, out: &mut Vec<u8>)
+where
+    I: ExactSizeIterator<Item = &'r Row> + Clone,
+{
+    out.reserve(4 + rows.clone().map(row_encoded_size).sum::<usize>());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for r in rows {
+        encode_row(r, out);
+    }
+}
+
+fn decode_rows_with(d: &mut Decoder<'_>, total_len: usize) -> Result<Vec<Row>> {
     // Each row needs at least its 4-byte column count.
     let n = d.take_count(4)?;
     let mut rows = Vec::with_capacity(n);
@@ -202,10 +261,21 @@ pub fn decode_rows(buf: &[u8]) -> Result<Vec<Row>> {
     if !d.is_exhausted() {
         return Err(CsqError::Codec(format!(
             "{} trailing bytes after rows",
-            buf.len() - d.position()
+            total_len - d.position()
         )));
     }
     Ok(rows)
+}
+
+/// Decode a batch of rows encoded by [`encode_rows`], copying payloads.
+pub fn decode_rows(buf: &[u8]) -> Result<Vec<Row>> {
+    decode_rows_with(&mut Decoder::new(buf), buf.len())
+}
+
+/// Decode a batch of rows as zero-copy views into the shared message
+/// buffer: every decoded `Str`/`Blob` borrows its payload from `buf`.
+pub fn decode_rows_shared(buf: &Arc<Vec<u8>>) -> Result<Vec<Row>> {
+    decode_rows_with(&mut Decoder::shared(buf), buf.len())
 }
 
 /// Exact encoded size of a row including its count prefix.
@@ -222,6 +292,11 @@ mod tests {
         encode_value(&v, &mut buf);
         assert_eq!(buf.len(), v.wire_size(), "wire_size contract for {v:?}");
         let mut d = Decoder::new(&buf);
+        assert_eq!(d.value().unwrap(), v);
+        assert!(d.is_exhausted());
+        // The shared decoder must agree value-for-value.
+        let arc = Arc::new(buf);
+        let mut d = Decoder::shared(&arc);
         assert_eq!(d.value().unwrap(), v);
         assert!(d.is_exhausted());
     }
@@ -262,6 +337,39 @@ mod tests {
     }
 
     #[test]
+    fn encode_rows_iter_matches_encode_rows() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::from("abc")]),
+            Row::new(vec![Value::Blob(Blob::synthetic(16, 5)), Value::Null]),
+        ];
+        let mut a = Vec::new();
+        encode_rows(&rows, &mut a);
+        let mut b = Vec::new();
+        encode_rows_iter(rows.iter(), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_decode_is_zero_copy() {
+        let rows = vec![Row::new(vec![
+            Value::from("ticker"),
+            Value::Blob(Blob::synthetic(128, 1)),
+            Value::Int(7),
+        ])];
+        let mut buf = Vec::new();
+        encode_rows(&rows, &mut buf);
+        let arc = Arc::new(buf);
+        let decoded = decode_rows_shared(&arc).unwrap();
+        assert_eq!(decoded, rows);
+        // Str and Blob payloads are views into the message allocation.
+        let Value::Str(s) = decoded[0].value(0) else {
+            panic!("expected Str")
+        };
+        assert!(s.backed_by(&arc));
+        assert!(decoded[0].value(1).as_blob().unwrap().backed_by(&arc));
+    }
+
+    #[test]
     fn truncated_input_errors() {
         let mut buf = Vec::new();
         encode_value(&Value::Int(7), &mut buf);
@@ -283,5 +391,7 @@ mod tests {
         encode_rows(&rows, &mut buf);
         buf.push(0);
         assert_eq!(decode_rows(&buf).unwrap_err().kind(), "codec");
+        let arc = Arc::new(buf);
+        assert_eq!(decode_rows_shared(&arc).unwrap_err().kind(), "codec");
     }
 }

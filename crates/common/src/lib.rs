@@ -2,21 +2,25 @@
 //!
 //! This crate provides the shared vocabulary of the whole system: typed
 //! [`Value`]s (including opaque [`Blob`] "data objects" as used in the paper's
-//! experiments), [`Schema`]s with qualified column names, [`Row`]s, error
-//! types, and a compact binary [`codec`] whose encoded sizes are the *byte
-//! accounting* used by the network simulator and the cost model.
+//! experiments and refcounted [`Str`] strings), [`Schema`]s with qualified
+//! column names, [`Row`]s, [`RowBatch`] chunks (the unit of the vectorized
+//! execution engine), error types, and a compact binary [`codec`] — with
+//! zero-copy decoding — whose encoded sizes are the *byte accounting* used
+//! by the network simulator and the cost model.
 //!
 //! The paper's experiments are all about how many bytes cross the client
 //! uplink and downlink, so "how big is this value on the wire" is a
 //! first-class concept here: see [`Value::wire_size`] and [`Row::wire_size`].
 
+pub mod batch;
 pub mod codec;
 pub mod error;
 pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
 pub use error::{CsqError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema};
-pub use value::{Blob, DataType, Value};
+pub use value::{Blob, DataType, Str, Value};

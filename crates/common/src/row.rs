@@ -15,26 +15,31 @@ impl Row {
     }
 
     /// The values, in schema order.
+    #[inline]
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
     /// Value at ordinal `i`.
+    #[inline]
     pub fn value(&self, i: usize) -> &Value {
         &self.values[i]
     }
 
     /// Number of columns.
+    #[inline]
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
     /// True when the row has no columns.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
     /// Consume into the underlying values.
+    #[inline]
     pub fn into_values(self) -> Vec<Value> {
         self.values
     }
@@ -48,10 +53,41 @@ impl Row {
 
     /// The sub-row at `indices` (projection); clones values (blobs are
     /// refcounted so this is cheap even for large objects).
+    #[inline]
     pub fn project(&self, indices: &[usize]) -> Row {
         Row {
             values: indices.iter().map(|&i| self.values[i].clone()).collect(),
         }
+    }
+
+    /// In-place projection for *strictly increasing* `indices`: moves the
+    /// selected values to the front and truncates, reusing this row's
+    /// allocation (no clone, no new `Vec`). The monotonicity requirement
+    /// guarantees `indices[k] >= k`, so each move reads a slot that has not
+    /// been overwritten yet; non-monotonic indices are rejected (a silent
+    /// wrong answer would be the alternative). On `Err` the row's contents
+    /// are unspecified.
+    pub fn project_in_place(&mut self, indices: &[usize]) -> crate::error::Result<()> {
+        let mut prev: Option<usize> = None;
+        for (k, &i) in indices.iter().enumerate() {
+            if prev.is_some_and(|p| p >= i) {
+                return Err(crate::error::CsqError::Exec(format!(
+                    "project_in_place requires strictly increasing indices, got {indices:?}"
+                )));
+            }
+            prev = Some(i);
+            if i >= self.values.len() {
+                return Err(crate::error::CsqError::Exec(format!(
+                    "column ordinal {i} out of bounds for row of width {}",
+                    self.values.len()
+                )));
+            }
+            if i != k {
+                self.values[k] = std::mem::replace(&mut self.values[i], Value::Null);
+            }
+        }
+        self.values.truncate(indices.len());
+        Ok(())
     }
 
     /// Concatenate two rows (join output).
@@ -67,6 +103,13 @@ impl Row {
         let mut values = self.values.clone();
         values.push(v);
         Row { values }
+    }
+
+    /// Append a value in place (the allocation-free sibling of
+    /// [`Row::with_value`], used on the client's batch hot path).
+    #[inline]
+    pub fn push_value(&mut self, v: Value) {
+        self.values.push(v);
     }
 }
 

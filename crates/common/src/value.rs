@@ -4,8 +4,14 @@
 //! of client-site UDF execution what matters is (a) typed scalars for
 //! predicates and join keys, and (b) opaque sized "data objects" that are the
 //! arguments and results of client-site UDFs (the experiments parameterize
-//! everything by object *size*). [`Blob`] plays the data-object role and is
-//! reference-counted so rows can be duplicated cheaply on the server.
+//! everything by object *size*). [`Blob`] plays the data-object role.
+//!
+//! Both [`Blob`] and [`Str`] are *views* into a reference-counted byte
+//! buffer: cloning is an `Arc` bump, and the codec can decode them as
+//! zero-copy slices of a received network message (see
+//! [`crate::codec::Decoder::shared`]). Equality and hashing are always by
+//! content, never by backing buffer, so a decoded view compares equal to an
+//! owned value with the same bytes.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -13,16 +19,66 @@ use std::sync::Arc;
 
 use crate::error::{CsqError, Result};
 
+/// A range view into a shared byte buffer. The invariant maintained by all
+/// constructors is `start + len <= data.len()`.
+#[derive(Clone)]
+struct ByteView {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl ByteView {
+    fn owned(bytes: Vec<u8>) -> ByteView {
+        let len = bytes.len();
+        ByteView {
+            data: Arc::new(bytes),
+            start: 0,
+            len,
+        }
+    }
+
+    fn shared(data: Arc<Vec<u8>>, start: usize, len: usize) -> Result<ByteView> {
+        if start.checked_add(len).is_none_or(|end| end > data.len()) {
+            return Err(CsqError::Codec(format!(
+                "byte view {start}..{} out of range for buffer of {} bytes",
+                start.saturating_add(len),
+                data.len()
+            )));
+        }
+        Ok(ByteView { data, start, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    fn shares_allocation(&self, other: &ByteView) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    fn backed_by(&self, buf: &Arc<Vec<u8>>) -> bool {
+        Arc::ptr_eq(&self.data, buf)
+    }
+}
+
 /// An opaque byte object — the paper's `DataObject` (time series, reports...).
 ///
-/// Cheap to clone (`Arc`), compared and hashed by content.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Blob(Arc<Vec<u8>>);
+/// Cheap to clone (`Arc`), compared and hashed by content. May be a
+/// zero-copy slice of a received network message (see the codec).
+#[derive(Clone)]
+pub struct Blob(ByteView);
 
 impl Blob {
-    /// Wrap raw bytes.
+    /// Wrap raw bytes (owning constructor).
     pub fn new(bytes: Vec<u8>) -> Self {
-        Blob(Arc::new(bytes))
+        Blob(ByteView::owned(bytes))
+    }
+
+    /// A zero-copy view of `len` bytes at `start` within a shared buffer
+    /// (the codec's decode path). Errors when the range is out of bounds.
+    pub fn from_shared(data: Arc<Vec<u8>>, start: usize, len: usize) -> Result<Self> {
+        Ok(Blob(ByteView::shared(data, start, len)?))
     }
 
     /// A deterministic blob of `len` bytes seeded by `seed`; used by workload
@@ -38,33 +94,168 @@ impl Blob {
             state ^= state << 17;
             bytes.push((state & 0xFF) as u8);
         }
-        Blob(Arc::new(bytes))
+        Blob::new(bytes)
     }
 
     /// Byte contents.
+    #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        self.0.as_slice()
     }
 
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.len
     }
 
     /// True when the payload is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.0.len == 0
+    }
+
+    /// True when both blobs are views of the same backing allocation
+    /// (used by tests asserting the decode path is zero-copy).
+    pub fn shares_allocation(&self, other: &Blob) -> bool {
+        self.0.shares_allocation(&other.0)
+    }
+
+    /// True when this blob is a view into `buf` (zero-copy test hook).
+    pub fn backed_by(&self, buf: &Arc<Vec<u8>>) -> bool {
+        self.0.backed_by(buf)
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Blob {}
+
+impl Hash for Blob {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Matches the derived hash of the previous `Arc<Vec<u8>>`
+        // representation (Vec hashes its contents).
+        self.as_bytes().hash(state);
     }
 }
 
 impl fmt::Debug for Blob {
     /// Abbreviated so `Debug` stays readable for huge payloads.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.len() <= 8 {
-            write!(f, "Blob({:02x?})", &self.0[..])
+        let b = self.as_bytes();
+        if b.len() <= 8 {
+            write!(f, "Blob({b:02x?})")
         } else {
-            write!(f, "Blob({} bytes, {:02x?}..)", self.0.len(), &self.0[..8])
+            write!(f, "Blob({} bytes, {:02x?}..)", b.len(), &b[..8])
         }
+    }
+}
+
+/// An immutable UTF-8 string backed by a shared byte buffer.
+///
+/// Like [`Blob`], cloning bumps an `Arc`, and the codec can decode a `Str`
+/// as a zero-copy slice of a received message. UTF-8 validity is checked
+/// once at construction; `as_str` is then free.
+#[derive(Clone)]
+pub struct Str(ByteView);
+
+impl Str {
+    /// Own a string.
+    pub fn new(s: impl Into<String>) -> Str {
+        Str(ByteView::owned(s.into().into_bytes()))
+    }
+
+    /// A zero-copy view of `len` bytes at `start` within a shared buffer.
+    /// Validates bounds and UTF-8 (once; `as_str` relies on it).
+    pub fn from_shared(data: Arc<Vec<u8>>, start: usize, len: usize) -> Result<Str> {
+        let view = ByteView::shared(data, start, len)?;
+        std::str::from_utf8(view.as_slice())
+            .map_err(|e| CsqError::Codec(format!("invalid UTF-8 in string: {e}")))?;
+        Ok(Str(view))
+    }
+
+    /// String contents.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        // SAFETY: every constructor validated that the viewed range is
+        // UTF-8, the buffer is immutable, and the range is in bounds.
+        unsafe { std::str::from_utf8_unchecked(self.0.as_slice()) }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.0.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.len == 0
+    }
+
+    /// True when this string is a view into `buf` (zero-copy test hook).
+    pub fn backed_by(&self, buf: &Arc<Vec<u8>>) -> bool {
+        self.0.backed_by(buf)
+    }
+}
+
+impl std::ops::Deref for Str {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Str {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Str {}
+
+impl PartialOrd for Str {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Str {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for Str {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Same hash as `String`/`str` so map lookups keyed by strings
+        // behave identically to the previous `Value::Str(String)`.
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for Str {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Str {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Str {
+    fn from(s: &str) -> Str {
+        Str::new(s)
+    }
+}
+
+impl From<String> for Str {
+    fn from(s: String) -> Str {
+        Str::new(s)
     }
 }
 
@@ -122,7 +313,7 @@ pub enum Value {
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Str),
     Blob(Blob),
 }
 
@@ -155,6 +346,7 @@ impl Value {
     }
 
     /// True when this is SQL NULL.
+    #[inline]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -197,7 +389,7 @@ impl Value {
     /// Extract a string slice.
     pub fn as_str(&self) -> Result<&str> {
         match self {
-            Value::Str(s) => Ok(s),
+            Value::Str(s) => Ok(s.as_str()),
             other => Err(CsqError::Type(format!(
                 "expected STRING, got {:?}",
                 other.data_type()
@@ -301,12 +493,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Str::new(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::Str(Str::new(s))
     }
 }
 impl From<Blob> for Value {
@@ -383,5 +575,41 @@ mod tests {
         assert!(DataType::parse("frob").is_err());
         assert!(DataType::Float.accepts(DataType::Int));
         assert!(!DataType::Int.accepts(DataType::Float));
+    }
+
+    #[test]
+    fn shared_views_compare_by_content() {
+        let buf = Arc::new(b"hello world".to_vec());
+        let b = Blob::from_shared(buf.clone(), 0, 5).unwrap();
+        assert_eq!(b, Blob::new(b"hello".to_vec()));
+        assert!(b.backed_by(&buf));
+        assert!(!Blob::new(b"hello".to_vec()).backed_by(&buf));
+        let s = Str::from_shared(buf.clone(), 6, 5).unwrap();
+        assert_eq!(s.as_str(), "world");
+        assert!(s.backed_by(&buf));
+        // Hash agreement between owned and shared representations.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Str(s));
+        set.insert(Value::from("world"));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn shared_view_bounds_checked() {
+        let buf = Arc::new(vec![1u8, 2, 3]);
+        assert!(Blob::from_shared(buf.clone(), 2, 2).is_err());
+        assert!(Blob::from_shared(buf.clone(), usize::MAX, 2).is_err());
+        assert!(Str::from_shared(buf.clone(), 0, 3).is_ok());
+        let bad = Arc::new(vec![0xFFu8, 0xFE]);
+        assert!(Str::from_shared(bad, 0, 2).is_err());
+    }
+
+    #[test]
+    fn str_clone_shares_allocation() {
+        let a = Str::new("abcdef");
+        let b = a.clone();
+        assert!(a.0.shares_allocation(&b.0));
+        assert_eq!(a, b);
     }
 }

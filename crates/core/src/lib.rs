@@ -47,7 +47,9 @@ use csq_sql::{parse_statement, Statement};
 // all work from `csq::...` alone.
 pub use csq_client::synthetic;
 pub use csq_client::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
-pub use csq_common::{Blob, CsqError, DataType, Field, Result, Row, Schema, Value};
+pub use csq_common::{
+    Blob, CsqError, DataType, Field, Result, Row, RowBatch, Schema, Str, Value, DEFAULT_BATCH_SIZE,
+};
 pub use csq_net::{NetStats, NetworkSpec};
 pub use csq_opt::{OptimizedPlan, UdfMeta};
 pub use csq_storage::{Catalog, Table, TableBuilder};

@@ -185,27 +185,20 @@ fn build_threaded(
     }
 }
 
-/// Project the final operator output onto the query's SELECT list.
+/// Project the final operator output onto the query's SELECT list, using
+/// the vectorized `Project` operator (pure-column outputs move values out
+/// of the intermediate rows instead of cloning them).
 fn project_output(graph: &QueryGraph, schema: &Schema, rows: Vec<Row>) -> Result<QueryResult> {
-    let mut bound = Vec::with_capacity(graph.output.len());
-    let mut fields = Vec::with_capacity(graph.output.len());
+    let mut exprs = Vec::with_capacity(graph.output.len());
     for (e, name) in &graph.output {
         let pe = bind(e, schema)?;
         let dtype = pe.infer_type(schema).unwrap_or(csq_common::DataType::Str);
-        bound.push(pe);
-        fields.push(Field::new(name.clone(), dtype));
+        exprs.push((pe, Field::new(name.clone(), dtype)));
     }
-    let out_schema = Schema::new(fields);
-    let mut out_rows = Vec::with_capacity(rows.len());
-    for r in rows {
-        let mut vals = Vec::with_capacity(bound.len());
-        for b in &bound {
-            vals.push(b.eval(&r)?);
-        }
-        out_rows.push(Row::new(vals));
-    }
+    let mut project = csq_exec::Project::new(Box::new(RowsOp::new(schema.clone(), rows)), exprs);
+    let out_rows = collect(&mut project)?;
     Ok(QueryResult {
-        schema: out_schema,
+        schema: project.schema().clone(),
         rows: out_rows,
         affected: 0,
     })

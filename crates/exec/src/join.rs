@@ -6,25 +6,58 @@
 //! join when the sender sorts on the argument columns (§2.3.1), a hash join
 //! otherwise. These operators are also what the optimizer uses for ordinary
 //! table joins.
+//!
+//! All three are batch-native: inputs are pulled a [`RowBatch`] at a time
+//! and outputs are emitted in batches (a batch may exceed the default
+//! capacity when one input row fans out to many matches).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use csq_common::{Result, Row, Schema};
+use csq_common::{Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
 use csq_expr::PhysExpr;
 
-use crate::ops::{collect, compare_on, Operator};
+use crate::ops::{batch_operator, collect, compare_on_keys, Operator, RowCarry};
 
-/// Hash equi-join: builds the right input, probes with the left.
-/// Output schema = left ⊕ right.
+/// Pulls batches from a child operator and hands rows out one at a time —
+/// the input-side adapter for operators whose algorithm is inherently
+/// row-sequential (merge join's group detection, nested-loop's outer loop).
+struct BatchCursor {
+    op: Box<dyn Operator + Send>,
+    buf: std::vec::IntoIter<Row>,
+}
+
+impl BatchCursor {
+    fn new(op: Box<dyn Operator + Send>) -> BatchCursor {
+        BatchCursor {
+            op,
+            buf: Vec::new().into_iter(),
+        }
+    }
+
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(r) = self.buf.next() {
+                return Ok(Some(r));
+            }
+            match self.op.next_batch()? {
+                Some(b) => self.buf = b.into_rows().into_iter(),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Hash equi-join: builds the right input, probes with the left, one batch
+/// of probe rows at a time. Output schema = left ⊕ right.
 pub struct HashJoin {
     left: Box<dyn Operator + Send>,
     right: Option<Box<dyn Operator + Send>>,
     left_key: Vec<usize>,
     right_key: Vec<usize>,
-    schema: Schema,
+    schema: Arc<Schema>,
     table: Option<HashMap<Row, Vec<Row>>>,
-    /// Pending matches for the current left row.
-    pending: Vec<Row>,
+    carry: RowCarry,
 }
 
 impl HashJoin {
@@ -36,7 +69,7 @@ impl HashJoin {
         right_key: Vec<usize>,
     ) -> HashJoin {
         assert_eq!(left_key.len(), right_key.len(), "join key arity mismatch");
-        let schema = left.schema().join(right.schema());
+        let schema = Arc::new(left.schema().join(right.schema()));
         HashJoin {
             left,
             right: Some(right),
@@ -44,17 +77,11 @@ impl HashJoin {
             right_key,
             schema,
             table: None,
-            pending: Vec::new(),
+            carry: RowCarry::default(),
         }
     }
-}
 
-impl Operator for HashJoin {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Result<Option<Row>> {
+    fn produce(&mut self) -> Result<Option<RowBatch>> {
         if self.table.is_none() {
             let mut right = self.right.take().expect("hash join built twice");
             let rows = collect(right.as_mut())?;
@@ -64,39 +91,68 @@ impl Operator for HashJoin {
             }
             self.table = Some(table);
         }
+        let table = self.table.as_ref().unwrap();
         loop {
-            if let Some(m) = self.pending.pop() {
-                return Ok(Some(m));
-            }
-            let Some(l) = self.left.next()? else {
+            let Some(batch) = self.left.next_batch()? else {
                 return Ok(None);
             };
-            let key = l.project(&self.left_key);
-            // SQL semantics: NULL keys never match.
-            if key.values().iter().any(|v| v.is_null()) {
-                continue;
+            let mut out = Vec::new();
+            for l in batch.rows() {
+                let key = l.project(&self.left_key);
+                // SQL semantics: NULL keys never match.
+                if key.values().iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    out.reserve(matches.len());
+                    for r in matches {
+                        out.push(l.join(r));
+                    }
+                }
             }
-            if let Some(matches) = self.table.as_ref().unwrap().get(&key) {
-                // Reverse so pop() yields input order.
-                self.pending = matches.iter().rev().map(|r| l.join(r)).collect();
+            if !out.is_empty() {
+                return Ok(Some(RowBatch::from_rows(self.schema.clone(), out)));
             }
         }
     }
 }
 
+batch_operator!(HashJoin);
+
+/// Accumulate up to [`DEFAULT_BATCH_SIZE`] rows from a row-producing step
+/// into one batch — the output-side adapter shared by the row-sequential
+/// join algorithms.
+fn accumulate_batch(
+    schema: Arc<Schema>,
+    mut step: impl FnMut() -> Result<Option<Row>>,
+) -> Result<Option<RowBatch>> {
+    let mut out = Vec::new();
+    while out.len() < DEFAULT_BATCH_SIZE {
+        match step()? {
+            Some(r) => out.push(r),
+            None => break,
+        }
+    }
+    if out.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(RowBatch::from_rows(schema, out)))
+}
+
 /// Merge join over inputs already sorted ascending on their key columns.
 /// Produces the cross product of each matching key group.
 pub struct MergeJoin {
-    left: Box<dyn Operator + Send>,
-    right: Box<dyn Operator + Send>,
+    left: BatchCursor,
+    right: BatchCursor,
     left_key: Vec<usize>,
     right_key: Vec<usize>,
-    schema: Schema,
+    schema: Arc<Schema>,
     l_row: Option<Row>,
     r_group: Vec<Row>,
     r_next: Option<Row>,
     started: bool,
     pending: Vec<Row>,
+    carry: RowCarry,
 }
 
 impl MergeJoin {
@@ -108,10 +164,10 @@ impl MergeJoin {
         right_key: Vec<usize>,
     ) -> MergeJoin {
         assert_eq!(left_key.len(), right_key.len());
-        let schema = left.schema().join(right.schema());
+        let schema = Arc::new(left.schema().join(right.schema()));
         MergeJoin {
-            left,
-            right,
+            left: BatchCursor::new(left),
+            right: BatchCursor::new(right),
             left_key,
             right_key,
             schema,
@@ -120,96 +176,99 @@ impl MergeJoin {
             r_next: None,
             started: false,
             pending: Vec::new(),
+            carry: RowCarry::default(),
         }
     }
 
-    /// Load the next group of right rows sharing one key, returning its key.
-    fn advance_right_group(&mut self) -> Result<Option<Row>> {
+    /// Load the next group of right rows sharing one key; `false` when the
+    /// right side is exhausted.
+    fn advance_right_group(&mut self) -> Result<bool> {
         self.r_group.clear();
         let first = match self.r_next.take() {
             Some(r) => r,
-            None => match self.right.next()? {
+            None => match self.right.next_row()? {
                 Some(r) => r,
-                None => return Ok(None),
+                None => return Ok(false),
             },
         };
-        let key = first.project(&self.right_key);
         self.r_group.push(first);
-        while let Some(r) = self.right.next()? {
-            if r.project(&self.right_key) == key {
+        while let Some(r) = self.right.next_row()? {
+            // Group membership by in-place key equality (Null groups with
+            // Null, like the former projected-key comparison).
+            let same = {
+                let head = &self.r_group[0];
+                self.right_key.iter().all(|&k| r.value(k) == head.value(k))
+            };
+            if same {
                 self.r_group.push(r);
             } else {
                 self.r_next = Some(r);
                 break;
             }
         }
-        Ok(Some(key))
-    }
-}
-
-impl Operator for MergeJoin {
-    fn schema(&self) -> &Schema {
-        &self.schema
+        Ok(true)
     }
 
-    fn next(&mut self) -> Result<Option<Row>> {
+    fn row_step(&mut self) -> Result<Option<Row>> {
         use std::cmp::Ordering;
         if !self.started {
             self.started = true;
-            self.l_row = self.left.next()?;
+            self.l_row = self.left.next_row()?;
             self.advance_right_group()?;
         }
         loop {
             if let Some(m) = self.pending.pop() {
                 return Ok(Some(m));
             }
-            let Some(l) = self.l_row.clone() else {
+            let Some(l) = self.l_row.as_ref() else {
                 return Ok(None);
             };
             if self.r_group.is_empty() {
                 return Ok(None);
             }
-            let l_key = l.project(&self.left_key);
-            let r_key = self.r_group[0].project(&self.right_key);
-            // NULL keys never join.
-            let l_null = l_key.values().iter().any(|v| v.is_null());
-            let mixed = compare_rows_as_keys(&l_key, &r_key, &self.left_key.len())?;
+            // Keys are compared in place — no per-row key projection.
+            let l_null = self.left_key.iter().any(|&k| l.value(k).is_null());
+            let mixed = compare_on_keys(l, &self.left_key, &self.r_group[0], &self.right_key)?;
             match mixed {
                 Ordering::Less => {
-                    self.l_row = self.left.next()?;
+                    self.l_row = self.left.next_row()?;
                 }
                 Ordering::Greater => {
-                    if self.advance_right_group()?.is_none() {
+                    if !self.advance_right_group()? {
                         return Ok(None);
                     }
                 }
                 Ordering::Equal if l_null => {
-                    self.l_row = self.left.next()?;
+                    self.l_row = self.left.next_row()?;
                 }
                 Ordering::Equal => {
                     self.pending = self.r_group.iter().rev().map(|r| l.join(r)).collect();
-                    self.l_row = self.left.next()?;
+                    self.l_row = self.left.next_row()?;
                 }
             }
         }
     }
+
+    fn produce(&mut self) -> Result<Option<RowBatch>> {
+        let schema = self.schema.clone();
+        accumulate_batch(schema, || self.row_step())
+    }
 }
 
-fn compare_rows_as_keys(a: &Row, b: &Row, _width: &usize) -> Result<std::cmp::Ordering> {
-    let key: Vec<usize> = (0..a.len()).collect();
-    compare_on(a, b, &key)
-}
+batch_operator!(MergeJoin);
 
 /// Nested-loop join with an arbitrary bound predicate over the concatenated
 /// row. The right input is materialized.
 pub struct NestedLoopJoin {
-    left: Box<dyn Operator + Send>,
+    left: BatchCursor,
     right: Option<Box<dyn Operator + Send>>,
     predicate: Option<PhysExpr>,
-    schema: Schema,
+    schema: Arc<Schema>,
     right_rows: Vec<Row>,
     current_left: Option<Row>,
     right_pos: usize,
+    started: bool,
+    carry: RowCarry,
 }
 
 impl NestedLoopJoin {
@@ -220,31 +279,29 @@ impl NestedLoopJoin {
         right: Box<dyn Operator + Send>,
         predicate: Option<PhysExpr>,
     ) -> NestedLoopJoin {
-        let schema = left.schema().join(right.schema());
+        let schema = Arc::new(left.schema().join(right.schema()));
         NestedLoopJoin {
-            left,
+            left: BatchCursor::new(left),
             right: Some(right),
             predicate,
             schema,
             right_rows: Vec::new(),
             current_left: None,
             right_pos: 0,
+            started: false,
+            carry: RowCarry::default(),
         }
     }
-}
 
-impl Operator for NestedLoopJoin {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Result<Option<Row>> {
-        if let Some(mut right) = self.right.take() {
+    fn row_step(&mut self) -> Result<Option<Row>> {
+        if !self.started {
+            self.started = true;
+            let mut right = self.right.take().expect("nested-loop right missing");
             self.right_rows = collect(right.as_mut())?;
-            self.current_left = self.left.next()?;
+            self.current_left = self.left.next_row()?;
         }
         loop {
-            let Some(l) = self.current_left.clone() else {
+            let Some(l) = &self.current_left else {
                 return Ok(None);
             };
             while self.right_pos < self.right_rows.len() {
@@ -259,10 +316,17 @@ impl Operator for NestedLoopJoin {
                 }
             }
             self.right_pos = 0;
-            self.current_left = self.left.next()?;
+            self.current_left = self.left.next_row()?;
         }
     }
+
+    fn produce(&mut self) -> Result<Option<RowBatch>> {
+        let schema = self.schema.clone();
+        accumulate_batch(schema, || self.row_step())
+    }
 }
+
+batch_operator!(NestedLoopJoin);
 
 #[cfg(test)]
 mod tests {
@@ -396,5 +460,31 @@ mod tests {
         let out = collect(&mut theta).unwrap();
         // (1,1):no (1,3):yes (2,1):no (2,3):yes
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn joins_emit_batches() {
+        // Fan-out beyond one batch still arrives completely.
+        let n = 3000usize;
+        let (ls, _) = side("l", &[]);
+        let (rs, _) = side("r", &[]);
+        let lrows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64 % 7), Value::from("l")]))
+            .collect();
+        let rrows: Vec<Row> = (0..7)
+            .map(|i| Row::new(vec![Value::Int(i as i64), Value::from("r")]))
+            .collect();
+        let mut j = HashJoin::new(
+            Box::new(RowsOp::new(ls, lrows)),
+            Box::new(RowsOp::new(rs, rrows)),
+            vec![0],
+            vec![0],
+        );
+        let mut total = 0;
+        while let Some(b) = j.next_batch().unwrap() {
+            assert!(!b.is_empty());
+            total += b.len();
+        }
+        assert_eq!(total, n);
     }
 }

@@ -1,9 +1,13 @@
-//! # csq-exec — the iterator-model execution engine
+//! # csq-exec — the vectorized batch execution engine
 //!
-//! Classic Volcano-style operators (§2.1 of the paper shows the pseudo-code
-//! of this model): each operator pulls rows from its children via
-//! [`Operator::next`]. The client-site shipping strategies in `csq-ship`
-//! implement the same trait, so they compose into ordinary plans.
+//! Operators follow the Volcano pull model (§2.1 of the paper shows the
+//! pseudo-code), but pull a whole [`csq_common::RowBatch`] per call via
+//! [`Operator::next_batch`] — dynamic dispatch, predicate setup, and buffer
+//! allocation are paid once per ~1024 rows instead of once per row (the
+//! local-engine analogue of the paper's batching-beats-per-tuple thesis).
+//! [`Operator::next`] remains as a row-at-a-time compatibility adapter, so
+//! inherently row-oriented operators (the threaded shipping receivers in
+//! `csq-ship`) compose into the same plans. See DESIGN.md §2.
 //!
 //! Operators provided here: scan, filter, project, sort, distinct, hash
 //! join, merge join, nested-loop join, limit, and in-memory row sources.

@@ -112,9 +112,11 @@ pub fn simulate_semijoin(
     let mut outstanding_tuples = 0usize;
     let mut last_completion: SimTime = 0;
 
-    // Result bookkeeping for output assembly.
-    let mut results: HashMap<Row, Row> = HashMap::new();
-    let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
+    // Result bookkeeping for output assembly (capacity: one entry per
+    // distinct argument, bounded by the input size).
+    let mut results: HashMap<Row, Row> = HashMap::with_capacity(rows.len());
+    let mut seen: std::collections::HashSet<Row> =
+        std::collections::HashSet::with_capacity(rows.len());
     let mut prev_key: Option<Row> = None;
 
     let mut batch_args: Vec<Row> = Vec::with_capacity(batch_size);
@@ -137,7 +139,7 @@ pub fn simulate_semijoin(
                 }
                 if !batch_args.is_empty() {
                     let args = std::mem::take(&mut batch_args);
-                    let msg = Request::Batch(args.clone()).encode();
+                    let msg = Request::encode_batch(args.iter());
                     let (_, arrive) = down.transmit(sender_clock, net.downlink_bytes(msg.len()));
                     // Client processes the batch serially.
                     let out = executor.process(args.clone())?;
@@ -240,7 +242,7 @@ pub fn simulate_client_join(
 
     let batch_size = spec.batch_size.max(1);
     for chunk in rows.chunks(batch_size) {
-        let msg = Request::Batch(chunk.to_vec()).encode();
+        let msg = Request::encode_batch(chunk.iter());
         // The sender is never blocked: the link itself serializes.
         let (_, arrive) = down.transmit(0, net.downlink_bytes(msg.len()));
         let out = executor.process(chunk.to_vec())?;
@@ -300,7 +302,7 @@ pub fn simulate_naive(
             out_rows.push(row.join(result));
             continue;
         }
-        let msg = Request::Batch(vec![key.clone()]).encode();
+        let msg = Request::encode_batch(std::iter::once(&key));
         let (_, arrive) = down.transmit(now, net.downlink_bytes(msg.len()));
         let out = executor.process(vec![key.clone()])?;
         let cpu_now = executor.cpu_us();

@@ -9,24 +9,27 @@
 //! runs in its own thread (see [`csq_client::spawn_client`]).
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
-use csq_common::{CsqError, Result, Row, Schema};
-use csq_exec::{collect, Operator, Sort};
+use csq_common::{CsqError, Result, Row, RowBatch, Schema};
+use csq_exec::{Operator, Sort};
 use csq_net::{Endpoint, NetReceiver, NetSender};
 
 use csq_client::{Request, Response};
 
 use crate::spec::{ClientJoinSpec, SemiJoinSpec, UdfApplication};
 
-/// Sender → receiver buffer entries.
+/// Sender → receiver buffer entries. Keys are `Arc`-shared: the same
+/// projected argument tuple is referenced by the buffer entry, the dedup
+/// set, and the outgoing batch without ever cloning the row.
 enum Pending {
     /// A record waiting for (or reusing) a UDF result.
     Rec {
         row: Row,
-        key: Row,
+        key: Arc<Row>,
         /// True when this record's argument tuple was newly shipped — its
         /// result is the next one in the response stream.
         fresh: bool,
@@ -39,12 +42,12 @@ enum Pending {
 /// per distinct argument), last-value cache for sorted input (duplicates are
 /// adjacent, so O(1) memory — the "merge-join" receiver of §2.3.1).
 enum ResultCache {
-    Hash(HashMap<Row, Row>),
-    Last(Option<(Row, Row)>),
+    Hash(HashMap<Arc<Row>, Row>),
+    Last(Option<(Arc<Row>, Row)>),
 }
 
 impl ResultCache {
-    fn insert(&mut self, key: Row, result: Row) {
+    fn insert(&mut self, key: Arc<Row>, result: Row) {
         match self {
             ResultCache::Hash(m) => {
                 m.insert(key, result);
@@ -57,7 +60,7 @@ impl ResultCache {
         match self {
             ResultCache::Hash(m) => m.get(key),
             ResultCache::Last(slot) => match slot {
-                Some((k, r)) if k == key => Some(r),
+                Some((k, r)) if k.as_ref() == key => Some(r),
                 _ => None,
             },
         }
@@ -124,7 +127,9 @@ impl ThreadedSemiJoin {
                     "client closed connection before all results arrived".into(),
                 ));
             };
-            match Response::decode(&buf)? {
+            // Zero-copy: result payloads stay views of the message buffer.
+            let buf = Arc::new(buf);
+            match Response::decode_shared(&buf)? {
                 Response::Batch(rows) => self.results_fifo.extend(rows),
                 Response::Error(msg) => {
                     return Err(CsqError::Client(format!("client-site failure: {msg}")))
@@ -171,7 +176,7 @@ impl Operator for ThreadedSemiJoin {
                     };
                     self.cache.insert(key.clone(), result);
                 }
-                let result = self.cache.get(&key).cloned().ok_or_else(|| {
+                let result = self.cache.get(key.as_ref()).cloned().ok_or_else(|| {
                     CsqError::Exec(
                         "semi-join receiver: missing cached result for duplicate \
                          argument (sender/receiver protocol violation)"
@@ -184,10 +189,14 @@ impl Operator for ThreadedSemiJoin {
     }
 }
 
-/// Sender-thread body for the semi-join.
+/// Sender-thread body for the semi-join. Consumes the input operator one
+/// [`RowBatch`] at a time (the sorted mode wraps it in a `Sort`, which
+/// itself streams batches out of its materialized buffer); argument keys
+/// are `Arc`-shared between the dedup set, the wire batch, and the buffer
+/// records, so the hot loop never clones a row.
 #[allow(clippy::too_many_arguments)]
 fn semijoin_sender(
-    mut input: Box<dyn Operator + Send>,
+    input: Box<dyn Operator + Send>,
     task: csq_client::ClientTask,
     arg_cols: Vec<usize>,
     batch_size: usize,
@@ -204,37 +213,23 @@ fn semijoin_sender(
         return;
     }
 
-    // Materialize + sort when requested (makes argument duplicates adjacent).
-    let rows: Vec<Row> = if sorted {
-        let schema = input.schema().clone();
-        let collected = match collect(input.as_mut()) {
-            Ok(r) => r,
-            Err(e) => return fail(&buffer_tx, e),
-        };
-        let mut sorter = Sort::new(
-            Box::new(csq_exec::RowsOp::new(schema, collected)),
-            arg_cols.clone(),
-        );
-        match collect(&mut sorter) {
-            Ok(r) => r,
-            Err(e) => return fail(&buffer_tx, e),
-        }
+    // Sort when requested (makes argument duplicates adjacent).
+    let mut source: Box<dyn Operator + Send> = if sorted {
+        Box::new(Sort::new(input, arg_cols.clone()))
     } else {
-        match collect_lazy(input) {
-            Ok(r) => r,
-            Err(e) => return fail(&buffer_tx, e),
-        }
+        input
     };
 
-    let mut seen: HashSet<Row> = HashSet::new();
-    let mut prev_key: Option<Row> = None;
-    let mut batch_args: Vec<Row> = Vec::with_capacity(batch_size);
+    let mut seen: HashSet<Arc<Row>> = HashSet::new();
+    let mut prev_key: Option<Arc<Row>> = None;
+    let mut batch_args: Vec<Arc<Row>> = Vec::with_capacity(batch_size);
     let mut batch_records: Vec<Pending> = Vec::new();
 
     macro_rules! flush {
         () => {{
             if !batch_args.is_empty() {
-                let msg = Request::Batch(std::mem::take(&mut batch_args)).encode();
+                let msg = Request::encode_batch(batch_args.iter().map(|a| a.as_ref()));
+                batch_args.clear();
                 if net_tx.send(msg).is_err() {
                     // Receiver/client gone; stop quietly.
                     return;
@@ -248,31 +243,40 @@ fn semijoin_sender(
         }};
     }
 
-    for row in rows {
-        let key = row.project(&arg_cols);
-        let fresh = if sorted {
-            let is_new = prev_key.as_ref() != Some(&key);
-            prev_key = Some(key.clone());
-            is_new
-        } else {
-            seen.insert(key.clone())
+    loop {
+        let batch = match source.next_batch() {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
+            Err(e) => return fail(&buffer_tx, e),
         };
-        if fresh {
-            batch_args.push(key.clone());
-        }
-        let rec = Pending::Rec { row, key, fresh };
-        if fresh || !batch_args.is_empty() {
-            // Part of the current unsent batch's span: must wait for flush.
-            batch_records.push(rec);
-        } else {
-            // Duplicate of an already-shipped argument: goes straight to
-            // the buffer (its result is already in flight or cached).
-            if buffer_tx.send(rec).is_err() {
-                return;
+        for row in batch.into_rows() {
+            let key = Arc::new(row.project(&arg_cols));
+            let fresh = if sorted {
+                let is_new = prev_key.as_deref() != Some(key.as_ref());
+                if is_new {
+                    prev_key = Some(key.clone());
+                }
+                is_new
+            } else {
+                seen.insert(key.clone())
+            };
+            if fresh {
+                batch_args.push(key.clone());
             }
-        }
-        if batch_args.len() >= batch_size {
-            flush!();
+            let rec = Pending::Rec { row, key, fresh };
+            if fresh || !batch_args.is_empty() {
+                // Part of the current unsent batch's span: must wait for flush.
+                batch_records.push(rec);
+            } else {
+                // Duplicate of an already-shipped argument: goes straight to
+                // the buffer (its result is already in flight or cached).
+                if buffer_tx.send(rec).is_err() {
+                    return;
+                }
+            }
+            if batch_args.len() >= batch_size {
+                flush!();
+            }
         }
     }
     flush!();
@@ -280,16 +284,11 @@ fn semijoin_sender(
     // Dropping buffer_tx closes the buffer; the receiver then terminates.
 }
 
-/// Collect rows from a boxed operator (helper that keeps ownership).
-fn collect_lazy(mut input: Box<dyn Operator + Send>) -> Result<Vec<Row>> {
-    collect(input.as_mut())
-}
-
 /// The client-site join operator (Figure 4): sender streams whole records,
 /// the client filters/projects, the receiver forwards returned rows. No
 /// sender↔receiver synchronization is required.
 pub struct ThreadedClientJoin {
-    schema: Schema,
+    schema: Arc<Schema>,
     tickets_rx: Receiver<Result<()>>,
     net_rx: NetReceiver,
     current: VecDeque<Row>,
@@ -305,7 +304,7 @@ impl ThreadedClientJoin {
         endpoint: Endpoint,
     ) -> Result<ThreadedClientJoin> {
         let input_schema = input.schema().clone();
-        let schema = spec.output_schema(&input_schema);
+        let schema = Arc::new(spec.output_schema(&input_schema));
         let task = spec.client_task(&input_schema)?;
         let (net_tx, net_rx) = endpoint.split();
         let (tickets_tx, tickets_rx) = unbounded();
@@ -338,6 +337,48 @@ impl ThreadedClientJoin {
     }
 }
 
+impl ThreadedClientJoin {
+    /// Pull the next returned-row chunk into `current`. `Ok(false)` means
+    /// the stream ended cleanly.
+    fn fill_current(&mut self) -> Result<bool> {
+        loop {
+            match self.tickets_rx.recv() {
+                Err(_) => {
+                    self.join_sender();
+                    return Ok(false);
+                }
+                Ok(Err(e)) => {
+                    self.failed = true;
+                    self.join_sender();
+                    return Err(e);
+                }
+                Ok(Ok(())) => {
+                    let Some(buf) = self.net_rx.recv() else {
+                        self.failed = true;
+                        return Err(CsqError::Net("client closed connection mid-query".into()));
+                    };
+                    // Zero-copy: payloads stay views of the message buffer.
+                    let buf = Arc::new(buf);
+                    match Response::decode_shared(&buf)? {
+                        Response::Batch(rows) => {
+                            if rows.is_empty() {
+                                // Fully filtered chunk; wait for the next.
+                                continue;
+                            }
+                            self.current.extend(rows);
+                            return Ok(true);
+                        }
+                        Response::Error(msg) => {
+                            self.failed = true;
+                            return Err(CsqError::Client(format!("client-site failure: {msg}")));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Operator for ThreadedClientJoin {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -351,36 +392,31 @@ impl Operator for ThreadedClientJoin {
             if let Some(row) = self.current.pop_front() {
                 return Ok(Some(row));
             }
-            match self.tickets_rx.recv() {
-                Err(_) => {
-                    self.join_sender();
-                    return Ok(None);
-                }
-                Ok(Err(e)) => {
-                    self.failed = true;
-                    self.join_sender();
-                    return Err(e);
-                }
-                Ok(Ok(())) => {
-                    let Some(buf) = self.net_rx.recv() else {
-                        self.failed = true;
-                        return Err(CsqError::Net("client closed connection mid-query".into()));
-                    };
-                    match Response::decode(&buf)? {
-                        Response::Batch(rows) => self.current.extend(rows),
-                        Response::Error(msg) => {
-                            self.failed = true;
-                            return Err(CsqError::Client(format!("client-site failure: {msg}")));
-                        }
-                    }
-                }
+            if !self.fill_current()? {
+                return Ok(None);
             }
         }
     }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.failed {
+            return Ok(None);
+        }
+        if self.current.is_empty() && !self.fill_current()? {
+            return Ok(None);
+        }
+        // Hand the whole buffered chunk out as one batch (the schema Arc
+        // is shared, not re-cloned per batch).
+        let rows: Vec<Row> = self.current.drain(..).collect();
+        Ok(Some(RowBatch::from_rows(self.schema.clone(), rows)))
+    }
 }
 
+/// Sender-thread body for the client-site join: consumes operator batches
+/// directly and re-chunks them into `batch_size`-row wire messages (so byte
+/// and message accounting is independent of the engine's batch capacity).
 fn client_join_sender(
-    mut input: Box<dyn Operator + Send>,
+    input: Box<dyn Operator + Send>,
     task: csq_client::ClientTask,
     batch_size: usize,
     sort_cols: Option<Vec<usize>>,
@@ -391,38 +427,38 @@ fn client_join_sender(
         let _ = tickets_tx.send(Err(CsqError::Net("client unreachable".into())));
         return;
     }
-    let rows: Vec<Row> = if let Some(cols) = sort_cols {
-        let schema = input.schema().clone();
-        let collected = match collect(input.as_mut()) {
-            Ok(r) => r,
+    let mut source: Box<dyn Operator + Send> = if let Some(cols) = sort_cols {
+        Box::new(Sort::new(input, cols))
+    } else {
+        input
+    };
+
+    let batch_size = batch_size.max(1);
+    let mut pending: Vec<Row> = Vec::with_capacity(batch_size);
+    loop {
+        let batch = match source.next_batch() {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
             Err(e) => {
                 let _ = tickets_tx.send(Err(e));
                 return;
             }
         };
-        let mut sorter = Sort::new(Box::new(csq_exec::RowsOp::new(schema, collected)), cols);
-        match collect(&mut sorter) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = tickets_tx.send(Err(e));
-                return;
+        for row in batch.into_rows() {
+            pending.push(row);
+            if pending.len() >= batch_size {
+                if net_tx.send(Request::encode_batch(pending.iter())).is_err() {
+                    return;
+                }
+                pending.clear();
+                if tickets_tx.send(Ok(())).is_err() {
+                    return;
+                }
             }
         }
-    } else {
-        match collect(input.as_mut()) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = tickets_tx.send(Err(e));
-                return;
-            }
-        }
-    };
-
-    for chunk in rows.chunks(batch_size.max(1)) {
-        if net_tx
-            .send(Request::Batch(chunk.to_vec()).encode())
-            .is_err()
-        {
+    }
+    if !pending.is_empty() {
+        if net_tx.send(Request::encode_batch(pending.iter())).is_err() {
             return;
         }
         if tickets_tx.send(Ok(())).is_err() {
@@ -507,11 +543,12 @@ impl Operator for NaiveRemoteUdf {
                 }
                 // Blocking round trip — the whole point of §2.1's critique.
                 self.net_tx
-                    .send(Request::Batch(vec![key.clone()]).encode())?;
+                    .send(Request::encode_batch(std::iter::once(&key)))?;
                 let Some(buf) = self.net_rx.recv() else {
                     return Err(CsqError::Net("client closed connection".into()));
                 };
-                let result = match Response::decode(&buf)? {
+                let buf = Arc::new(buf);
+                let result = match Response::decode_shared(&buf)? {
                     Response::Batch(mut rows) => {
                         if rows.len() != 1 {
                             return Err(CsqError::Exec(format!(
@@ -539,7 +576,7 @@ mod tests {
     use super::*;
     use csq_client::{spawn_client, ClientRuntime};
     use csq_common::{Blob, DataType, Field, Value};
-    use csq_exec::RowsOp;
+    use csq_exec::{collect, RowsOp};
     use csq_expr::{BinaryOp, PhysExpr};
     use csq_net::in_memory_duplex;
     use std::sync::Arc;

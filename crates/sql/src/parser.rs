@@ -362,7 +362,7 @@ impl<'a> Parser<'a> {
             }
             TokenKind::Str(s) => {
                 self.advance();
-                Ok(Expr::Literal(Value::Str(s)))
+                Ok(Expr::Literal(Value::from(s)))
             }
             TokenKind::LParen => {
                 self.advance();

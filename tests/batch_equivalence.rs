@@ -1,0 +1,335 @@
+//! Property tests for the vectorized engine (extends the `backends_agree`
+//! family):
+//!
+//! 1. Random operator pipelines produce identical results whether driven
+//!    row-at-a-time through the compatibility adapter (`Operator::next`) or
+//!    batch-wise (`Operator::next_batch`) — including identical error kinds
+//!    when a pipeline is ill-typed.
+//! 2. Random semi-join / client-join workloads ship byte-for-byte the same
+//!    traffic through the threaded engine (batched senders, zero-copy
+//!    receive) and the virtual-time simulator.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use csq_client::synthetic::ObjectUdf;
+use csq_client::{spawn_client, ClientRuntime};
+use csq_common::{DataType, Field, Result, Row, Schema, Value};
+use csq_exec::{BoxOp, Distinct, Filter, Limit, Project, RowsOp, Sort};
+use csq_expr::{BinaryOp, PhysExpr};
+use csq_net::{in_memory_duplex, NetworkSpec};
+use csq_ship::{
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, ThreadedClientJoin,
+    ThreadedSemiJoin, UdfApplication,
+};
+
+// ---- random pipelines: row adapter vs. batch driver ------------------------
+
+#[derive(Debug, Clone)]
+enum StageSpec {
+    /// `col <op> lit` — single-comparison filter (batch fast path).
+    FilterCmp {
+        col: u8,
+        op: u8,
+        lit: i64,
+    },
+    /// `col > lo AND col < hi` — conjunction filter (batch fast path).
+    FilterRange {
+        col: u8,
+        lo: i64,
+        hi: i64,
+    },
+    /// Bare-column projection, possibly plus a computed `c + c` column
+    /// (exercises the in-place, move, and eval paths).
+    Project {
+        cols: Vec<u8>,
+        add_sum: bool,
+    },
+    Distinct {
+        on_key: bool,
+        col: u8,
+    },
+    Sort {
+        col: u8,
+    },
+    Limit {
+        n: u8,
+    },
+}
+
+fn cmp_op(sel: u8) -> BinaryOp {
+    match sel % 6 {
+        0 => BinaryOp::Eq,
+        1 => BinaryOp::NotEq,
+        2 => BinaryOp::Lt,
+        3 => BinaryOp::LtEq,
+        4 => BinaryOp::Gt,
+        _ => BinaryOp::GtEq,
+    }
+}
+
+fn base_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("c0", DataType::Int),
+        Field::new("c1", DataType::Int),
+        Field::new("c2", DataType::Int),
+        Field::new("s", DataType::Str),
+    ])
+}
+
+fn arb_cell(kind: usize) -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-8i64..8).prop_map(Value::Int),
+        (-8i64..8).prop_map(Value::Int),
+        (-8i64..8).prop_map(Value::Int),
+        Just(Value::Null),
+        Just(match kind % 3 {
+            0 => Value::from("aa"),
+            1 => Value::from("bb"),
+            _ => Value::from("longer string payload"),
+        }),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        arb_cell(0),
+        arb_cell(1),
+        arb_cell(2),
+        prop_oneof![
+            (0usize..3).prop_map(|k| match k {
+                0 => Value::from("x"),
+                1 => Value::from("yy"),
+                _ => Value::from("zzz"),
+            }),
+            Just(Value::Null),
+        ],
+    )
+        .prop_map(|(a, b, c, d)| Row::new(vec![a, b, c, d]))
+}
+
+fn arb_stage() -> impl Strategy<Value = StageSpec> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), -8i64..8).prop_map(|(col, op, lit)| StageSpec::FilterCmp {
+            col,
+            op,
+            lit
+        }),
+        (any::<u8>(), -8i64..4, -4i64..8).prop_map(|(col, lo, hi)| StageSpec::FilterRange {
+            col,
+            lo,
+            hi
+        }),
+        (prop::collection::vec(any::<u8>(), 1..4), any::<bool>())
+            .prop_map(|(cols, add_sum)| StageSpec::Project { cols, add_sum }),
+        (any::<bool>(), any::<u8>()).prop_map(|(on_key, col)| StageSpec::Distinct { on_key, col }),
+        any::<u8>().prop_map(|col| StageSpec::Sort { col }),
+        any::<u8>().prop_map(|n| StageSpec::Limit { n }),
+    ]
+}
+
+/// Build the pipeline described by `stages` over a fresh copy of the data.
+fn build_pipeline(stages: &[StageSpec], rows: Vec<Row>) -> BoxOp {
+    let mut op: BoxOp = Box::new(RowsOp::new(base_schema(), rows));
+    for s in stages {
+        let w = op.schema().len().max(1);
+        op = match s {
+            StageSpec::FilterCmp { col, op: sel, lit } => {
+                let pred = PhysExpr::Binary {
+                    left: Box::new(PhysExpr::Column(*col as usize % w)),
+                    op: cmp_op(*sel),
+                    right: Box::new(PhysExpr::Literal(Value::Int(*lit))),
+                };
+                Box::new(Filter::new(op, pred))
+            }
+            StageSpec::FilterRange { col, lo, hi } => {
+                let c = *col as usize % w;
+                let gt = PhysExpr::Binary {
+                    left: Box::new(PhysExpr::Column(c)),
+                    op: BinaryOp::Gt,
+                    right: Box::new(PhysExpr::Literal(Value::Int(*lo))),
+                };
+                let lt = PhysExpr::Binary {
+                    left: Box::new(PhysExpr::Column(c)),
+                    op: BinaryOp::Lt,
+                    right: Box::new(PhysExpr::Literal(Value::Int(*hi))),
+                };
+                let pred = PhysExpr::Binary {
+                    left: Box::new(gt),
+                    op: BinaryOp::And,
+                    right: Box::new(lt),
+                };
+                Box::new(Filter::new(op, pred))
+            }
+            StageSpec::Project { cols, add_sum } => {
+                let mut exprs: Vec<(PhysExpr, Field)> = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let ord = *c as usize % w;
+                        let dtype = op.schema().field(ord).dtype;
+                        (PhysExpr::Column(ord), Field::new(format!("p{i}"), dtype))
+                    })
+                    .collect();
+                if *add_sum {
+                    let sum = PhysExpr::Binary {
+                        left: Box::new(PhysExpr::Column(0)),
+                        op: BinaryOp::Add,
+                        right: Box::new(PhysExpr::Column(0)),
+                    };
+                    exprs.push((sum, Field::new("sum", DataType::Int)));
+                }
+                Box::new(Project::new(op, exprs))
+            }
+            StageSpec::Distinct { on_key, col } => {
+                if *on_key {
+                    Box::new(Distinct::on(op, vec![*col as usize % w]))
+                } else {
+                    Box::new(Distinct::all(op))
+                }
+            }
+            StageSpec::Sort { col } => Box::new(Sort::new(op, vec![*col as usize % w])),
+            StageSpec::Limit { n } => Box::new(Limit::new(op, *n as usize)),
+        };
+    }
+    op
+}
+
+/// Drive via the row-compat adapter.
+fn run_rows(mut op: BoxOp) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(r) = op.next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Drive via the batch interface.
+fn run_batches(mut op: BoxOp) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_batch()? {
+        assert!(!b.is_empty(), "operators must never emit empty batches");
+        out.extend(b.into_rows());
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn row_adapter_and_batch_engine_agree(
+        rows in prop::collection::vec(arb_row(), 0..120),
+        stages in prop::collection::vec(arb_stage(), 0..5),
+    ) {
+        let by_row = run_rows(build_pipeline(&stages, rows.clone()));
+        let by_batch = run_batches(build_pipeline(&stages, rows));
+        match (by_row, by_batch) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Ill-typed pipelines (e.g. sorting mixed Int/Str columns) must
+            // fail identically through both drivers.
+            (Err(a), Err(b)) => prop_assert_eq!(a.kind(), b.kind()),
+            (a, b) => prop_assert!(false, "drivers disagree: row={a:?} batch={b:?}"),
+        }
+    }
+}
+
+// ---- shipped-byte accounting: threaded vs simulated ------------------------
+
+fn ship_runtime() -> Arc<ClientRuntime> {
+    let rt = ClientRuntime::new();
+    rt.register(Arc::new(ObjectUdf::sized("Analyze", 96)))
+        .unwrap();
+    Arc::new(rt)
+}
+
+fn ship_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("Id", DataType::Int),
+        Field::new("Sym", DataType::Str),
+        Field::new("Arg", DataType::Blob),
+    ])
+}
+
+fn ship_rows(n: usize, distinct: usize, arg_size: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::from(format!("S{:02}", i % 7)),
+                Value::Blob(csq_common::Blob::synthetic(
+                    arg_size,
+                    (i % distinct.max(1)) as u64,
+                )),
+            ])
+        })
+        .collect()
+}
+
+fn analyze_app() -> UdfApplication {
+    UdfApplication::new("Analyze", vec![2], Field::new("res", DataType::Blob))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn semijoin_shipped_bytes_agree_between_backends(
+        n in 1usize..48,
+        distinct_sel in 1usize..48,
+        arg_size in 1usize..200,
+        k in 1usize..10,
+        batch in 1usize..5,
+        sorted in any::<bool>(),
+    ) {
+        let distinct = distinct_sel.min(n);
+        let data = ship_rows(n, distinct, arg_size);
+        let mut spec = SemiJoinSpec::new(vec![analyze_app()], k);
+        spec.batch_size = batch;
+        spec.sorted = sorted;
+
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(ship_runtime(), client);
+        let input = Box::new(RowsOp::new(ship_schema(), data.clone()));
+        let mut op = ThreadedSemiJoin::new(input, spec.clone(), server).unwrap();
+        let t_rows = csq_exec::collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+
+        let sim = simulate_semijoin(&ship_schema(), data, &spec, ship_runtime(),
+                                    &NetworkSpec::lan()).unwrap();
+        prop_assert_eq!(t_rows, sim.rows);
+        prop_assert_eq!(stats.down_bytes(), sim.down_bytes);
+        prop_assert_eq!(stats.up_bytes(), sim.up_bytes);
+        prop_assert_eq!(stats.down_messages(), sim.down_messages);
+        prop_assert_eq!(stats.up_messages(), sim.up_messages);
+    }
+
+    #[test]
+    fn client_join_shipped_bytes_agree_between_backends(
+        n in 1usize..48,
+        arg_size in 1usize..200,
+        batch in 1usize..5,
+    ) {
+        let data = ship_rows(n, n, arg_size);
+        let mut spec = ClientJoinSpec::new(vec![analyze_app()]);
+        spec.batch_size = batch;
+
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(ship_runtime(), client);
+        let input = Box::new(RowsOp::new(ship_schema(), data.clone()));
+        let mut op = ThreadedClientJoin::new(input, spec.clone(), server).unwrap();
+        let t_rows = csq_exec::collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+
+        let sim = simulate_client_join(&ship_schema(), data, &spec, ship_runtime(),
+                                       &NetworkSpec::lan()).unwrap();
+        prop_assert_eq!(t_rows, sim.rows);
+        prop_assert_eq!(stats.down_bytes(), sim.down_bytes);
+        prop_assert_eq!(stats.up_bytes(), sim.up_bytes);
+        prop_assert_eq!(stats.down_messages(), sim.down_messages);
+        prop_assert_eq!(stats.up_messages(), sim.up_messages);
+    }
+}
