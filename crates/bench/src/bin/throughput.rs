@@ -14,95 +14,34 @@
 
 use std::process::ExitCode;
 
+use csq_bench::cli::{self, BenchCli};
 use csq_bench::throughput::{
-    check_regressions, parse_entries, render_document, run_all, to_entries,
+    check_regressions, parse_entries, render_document, run_all, to_entries, JsonEntry,
 };
 
-const DEFAULT_OUT: &str = "results/BENCH_throughput.json";
-const TOLERANCE: f64 = 0.20;
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut merge = false;
-    let mut out_path = DEFAULT_OUT.to_string();
-    let mut check_path: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--merge" => merge = true,
-            "--out" => match it.next() {
-                Some(p) => out_path = p.clone(),
-                None => return usage("--out needs a path"),
-            },
-            "--check" => match it.next() {
-                Some(p) => check_path = Some(p.clone()),
-                None => return usage("--check needs a path"),
-            },
-            other => return usage(&format!("unknown argument '{other}'")),
-        }
-    }
-
+fn run(quick: bool) -> Vec<JsonEntry> {
     let mode = if quick { "quick" } else { "full" };
-    eprintln!("running throughput pipelines ({mode} mode)...");
-    let results = run_all(quick);
-    for r in &results {
-        eprintln!(
-            "  {:<22} {:>9} rows   row {:>12.0} rows/s   batch {:>12.0} rows/s   {:>5.2}x",
-            r.pipeline,
-            r.rows,
-            r.row_rows_per_sec,
-            r.batch_rows_per_sec,
-            r.speedup()
-        );
-    }
-    let current = to_entries(mode, &results);
-
-    let mut status = ExitCode::SUCCESS;
-    if let Some(path) = check_path {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                let baseline = parse_entries(&text);
-                let failures = check_regressions(&current, &baseline, TOLERANCE);
-                if failures.is_empty() {
-                    eprintln!("regression check vs {path}: ok");
-                } else {
-                    for f in &failures {
-                        eprintln!("REGRESSION: {f}");
-                    }
-                    status = ExitCode::FAILURE;
-                }
-            }
-            Err(e) => {
-                eprintln!("REGRESSION CHECK FAILED: cannot read baseline {path}: {e}");
-                status = ExitCode::FAILURE;
-            }
-        }
-    }
-
-    let mut entries = Vec::new();
-    if merge {
-        if let Ok(text) = std::fs::read_to_string(&out_path) {
-            entries.extend(parse_entries(&text).into_iter().filter(|e| e.mode != mode));
-        }
-    }
-    entries.extend(current);
-    entries.sort_by(|a, b| (&a.mode, &a.pipeline).cmp(&(&b.mode, &b.pipeline)));
-    let doc = render_document(&entries);
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    if let Err(e) = std::fs::write(&out_path, &doc) {
-        eprintln!("cannot write {out_path}: {e}");
-        return ExitCode::FAILURE;
-    }
-    eprintln!("wrote {out_path}");
-    status
+    to_entries(mode, &run_all(quick))
 }
 
-fn usage(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}");
-    eprintln!("usage: throughput [--quick] [--merge] [--out PATH] [--check PATH]");
-    ExitCode::FAILURE
+fn print(e: &JsonEntry) {
+    eprintln!(
+        "  {:<22} {:>9} rows   row {:>12.0} rows/s   batch {:>12.0} rows/s   {:>5.2}x",
+        e.pipeline, e.rows, e.row_rows_per_sec, e.batch_rows_per_sec, e.speedup
+    );
+}
+
+fn main() -> ExitCode {
+    cli::run(BenchCli {
+        name: "throughput",
+        default_out: "results/BENCH_throughput.json",
+        tolerance: 0.20,
+        run,
+        print,
+        mode_of: |e| &e.mode,
+        cmp: |a, b| (&a.mode, &a.pipeline).cmp(&(&b.mode, &b.pipeline)),
+        parse: parse_entries,
+        render: render_document,
+        check: check_regressions,
+    })
 }

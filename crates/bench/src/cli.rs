@@ -1,0 +1,113 @@
+//! Shared CLI harness for the regression-gated benchmark binaries
+//! (`throughput`, `parallel`): argument parsing, the `--check` baseline
+//! comparison, and the `--merge`-aware results write, parameterized over
+//! the entry type so the two results formats cannot drift apart.
+
+use std::process::ExitCode;
+
+/// Everything entry-type-specific a bench binary plugs into [`run`].
+pub struct BenchCli<E> {
+    /// Binary name for usage output.
+    pub name: &'static str,
+    /// Default `--out` path (the committed baseline).
+    pub default_out: &'static str,
+    /// Regression tolerance passed to `check`.
+    pub tolerance: f64,
+    /// Run the workload (quick or full mode).
+    pub run: fn(quick: bool) -> Vec<E>,
+    /// Print one measured entry to stderr.
+    pub print: fn(&E),
+    /// The entry's mode ("quick"/"full"), for `--merge` filtering.
+    pub mode_of: fn(&E) -> &str,
+    /// Stable sort for the written document.
+    pub cmp: fn(&E, &E) -> std::cmp::Ordering,
+    /// Parse entries out of a results document.
+    pub parse: fn(&str) -> Vec<E>,
+    /// Render entries as a results document.
+    pub render: fn(&[E]) -> String,
+    /// Compare a run against a baseline; returns human-readable failures.
+    pub check: fn(&[E], &[E], f64) -> Vec<String>,
+}
+
+/// Parse argv, run the bench, check the baseline, write the results file.
+pub fn run<E>(cli: BenchCli<E>) -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut merge = false;
+    let mut out_path = cli.default_out.to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--merge" => merge = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => return usage(cli.name, "--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => return usage(cli.name, "--check needs a path"),
+            },
+            other => return usage(cli.name, &format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("running {} pipelines ({mode} mode)...", cli.name);
+    let current = (cli.run)(quick);
+    for e in &current {
+        (cli.print)(e);
+    }
+
+    let mut status = ExitCode::SUCCESS;
+    if let Some(path) = check_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let baseline = (cli.parse)(&text);
+                let failures = (cli.check)(&current, &baseline, cli.tolerance);
+                if failures.is_empty() {
+                    eprintln!("regression check vs {path}: ok");
+                } else {
+                    for f in &failures {
+                        eprintln!("REGRESSION: {f}");
+                    }
+                    status = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("REGRESSION CHECK FAILED: cannot read baseline {path}: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    if merge {
+        if let Ok(text) = std::fs::read_to_string(&out_path) {
+            entries.extend(
+                (cli.parse)(&text)
+                    .into_iter()
+                    .filter(|e| (cli.mode_of)(e) != mode),
+            );
+        }
+    }
+    entries.extend(current);
+    entries.sort_by(cli.cmp);
+    let doc = (cli.render)(&entries);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    status
+}
+
+fn usage(name: &str, msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {name} [--quick] [--merge] [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}

@@ -9,7 +9,9 @@
 //! deterministic, instant to compute, and byte-exact with the threaded
 //! engine (asserted by the `backends_agree` integration tests).
 
+pub mod cli;
 pub mod figures;
+pub mod parallel;
 pub mod throughput;
 pub mod workloads;
 

@@ -1,0 +1,703 @@
+//! Parallel-engine workload: the serial batch engine vs. the morsel-driven
+//! parallel engine at several worker counts, writing
+//! `results/BENCH_parallel.json`.
+//!
+//! Pipelines reuse the throughput workload's data and serial engines, so
+//! the two results files share one "serial" ground truth: scan→filter→
+//! project and the VM UDF map run as [`ParallelPipeline`] stage chains;
+//! distinct and hash join run partitioned through [`Exchange`].
+//!
+//! ## Two speedup numbers, one honest file
+//!
+//! * `wall_speedup` — measured wall-clock, truthful for **this host**. It
+//!   is physically capped by the host's core count: on a 1-CPU container
+//!   (where the committed baseline was produced — see `host_cpus` in the
+//!   file) it hovers near 1× whatever the engine does.
+//! * `speedup` (basis `projected`, stage pipelines only) — the
+//!   hardware-normalized scalability the regression gate tracks, in the
+//!   same spirit as the repo's virtual-time network model (DESIGN.md §5):
+//!   real code, measured costs, modeled resource. From the 1-worker run we
+//!   measure `T1` (wall), `B1` (summed in-stage worker busy time, via a
+//!   timing shim around each stage), and `D1` (time inside the serialized
+//!   morsel dispenser, reported by the engine); `G1 = T1 − B1 − D1` is the
+//!   gather + collect remainder on the consumer thread, which also absorbs
+//!   scheduling overhead, keeping the model conservative. Each component
+//!   is taken at its minimum across the reps (its noise floor — one host
+//!   hiccup in one rep must not masquerade as engine cost). The engine is
+//!   a three-stage pipeline — dispense (mutex-serialized), stage work
+//!   (divides across N workers), gather on the consumer thread — and with
+//!   enough cores the stages overlap, so the steady-state cost is the
+//!   bottleneck stage: the same modeling idiom as the paper's
+//!   `max(downlink, uplink)` bandwidth bottleneck (§3.2). The 1-worker
+//!   point is reported as measured:
+//!
+//!   ```text
+//!   projected_time(N) = max(D1, G1, B1 / N)   (N > 1)
+//!   speedup(N)        = min(T_serial / projected_time(N), N)
+//!   speedup(1)        = T_serial / T1         (measured, no model)
+//!   ```
+//!
+//!   Because it is a ratio of costs measured in one process, it transfers
+//!   across hosts the way the throughput bench's batch-over-row speedup
+//!   does, and it regresses when coordinator overhead grows or stage work
+//!   stops dividing — exactly the failures a parallel engine can have on
+//!   any machine. Exchange pipelines carry basis `wall` instead (their
+//!   work happens inside per-partition operators, not instrumentable
+//!   stages), gated only between same-shape hosts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use csq_client::service::TaskExecutor;
+use csq_common::{DataType, Field, Row, RowBatch, Schema};
+use csq_exec::{
+    collect, BatchStage, ClosureFactory, Exchange, FilterStageFactory, ParallelOpts,
+    ParallelPipeline, ProjectStageFactory, RowsOp, StageFactory,
+};
+
+use crate::throughput::{
+    build_rows, build_schema, distinct_batch_engine, dup_rows, dup_schema, field_num, field_str,
+    filter_pred, join_batch_engine, probe_rows, probe_schema, project_exprs, quotes_rows,
+    quotes_schema, sfp_batch_engine, udf_batch_engine, udf_rows, udf_task, vm_runtime,
+};
+
+/// One measured (pipeline, worker count) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelEntry {
+    /// "full" or "quick".
+    pub mode: String,
+    /// Pipeline name (stable key for the regression gate).
+    pub pipeline: String,
+    /// Input rows.
+    pub rows: usize,
+    /// Worker threads of the parallel engine run.
+    pub workers: usize,
+    /// Hardware threads of the measuring host (context for `wall_*`).
+    pub host_cpus: usize,
+    /// Serial batch engine throughput.
+    pub serial_rows_per_sec: f64,
+    /// Parallel engine wall-clock throughput at `workers`.
+    pub wall_rows_per_sec: f64,
+    /// `wall_rows_per_sec / serial_rows_per_sec`.
+    pub wall_speedup: f64,
+    /// The gated speedup number; see module docs for `basis`.
+    pub speedup: f64,
+    /// "projected" (stage pipelines) or "wall" (exchange pipelines).
+    pub basis: String,
+}
+
+const REPS: usize = 5;
+
+/// Interleaved best-of rounds for wall-only (exchange) workloads: each
+/// round times one serial rep then one rep per worker count, so every
+/// engine samples the same host-speed phases (see `run_stage_workload`).
+fn run_wall_workload<T, S, P>(
+    worker_counts: &[usize],
+    prep: impl Fn() -> T,
+    serial: S,
+    parallel: P,
+) -> (f64, Vec<(usize, f64)>)
+where
+    S: Fn(T) -> usize,
+    P: Fn(T, usize) -> usize,
+{
+    let mut serial_secs = f64::INFINITY;
+    let mut best = vec![f64::INFINITY; worker_counts.len()];
+    let mut serial_len = None;
+    for _ in 0..REPS {
+        let d = prep();
+        let t = Instant::now();
+        let n = std::hint::black_box(serial(d));
+        serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
+        let expect = *serial_len.get_or_insert(n);
+        assert_eq!(n, expect);
+        for (i, &w) in worker_counts.iter().enumerate() {
+            let d = prep();
+            let t = Instant::now();
+            let n = std::hint::black_box(parallel(d, w));
+            best[i] = best[i].min(t.elapsed().as_secs_f64());
+            assert_eq!(n, expect, "parallel engine lost or invented rows");
+        }
+    }
+    (
+        serial_secs,
+        worker_counts.iter().copied().zip(best).collect(),
+    )
+}
+
+/// Wraps a stage factory so every worker's `apply` time accrues to a shared
+/// busy counter — the `B1` measurement of the projection model.
+struct TimedFactory {
+    inner: Box<dyn StageFactory>,
+    busy_ns: Arc<AtomicU64>,
+}
+
+impl StageFactory for TimedFactory {
+    fn output_schema(&self, input: &Arc<Schema>) -> csq_common::Result<Arc<Schema>> {
+        self.inner.output_schema(input)
+    }
+
+    fn instantiate(&self) -> Box<dyn BatchStage> {
+        let mut stage = self.inner.instantiate();
+        let busy = self.busy_ns.clone();
+        Box::new(move |batch: RowBatch| {
+            let t = Instant::now();
+            let r = stage.apply(batch);
+            busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            r
+        })
+    }
+}
+
+/// Benchmark engine configuration: 4096-row morsels (4 source batches per
+/// dispense) keep per-morsel scheduling overhead out of the coordinator
+/// path at the 1M-row scale; DESIGN.md §4 discusses the trade-off.
+const BENCH_MORSEL_ROWS: usize = 4096;
+
+fn opts(workers: usize, ordered: bool) -> ParallelOpts {
+    ParallelOpts {
+        workers,
+        morsel_rows: BENCH_MORSEL_ROWS,
+        ordered,
+        window: 0,
+    }
+}
+
+/// A stage-pipeline workload: serial runner + timed parallel stage chain.
+struct StageWorkload {
+    pipeline: &'static str,
+    rows: usize,
+    serial_secs: f64,
+    /// (workers, best wall secs)
+    runs: Vec<(usize, f64)>,
+    /// Per-component noise floors of the 1-worker reps: wall, stage busy,
+    /// dispense, and the gather remainder — each the minimum across reps,
+    /// so one host hiccup cannot inflate a model component.
+    t1: f64,
+    b1: f64,
+    d1: f64,
+    g1: f64,
+}
+
+fn run_stage_workload<MkStages>(
+    pipeline: &'static str,
+    schema: Schema,
+    data: Vec<Row>,
+    worker_counts: &[usize],
+    serial: impl Fn(Vec<Row>) -> Vec<Row> + Sync,
+    mk_stages: MkStages,
+) -> StageWorkload
+where
+    MkStages: Fn(&Arc<AtomicU64>) -> Vec<Box<dyn StageFactory>>,
+{
+    let rows = data.len();
+    let serial_len = serial(data.clone()).len();
+    // Serial and parallel reps interleave in rounds so both sample the
+    // same host-speed phases (shared-host throughput drifts over minutes;
+    // measuring one engine entirely before the other biases the ratio).
+    // The serial engine runs on a spawned thread for scheduling parity
+    // with the parallel engine's workers — on cgroup-throttled hosts the
+    // long-lived main thread is measurably slower than fresh threads.
+    let mut serial_secs = f64::INFINITY;
+    let mut best_walls = vec![f64::INFINITY; worker_counts.len()];
+    let (mut t1, mut b1, mut d1, mut g1) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let d = data.clone();
+        let start = Instant::now();
+        let n = std::thread::scope(|sc| sc.spawn(|| serial(d).len()).join().unwrap());
+        serial_secs = serial_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(std::hint::black_box(n), serial_len);
+        for (i, &w) in worker_counts.iter().enumerate() {
+            let busy = Arc::new(AtomicU64::new(0));
+            let scan = Box::new(RowsOp::new(schema.clone(), data.clone()));
+            let start = Instant::now();
+            let mut p = ParallelPipeline::new(scan, mk_stages(&busy), opts(w, true))
+                .expect("parallel pipeline");
+            let out = collect(&mut p).expect("parallel run");
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(
+                std::hint::black_box(out.len()),
+                serial_len,
+                "{pipeline}: parallel engine lost or invented rows"
+            );
+            best_walls[i] = best_walls[i].min(wall);
+            if w == 1 {
+                let busy_secs = busy.load(Ordering::Relaxed) as f64 / 1e9;
+                let dispense_secs = p.dispense_secs();
+                t1 = t1.min(wall);
+                b1 = b1.min(busy_secs);
+                d1 = d1.min(dispense_secs);
+                g1 = g1.min((wall - busy_secs - dispense_secs).max(0.0));
+            }
+        }
+    }
+    let runs = worker_counts.iter().copied().zip(best_walls).collect();
+    StageWorkload {
+        pipeline,
+        rows,
+        serial_secs,
+        runs,
+        t1,
+        b1,
+        d1,
+        g1,
+    }
+}
+
+fn stage_entries(mode: &str, host_cpus: usize, w: StageWorkload) -> Vec<ParallelEntry> {
+    let (t1, b1, d1, g1) = (w.t1, w.b1, w.d1, w.g1);
+    if std::env::var("CSQ_BENCH_DEBUG").is_ok() {
+        eprintln!(
+            "    [debug] {}: Ts={:.1}ms T1={:.1}ms B1={:.1}ms D1={:.1}ms G={:.1}ms",
+            w.pipeline,
+            w.serial_secs * 1e3,
+            t1 * 1e3,
+            b1 * 1e3,
+            d1 * 1e3,
+            g1 * 1e3,
+        );
+    }
+    w.runs
+        .iter()
+        .map(|&(n, wall)| {
+            let projected = if n == 1 {
+                w.serial_secs / t1
+            } else {
+                let bottleneck = d1.max(g1).max(b1 / n as f64).max(1e-12);
+                (w.serial_secs / bottleneck).min(n as f64)
+            };
+            ParallelEntry {
+                mode: mode.to_string(),
+                pipeline: w.pipeline.to_string(),
+                rows: w.rows,
+                workers: n,
+                host_cpus,
+                serial_rows_per_sec: w.rows as f64 / w.serial_secs,
+                wall_rows_per_sec: w.rows as f64 / wall,
+                wall_speedup: w.serial_secs / wall,
+                speedup: projected,
+                basis: "projected".to_string(),
+            }
+        })
+        .collect()
+}
+
+fn exchange_entries(
+    mode: &str,
+    host_cpus: usize,
+    pipeline: &str,
+    rows: usize,
+    serial_secs: f64,
+    runs: &[(usize, f64)],
+) -> Vec<ParallelEntry> {
+    runs.iter()
+        .map(|&(n, wall)| ParallelEntry {
+            mode: mode.to_string(),
+            pipeline: pipeline.to_string(),
+            rows,
+            workers: n,
+            host_cpus,
+            serial_rows_per_sec: rows as f64 / serial_secs,
+            wall_rows_per_sec: rows as f64 / wall,
+            wall_speedup: serial_secs / wall,
+            speedup: serial_secs / wall,
+            basis: "wall".to_string(),
+        })
+        .collect()
+}
+
+/// Run every pipeline at full scale (1M-row scan) or quick scale (÷10).
+pub fn run_all(quick: bool) -> Vec<ParallelEntry> {
+    let mode = if quick { "quick" } else { "full" };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let scale = if quick { 10 } else { 1 };
+    let mut out = Vec::new();
+
+    // scan → filter → project as a parallel stage chain.
+    {
+        let schema = quotes_schema();
+        let data = quotes_rows(1_000_000 / scale);
+        let w = run_stage_workload(
+            "scan_filter_project",
+            schema.clone(),
+            data,
+            worker_counts,
+            |d| sfp_batch_engine(&schema, d),
+            |busy| {
+                vec![
+                    Box::new(TimedFactory {
+                        inner: Box::new(FilterStageFactory::new(filter_pred())),
+                        busy_ns: busy.clone(),
+                    }),
+                    Box::new(TimedFactory {
+                        inner: Box::new(ProjectStageFactory::new(project_exprs())),
+                        busy_ns: busy.clone(),
+                    }),
+                ]
+            },
+        );
+        out.extend(stage_entries(mode, host_cpus, w));
+    }
+
+    // VM UDF application: per-worker forked TaskExecutors.
+    {
+        let rt = vm_runtime();
+        let data = udf_rows(200_000 / scale);
+        let in_schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("obj", DataType::Blob),
+        ]);
+        let out_schema = in_schema
+            .clone()
+            .with_field(Field::new("digest", DataType::Int));
+        let proto = Arc::new(TaskExecutor::new(rt.clone(), udf_task()).expect("executor"));
+        let w = run_stage_workload(
+            "vm_udf",
+            in_schema,
+            data,
+            worker_counts,
+            |d| udf_batch_engine(&rt, d),
+            |busy| {
+                let proto = proto.clone();
+                let schema = Arc::new(out_schema.clone());
+                vec![Box::new(TimedFactory {
+                    inner: Box::new(ClosureFactory::new(out_schema.clone(), move || {
+                        let mut ex = proto.fork();
+                        let schema = schema.clone();
+                        Box::new(move |batch: RowBatch| {
+                            let rows = ex.process(batch.into_rows())?;
+                            Ok(Some(RowBatch::from_rows(schema.clone(), rows)))
+                        })
+                    })),
+                    busy_ns: busy.clone(),
+                })]
+            },
+        );
+        out.extend(stage_entries(mode, host_cpus, w));
+    }
+
+    // Partitioned distinct through the exchange.
+    {
+        let schema = dup_schema();
+        let data = dup_rows(1_000_000 / scale);
+        let rows_n = data.len();
+        let (serial_secs, runs) = run_wall_workload(
+            worker_counts,
+            || data.clone(),
+            |d| distinct_batch_engine(&schema, d).len(),
+            |d, w| {
+                let scan = Box::new(RowsOp::new(schema.clone(), d));
+                let mut op = Exchange::distinct_all(scan, &opts(w, false));
+                collect(&mut op).expect("parallel distinct").len()
+            },
+        );
+        out.extend(exchange_entries(
+            mode,
+            host_cpus,
+            "distinct",
+            rows_n,
+            serial_secs,
+            &runs,
+        ));
+    }
+
+    // Partitioned hash join through the exchange.
+    {
+        let probe = probe_rows(500_000 / scale);
+        let build = build_rows();
+        let rows_n = probe.len();
+        let (serial_secs, runs) = run_wall_workload(
+            worker_counts,
+            || (probe.clone(), build.clone()),
+            |(p, b)| join_batch_engine(p, b).len(),
+            |(p, b), w| {
+                let l = Box::new(RowsOp::new(probe_schema(), p));
+                let r = Box::new(RowsOp::new(build_schema(), b));
+                let mut op = Exchange::hash_join(l, r, vec![1], vec![0], &opts(w, false))
+                    .expect("parallel join");
+                collect(&mut op).expect("parallel join run").len()
+            },
+        );
+        out.extend(exchange_entries(
+            mode,
+            host_cpus,
+            "hash_join",
+            rows_n,
+            serial_secs,
+            &runs,
+        ));
+    }
+
+    out
+}
+
+// ---- results file -----------------------------------------------------------
+
+/// Render the results document (one entry per line, as in the throughput
+/// bench, so the parser and diffs stay trivial).
+pub fn render_document(entries: &[ParallelEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"csq_parallel\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"unit\": \"rows_per_sec\",\n");
+    out.push_str(
+        "  \"note\": \"speedup with basis=projected is the hardware-normalized pipeline model \
+         min(T_serial / max(D1, T1-B1-D1, B1/N), N) from the measured 1-worker run: wall T1, \
+         worker stage-busy B1, serialized-dispenser D1, gather remainder G=T1-B1-D1, each \
+         component its minimum across reps (noise floor) — the max(...) bottleneck idiom of \
+         the paper's cost model; speedup at workers=1 and all wall_* fields are raw wall clock \
+         on host_cpus hardware threads\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"pipeline\": \"{}\", \"rows\": {}, \"workers\": {}, \
+             \"host_cpus\": {}, \"serial_rows_per_sec\": {:.0}, \"wall_rows_per_sec\": {:.0}, \
+             \"wall_speedup\": {:.2}, \"speedup\": {:.2}, \"basis\": \"{}\"}}{}\n",
+            e.mode,
+            e.pipeline,
+            e.rows,
+            e.workers,
+            e.host_cpus,
+            e.serial_rows_per_sec,
+            e.wall_rows_per_sec,
+            e.wall_speedup,
+            e.speedup,
+            e.basis,
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the entries out of a results document written by
+/// [`render_document`] (line-oriented; not a general JSON parser).
+pub fn parse_entries(text: &str) -> Vec<ParallelEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(ParallelEntry {
+                mode: field_str(line, "mode")?,
+                pipeline: field_str(line, "pipeline")?,
+                rows: field_num(line, "rows")? as usize,
+                workers: field_num(line, "workers")? as usize,
+                host_cpus: field_num(line, "host_cpus")? as usize,
+                serial_rows_per_sec: field_num(line, "serial_rows_per_sec")?,
+                wall_rows_per_sec: field_num(line, "wall_rows_per_sec")?,
+                wall_speedup: field_num(line, "wall_speedup")?,
+                speedup: field_num(line, "speedup")?,
+                basis: field_str(line, "basis")?,
+            })
+        })
+        .collect()
+}
+
+/// Compare a fresh run against the committed baseline.
+///
+/// * `basis = projected` entries gate on the projected speedup, which is a
+///   within-process cost ratio and transfers across hosts (like the
+///   throughput bench's batch-over-row gate). Only multi-worker points
+///   gate — the 1-worker projection is the engine-overhead measurement
+///   itself.
+/// * `basis = wall` entries (and everyone's absolute `wall_rows_per_sec`)
+///   gate only when the hardware is demonstrably comparable: same
+///   `host_cpus` **and** every pipeline's serial engine within `tolerance`
+///   of its baseline — the run-wide guard, so a runner that slows down
+///   mid-run disarms absolute checks instead of hard-failing (mirrors
+///   `throughput::check_regressions`).
+pub fn check_regressions(
+    current: &[ParallelEntry],
+    baseline: &[ParallelEntry],
+    tolerance: f64,
+) -> Vec<String> {
+    let baseline_of = |c: &ParallelEntry| {
+        baseline
+            .iter()
+            .find(|b| b.mode == c.mode && b.pipeline == c.pipeline && b.workers == c.workers)
+    };
+    let comparable_hw = current.iter().all(|c| match baseline_of(c) {
+        Some(b) => {
+            c.host_cpus == b.host_cpus
+                && (c.serial_rows_per_sec - b.serial_rows_per_sec).abs()
+                    <= b.serial_rows_per_sec * tolerance
+        }
+        None => true,
+    });
+    let mut failures = Vec::new();
+    for c in current {
+        let Some(b) = baseline_of(c) else {
+            continue;
+        };
+        let projected_gate = c.basis == "projected" && b.basis == "projected" && c.workers > 1;
+        if projected_gate && c.speedup < b.speedup * (1.0 - tolerance) {
+            failures.push(format!(
+                "{} ({}, {} workers): projected speedup {:.2}x fell more than {}% below \
+                 baseline {:.2}x",
+                c.pipeline,
+                c.mode,
+                c.workers,
+                c.speedup,
+                (tolerance * 100.0) as u64,
+                b.speedup,
+            ));
+            continue;
+        }
+        let floor = b.wall_rows_per_sec * (1.0 - tolerance);
+        if comparable_hw && c.wall_rows_per_sec < floor {
+            failures.push(format!(
+                "{} ({}, {} workers): parallel engine {:.0} rows/s < {:.0} ({}% below \
+                 baseline {:.0} on comparable hardware)",
+                c.pipeline,
+                c.mode,
+                c.workers,
+                c.wall_rows_per_sec,
+                floor,
+                (tolerance * 100.0) as u64,
+                b.wall_rows_per_sec,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pipeline: &str, workers: usize, speedup: f64, basis: &str) -> ParallelEntry {
+        ParallelEntry {
+            mode: "quick".into(),
+            pipeline: pipeline.into(),
+            rows: 100_000,
+            workers,
+            host_cpus: 4,
+            serial_rows_per_sec: 1_000_000.0,
+            wall_rows_per_sec: 1_000_000.0 * speedup,
+            wall_speedup: speedup,
+            speedup,
+            basis: basis.into(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let entries = vec![
+            entry("scan_filter_project", 4, 2.8, "projected"),
+            entry("distinct", 2, 1.4, "wall"),
+        ];
+        let doc = render_document(&entries);
+        let parsed = parse_entries(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].pipeline, "scan_filter_project");
+        assert_eq!(parsed[0].workers, 4);
+        assert_eq!(parsed[0].basis, "projected");
+        assert!((parsed[0].speedup - 2.8).abs() < 1e-9);
+        assert_eq!(parsed[1].basis, "wall");
+    }
+
+    #[test]
+    fn projected_gate_fires_and_wall_gate_needs_comparable_hw() {
+        let baseline = vec![
+            entry("scan_filter_project", 4, 2.8, "projected"),
+            entry("distinct", 4, 1.5, "wall"),
+        ];
+        // Identical run: clean.
+        assert!(check_regressions(&baseline, &baseline, 0.2).is_empty());
+        // Projected speedup collapse: flagged on any hardware.
+        let mut bad = baseline.clone();
+        bad[0].speedup = 1.1;
+        let fails = check_regressions(&bad, &baseline, 0.2);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("projected speedup"));
+        // Wall drop on a different-shaped host: not flagged.
+        let mut other_host = baseline.clone();
+        for e in &mut other_host {
+            e.host_cpus = 1;
+            e.wall_rows_per_sec *= 0.4;
+            e.wall_speedup *= 0.4;
+        }
+        other_host[0].speedup = 2.7; // projection stays
+        other_host[1].speedup *= 0.4;
+        assert!(check_regressions(&other_host, &baseline, 0.2).is_empty());
+        // Wall drop on the same host shape with serial engines matching:
+        // flagged.
+        let mut real = baseline.clone();
+        real[1].wall_rows_per_sec *= 0.5;
+        assert_eq!(check_regressions(&real, &baseline, 0.2).len(), 1);
+    }
+
+    /// Diagnostic, not a gate: interleaved serial vs 1-worker-parallel
+    /// timings to sanity-check measurement-order bias on noisy hosts. Run
+    /// with `cargo test -p csq-bench --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn order_probe_serial_vs_one_worker() {
+        let schema = quotes_schema();
+        let data = quotes_rows(1_000_000);
+        for round in 0..4 {
+            for which in ["serial  ", "kernels ", "parallel"] {
+                let d = data.clone();
+                let t = Instant::now();
+                let n = if which == "serial  " {
+                    sfp_batch_engine(&schema, d).len()
+                } else if which == "kernels " {
+                    // The same filter/project kernels with no operator
+                    // plumbing: chunk → filter_rows → project_rows → out.
+                    let filter = FilterStageFactory::new(filter_pred());
+                    let project = ProjectStageFactory::new(project_exprs());
+                    let mut f = filter.instantiate();
+                    let mut pj = project.instantiate();
+                    let schema = Arc::new(schema.clone());
+                    let mut out: Vec<Row> = Vec::new();
+                    let mut it = d.into_iter();
+                    loop {
+                        let chunk: Vec<Row> = it.by_ref().take(1024).collect();
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        let b = RowBatch::from_rows(schema.clone(), chunk);
+                        if let Some(b) = f.apply(b).unwrap() {
+                            if let Some(b) = pj.apply(b).unwrap() {
+                                out.extend(b.into_rows());
+                            }
+                        }
+                    }
+                    out.len()
+                } else {
+                    let scan = Box::new(RowsOp::new(schema.clone(), d));
+                    let stages: Vec<Box<dyn StageFactory>> = vec![
+                        Box::new(FilterStageFactory::new(filter_pred())),
+                        Box::new(ProjectStageFactory::new(project_exprs())),
+                    ];
+                    let mut p = ParallelPipeline::new(scan, stages, opts(1, true)).unwrap();
+                    collect(&mut p).unwrap().len()
+                };
+                eprintln!(
+                    "round {round} {which}: {:>7.1}ms ({n} rows)",
+                    t.elapsed().as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quick_run_parallel_matches_serial_rows() {
+        // Tiny smoke: the parallel engines must produce the same row counts
+        // the serial engines do (full equivalence lives in the proptests).
+        let schema = quotes_schema();
+        let data = quotes_rows(3_000);
+        let serial = sfp_batch_engine(&schema, data.clone());
+        let scan = Box::new(RowsOp::new(schema, data));
+        let stages: Vec<Box<dyn StageFactory>> = vec![
+            Box::new(FilterStageFactory::new(filter_pred())),
+            Box::new(ProjectStageFactory::new(project_exprs())),
+        ];
+        let mut p = ParallelPipeline::new(scan, stages, opts(4, true)).unwrap();
+        assert_eq!(collect(&mut p).unwrap(), serial);
+    }
+}

@@ -321,7 +321,7 @@ pub fn quotes_rows(n: usize) -> Vec<Row> {
 
 // ---- pipelines -------------------------------------------------------------
 
-fn filter_pred() -> PhysExpr {
+pub(crate) fn filter_pred() -> PhysExpr {
     // Range scan predicate: price > 25 AND price < 58.33 — selectivity
     // ≈ 1/3, the system's default selectivity assumption (see
     // `ScalarUdf::selectivity_hint`).
@@ -342,7 +342,7 @@ fn filter_pred() -> PhysExpr {
     }
 }
 
-fn project_exprs() -> Vec<(PhysExpr, Field)> {
+pub(crate) fn project_exprs() -> Vec<(PhysExpr, Field)> {
     // Ordered column subset: the common SELECT shape, and the one the batch
     // engine projects in place.
     vec![
@@ -358,7 +358,7 @@ fn sfp_row_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
     rowref::ref_collect(&mut projected).expect("row sfp")
 }
 
-fn sfp_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+pub(crate) fn sfp_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
     let scan = Box::new(RowsOp::new(schema.clone(), data));
     let filtered = Box::new(Filter::new(scan, filter_pred()));
     let mut projected = Project::new(filtered, project_exprs());
@@ -381,7 +381,7 @@ pub fn dup_rows(n: usize) -> Vec<Row> {
         .collect()
 }
 
-fn dup_schema() -> Schema {
+pub(crate) fn dup_schema() -> Schema {
     Schema::new(vec![
         Field::new("sym", DataType::Str),
         Field::new("a", DataType::Int),
@@ -395,7 +395,7 @@ fn distinct_row_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
     rowref::ref_collect(&mut d).expect("row distinct")
 }
 
-fn distinct_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
+pub(crate) fn distinct_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
     let scan = Box::new(RowsOp::new(schema.clone(), data));
     let mut d = Distinct::all(scan);
     collect(&mut d).expect("batch distinct")
@@ -403,14 +403,14 @@ fn distinct_batch_engine(schema: &Schema, data: Vec<Row>) -> Vec<Row> {
 
 const JOIN_BUILD: usize = 10_000;
 
-fn probe_schema() -> Schema {
+pub(crate) fn probe_schema() -> Schema {
     Schema::new(vec![
         Field::new("id", DataType::Int),
         Field::new("k", DataType::Int),
     ])
 }
 
-fn build_schema() -> Schema {
+pub(crate) fn build_schema() -> Schema {
     Schema::new(vec![
         Field::new("k", DataType::Int),
         Field::new("name", DataType::Str),
@@ -444,7 +444,7 @@ fn join_row_engine(probe: Vec<Row>, build: Vec<Row>) -> Vec<Row> {
     rowref::ref_collect(&mut j).expect("row join")
 }
 
-fn join_batch_engine(probe: Vec<Row>, build: Vec<Row>) -> Vec<Row> {
+pub(crate) fn join_batch_engine(probe: Vec<Row>, build: Vec<Row>) -> Vec<Row> {
     let l = Box::new(RowsOp::new(probe_schema(), probe));
     let r = Box::new(RowsOp::new(build_schema(), build));
     let mut j = HashJoin::new(l, r, vec![1], vec![0]);
@@ -478,7 +478,7 @@ pub fn udf_rows(n: usize) -> Vec<Row> {
         .collect()
 }
 
-fn udf_task() -> ClientTask {
+pub(crate) fn udf_task() -> ClientTask {
     ClientTask {
         mode: TaskMode::ClientJoin,
         input_width: 2,
@@ -505,7 +505,7 @@ fn udf_row_engine(rt: &Arc<ClientRuntime>, rows: Vec<Row>) -> Vec<Row> {
     out
 }
 
-fn udf_batch_engine(rt: &Arc<ClientRuntime>, rows: Vec<Row>) -> Vec<Row> {
+pub(crate) fn udf_batch_engine(rt: &Arc<ClientRuntime>, rows: Vec<Row>) -> Vec<Row> {
     let mut ex = TaskExecutor::new(rt.clone(), udf_task()).expect("executor");
     let mut out = Vec::with_capacity(rows.len());
     let mut it = rows.into_iter();
@@ -669,14 +669,14 @@ pub fn render_document(entries: &[JsonEntry]) -> String {
     out
 }
 
-fn field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\": \"");
     let start = line.find(&pat)? + pat.len();
     let end = line[start..].find('"')? + start;
     Some(line[start..end].to_string())
 }
 
-fn field_num(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_num(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -710,9 +710,17 @@ pub fn parse_entries(text: &str) -> Vec<JsonEntry> {
 ///   same-mode baseline speedup (machine-invariant: both engines ran on
 ///   the same hardware in the same process), or
 /// * its batch rows/sec fell below `(1 - tolerance)` of baseline *and* the
-///   row-engine rows/sec is within `tolerance` of its baseline — evidence
-///   the hardware is comparable, so the absolute drop is real and not a
-///   slower CI runner.
+///   hardware is demonstrably comparable to the baseline machine.
+///
+/// "Comparable hardware" is a **run-wide** judgement: *every* measured
+/// pipeline's row-engine throughput must sit within `tolerance` of its
+/// baseline. The row engine is untouched reference code, so any pipeline's
+/// row number drifting is evidence the runner differs — including a CI
+/// machine that slows down *mid-run* (noisy neighbor, thermal throttling):
+/// a slowdown after pipeline k still shows up in pipeline k+1's row
+/// measurement and disarms the absolute gate for the whole run, instead of
+/// hard-failing whichever pipeline happened to straddle the slowdown. The
+/// speedup gate, being a within-process ratio, stays armed regardless.
 ///
 /// Returns human-readable failures.
 pub fn check_regressions(
@@ -720,12 +728,21 @@ pub fn check_regressions(
     baseline: &[JsonEntry],
     tolerance: f64,
 ) -> Vec<String> {
-    let mut failures = Vec::new();
-    for c in current {
-        let Some(b) = baseline
+    let baseline_of = |c: &JsonEntry| {
+        baseline
             .iter()
             .find(|b| b.mode == c.mode && b.pipeline == c.pipeline)
-        else {
+    };
+    // Run-wide comparable-hardware guard over every pipeline's row engine.
+    let comparable_hw = current.iter().all(|c| match baseline_of(c) {
+        Some(b) => {
+            (c.row_rows_per_sec - b.row_rows_per_sec).abs() <= b.row_rows_per_sec * tolerance
+        }
+        None => true,
+    });
+    let mut failures = Vec::new();
+    for c in current {
+        let Some(b) = baseline_of(c) else {
             continue;
         };
         // Near-1x pipelines (join, VM UDF) have almost no headroom between
@@ -744,13 +761,11 @@ pub fn check_regressions(
             ));
             continue;
         }
-        let comparable_hw =
-            (c.row_rows_per_sec - b.row_rows_per_sec).abs() <= b.row_rows_per_sec * tolerance;
         let floor = b.batch_rows_per_sec * (1.0 - tolerance);
         if comparable_hw && c.batch_rows_per_sec < floor {
             failures.push(format!(
                 "{} ({}): batch engine {:.0} rows/s < {:.0} ({}% below baseline {:.0}, \
-                 row engine within {}% of baseline so hardware is comparable)",
+                 every pipeline's row engine within {}% of baseline so hardware is comparable)",
                 c.pipeline,
                 c.mode,
                 c.batch_rows_per_sec,
@@ -857,5 +872,42 @@ mod tests {
         let mut extra = parsed.clone();
         extra[0].pipeline = "brand_new".into();
         assert!(check_regressions(&extra, &entries, 0.2).len() <= 1);
+    }
+
+    #[test]
+    fn mid_run_hardware_slowdown_disarms_the_absolute_gate_run_wide() {
+        // Two near-1x pipelines (speedup gate disarmed below 1.5x), as on
+        // the vm_udf/hash_join entries.
+        let entry = |pipeline: &str, row: f64, batch: f64| JsonEntry {
+            mode: "quick".into(),
+            pipeline: pipeline.into(),
+            rows: 10_000,
+            row_rows_per_sec: row,
+            batch_rows_per_sec: batch,
+            speedup: batch / row,
+        };
+        let baseline = vec![
+            entry("first", 1_000_000.0, 1_300_000.0),
+            entry("second", 2_000_000.0, 2_600_000.0),
+        ];
+        // CI runner slows down *after* the first pipeline: the first's row
+        // engine still matches baseline, but its batch side (measured
+        // second, mid-slowdown) dropped 30%; the second pipeline ran fully
+        // on slow hardware. No pipeline may hard-fail on absolute rows/sec:
+        // the second's row drift proves the hardware is not comparable.
+        let mid_run_slowdown = vec![
+            entry("first", 1_000_000.0, 910_000.0),
+            entry("second", 1_000_000.0, 1_300_000.0),
+        ];
+        assert!(check_regressions(&mid_run_slowdown, &baseline, 0.2).is_empty());
+        // Same batch drop with every row engine matching baseline: the
+        // hardware is comparable, so the drop is real and flagged.
+        let real_regression = vec![
+            entry("first", 1_000_000.0, 910_000.0),
+            entry("second", 2_000_000.0, 2_600_000.0),
+        ];
+        let fails = check_regressions(&real_regression, &baseline, 0.2);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("first"));
     }
 }

@@ -47,9 +47,11 @@ impl RowBatch {
         }
     }
 
-    /// Wrap already-materialized rows (no copy).
+    /// Wrap already-materialized rows (no copy). The batch is at capacity:
+    /// wrapped batches are complete units of work, not accumulators
+    /// (callers that want to keep pushing use [`RowBatch::with_capacity`]).
     pub fn from_rows(schema: Arc<Schema>, rows: Vec<Row>) -> RowBatch {
-        let capacity = rows.len().max(DEFAULT_BATCH_SIZE);
+        let capacity = rows.len().max(1);
         RowBatch {
             schema,
             rows,
@@ -131,6 +133,45 @@ impl RowBatch {
     pub fn wire_size(&self) -> usize {
         self.rows.iter().map(Row::wire_size).sum()
     }
+
+    /// Split into morsels of at most `morsel_rows` rows each (the unit the
+    /// parallel engine hands to workers), preserving row order across the
+    /// returned batches. A batch already within the limit comes back whole.
+    pub fn split_morsels(self, morsel_rows: usize) -> Vec<RowBatch> {
+        let morsel_rows = morsel_rows.max(1);
+        if self.rows.len() <= morsel_rows {
+            return if self.rows.is_empty() {
+                Vec::new()
+            } else {
+                vec![self]
+            };
+        }
+        let (schema, rows) = self.into_parts();
+        let mut out = Vec::with_capacity(rows.len().div_ceil(morsel_rows));
+        let mut rows = rows.into_iter();
+        loop {
+            let chunk: Vec<Row> = rows.by_ref().take(morsel_rows).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            out.push(RowBatch::from_rows(schema.clone(), chunk));
+        }
+        out
+    }
+
+    /// Hash-partition the rows into `parts` buckets by the values at `key`
+    /// (whole-row hashing when `key` is `None`), preserving relative row
+    /// order within each bucket — the invariant partitioned operators rely
+    /// on (e.g. first-occurrence-wins distinct). See [`Row::key_hash`].
+    pub fn partition_by_hash(self, key: Option<&[usize]>, parts: usize) -> Vec<Vec<Row>> {
+        let parts = parts.max(1);
+        let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+        for row in self.rows {
+            let p = row.partition_of(key, parts);
+            buckets[p].push(row);
+        }
+        buckets
+    }
 }
 
 impl<'a> IntoIterator for &'a RowBatch {
@@ -178,6 +219,7 @@ mod tests {
         let rows = vec![Row::new(vec![Value::Int(1), Value::Int(2)])];
         let b = RowBatch::from_rows(schema(), rows.clone());
         assert_eq!(b.rows(), &rows[..]);
+        assert!(b.is_full(), "wrapped batches are complete units");
         assert_eq!(b.into_rows(), rows);
     }
 
@@ -201,5 +243,49 @@ mod tests {
     fn wire_size_sums_rows() {
         let b = RowBatch::from_rows(schema(), vec![Row::new(vec![Value::Int(1), Value::Int(2)])]);
         assert_eq!(b.wire_size(), 18);
+    }
+
+    #[test]
+    fn split_morsels_chunks_in_order() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i)]))
+            .collect();
+        let b = RowBatch::from_rows(schema(), rows.clone());
+        let morsels = b.split_morsels(4);
+        assert_eq!(
+            morsels.iter().map(RowBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let rejoined: Vec<Row> = morsels.into_iter().flat_map(RowBatch::into_rows).collect();
+        assert_eq!(rejoined, rows);
+        // Within-limit batches come back whole; empty batches vanish.
+        let b = RowBatch::from_rows(schema(), rows);
+        assert_eq!(b.split_morsels(100).len(), 1);
+        assert!(RowBatch::new(schema()).split_morsels(4).is_empty());
+    }
+
+    #[test]
+    fn partition_by_hash_keeps_bucket_order_and_covers_all_rows() {
+        let rows: Vec<Row> = (0..50)
+            .map(|i| Row::new(vec![Value::Int(i % 7), Value::Int(i)]))
+            .collect();
+        let b = RowBatch::from_rows(schema(), rows.clone());
+        let buckets = b.partition_by_hash(Some(&[0]), 4);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 50);
+        for bucket in &buckets {
+            // Relative input order preserved within a bucket (column 1 is
+            // the input sequence number).
+            for w in bucket.windows(2) {
+                assert!(w[0].value(1).as_i64().unwrap() < w[1].value(1).as_i64().unwrap());
+            }
+        }
+        // A key never straddles buckets: every row with key k sits in the
+        // bucket partition_of says it should.
+        for (p, bucket) in buckets.iter().enumerate() {
+            for r in bucket {
+                assert_eq!(r.partition_of(Some(&[0]), 4), p);
+            }
+        }
     }
 }

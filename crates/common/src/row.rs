@@ -111,6 +111,33 @@ impl Row {
     pub fn push_value(&mut self, v: Value) {
         self.values.push(v);
     }
+
+    /// Hash of the values at `key` (or the whole row when `key` is `None`),
+    /// consistent within a process run — the partitioning function of the
+    /// parallel exchange operators. Build and probe sides of a partitioned
+    /// join must use the *same* function so equal keys land in the same
+    /// partition; equality-by-content of `Value` guarantees equal keys hash
+    /// equal regardless of backing buffers.
+    pub fn key_hash(&self, key: Option<&[usize]>) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match key {
+            Some(cols) => {
+                for &c in cols {
+                    self.values[c].hash(&mut h);
+                }
+            }
+            None => self.hash(&mut h),
+        }
+        h.finish()
+    }
+
+    /// Partition ordinal in `[0, parts)` for this row under `key` hashing.
+    #[inline]
+    pub fn partition_of(&self, key: Option<&[usize]>, parts: usize) -> usize {
+        debug_assert!(parts > 0);
+        (self.key_hash(key) % parts.max(1) as u64) as usize
+    }
 }
 
 impl From<Vec<Value>> for Row {
@@ -179,5 +206,20 @@ mod tests {
     fn display_is_tuple_like() {
         let r = Row::new(vec![Value::Int(1), Value::from("x")]);
         assert_eq!(r.to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn key_hash_is_content_based_and_key_scoped() {
+        let a = Row::new(vec![Value::Int(1), Value::from("x")]);
+        let b = Row::new(vec![Value::Int(1), Value::from("y")]);
+        // Same key columns hash the same even though the rows differ.
+        assert_eq!(a.key_hash(Some(&[0])), b.key_hash(Some(&[0])));
+        // Whole-row hashing distinguishes them.
+        assert_ne!(a.key_hash(None), b.key_hash(None));
+        // Equal rows agree under whole-row hashing.
+        assert_eq!(a.key_hash(None), a.clone().key_hash(None));
+        let p = a.partition_of(Some(&[0]), 4);
+        assert!(p < 4);
+        assert_eq!(p, b.partition_of(Some(&[0]), 4));
     }
 }

@@ -1,4 +1,4 @@
-//! # csq-exec — the vectorized batch execution engine
+//! # csq-exec — the vectorized, morsel-parallel batch execution engine
 //!
 //! Operators follow the Volcano pull model (§2.1 of the paper shows the
 //! pseudo-code), but pull a whole [`csq_common::RowBatch`] per call via
@@ -9,14 +9,31 @@
 //! inherently row-oriented operators (the threaded shipping receivers in
 //! `csq-ship`) compose into the same plans. See DESIGN.md §2.
 //!
-//! Operators provided here: scan, filter, project, sort, distinct, hash
-//! join, merge join, nested-loop join, limit, and in-memory row sources.
+//! Serial operators provided here: scan, filter, project, sort, distinct,
+//! hash join, merge join, nested-loop join, limit, and in-memory row
+//! sources.
+//!
+//! On top of them sits the morsel-driven parallel layer (DESIGN.md §4): a
+//! [`WorkerPool`] plus [`ParallelPipeline`] run filter/project/UDF stages
+//! over source morsels with order-preserving gather, and [`Exchange`]
+//! hash-partitions the input so key-based operators (hash join, distinct,
+//! and other aggregation-style operators) run one private instance per
+//! worker and merge at the sink.
 
+pub mod exchange;
 pub mod join;
 pub mod ops;
+pub mod parallel;
+pub mod pool;
 
+pub use exchange::{Exchange, PartitionBuilder};
 pub use join::{HashJoin, MergeJoin, NestedLoopJoin};
 pub use ops::{collect, Distinct, Filter, Limit, MemScan, Operator, Project, RowsOp, Sort};
+pub use parallel::{
+    BatchStage, ClosureFactory, FilterStageFactory, ParallelOpts, ParallelPipeline,
+    ProjectStageFactory, StageFactory,
+};
+pub use pool::WorkerPool;
 
 /// A boxed operator, the unit of plan composition.
 pub type BoxOp = Box<dyn Operator + Send>;

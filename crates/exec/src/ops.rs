@@ -206,6 +206,7 @@ batch_operator!(RowsOp, hint: |s: &RowsOp| Some(s.rows.len()));
 
 /// Pre-resolved literal of a compiled comparison: the typed lanes avoid
 /// re-matching the literal's `Value` discriminant on every row.
+#[derive(Clone)]
 enum CmpLit {
     Float(f64),
     Int(i64),
@@ -214,7 +215,8 @@ enum CmpLit {
 
 /// One compiled `column <cmp> literal` comparison of the batch filter's
 /// fast path.
-struct CmpSpec {
+#[derive(Clone)]
+pub(crate) struct CmpSpec {
     col: usize,
     op: BinaryOp,
     kind: CmpLit,
@@ -257,7 +259,10 @@ impl CmpSpec {
 
 /// Specialized predicate forms the batch filter recognizes to skip the
 /// expression-tree walk (and its per-row `Value` clones) on the hot path.
-enum PredPath {
+/// Cloneable so the parallel engine can hand each worker its own compiled
+/// copy without re-analyzing the predicate per worker.
+#[derive(Clone)]
+pub(crate) enum PredPath {
     /// A conjunction of `column <cmp> literal` comparisons (a single
     /// comparison is a one-element conjunction), evaluated left to right
     /// with short-circuiting — exactly the general evaluator's order.
@@ -267,7 +272,7 @@ enum PredPath {
 }
 
 impl PredPath {
-    fn analyze(pred: &PhysExpr) -> PredPath {
+    pub(crate) fn analyze(pred: &PhysExpr) -> PredPath {
         fn flatten(e: &PhysExpr, out: &mut Vec<CmpSpec>) -> bool {
             match e {
                 PhysExpr::Binary { left, op, right } if *op == BinaryOp::And => {
@@ -329,53 +334,13 @@ impl Filter {
         }
     }
 
-    // SQL AND over three-valued conjuncts, evaluated in the same order as
-    // the expression tree: a definite false short-circuits; unknown does
-    // not (later conjuncts may still error, and `unknown AND false` is
-    // false).
     fn produce(&mut self) -> Result<Option<RowBatch>> {
         loop {
             let Some(batch) = self.input.next_batch()? else {
                 return Ok(None);
             };
             let (schema, mut rows) = batch.into_parts();
-            let mut err = None;
-            // Hoist the predicate-path dispatch out of the per-row loop.
-            match &self.path {
-                PredPath::Conjunction(specs) => rows.retain(|r| {
-                    if err.is_some() {
-                        return false;
-                    }
-                    let mut unknown = false;
-                    for spec in specs {
-                        match spec.tristate(r) {
-                            Ok(Some(false)) => return false,
-                            Ok(Some(true)) => {}
-                            Ok(None) => unknown = true,
-                            Err(e) => {
-                                err = Some(e);
-                                return false;
-                            }
-                        }
-                    }
-                    !unknown
-                }),
-                PredPath::General => rows.retain(|r| {
-                    if err.is_some() {
-                        return false;
-                    }
-                    match self.predicate.eval_predicate(r) {
-                        Ok(b) => b,
-                        Err(e) => {
-                            err = Some(e);
-                            false
-                        }
-                    }
-                }),
-            }
-            if let Some(e) = err {
-                return Err(e);
-            }
+            filter_rows(&self.path, &self.predicate, &mut rows)?;
             if !rows.is_empty() {
                 return Ok(Some(RowBatch::from_rows(schema, rows)));
             }
@@ -383,12 +348,66 @@ impl Filter {
     }
 }
 
+/// The batch filter kernel, shared by the serial [`Filter`] operator and the
+/// parallel engine's per-worker filter stage: compacts `rows` in place (kept
+/// rows are moved, never cloned).
+///
+/// SQL AND over three-valued conjuncts, evaluated in the same order as the
+/// expression tree: a definite false short-circuits; unknown does not (later
+/// conjuncts may still error, and `unknown AND false` is false).
+pub(crate) fn filter_rows(
+    path: &PredPath,
+    predicate: &PhysExpr,
+    rows: &mut Vec<Row>,
+) -> Result<()> {
+    let mut err = None;
+    // Hoist the predicate-path dispatch out of the per-row loop.
+    match path {
+        PredPath::Conjunction(specs) => rows.retain(|r| {
+            if err.is_some() {
+                return false;
+            }
+            let mut unknown = false;
+            for spec in specs {
+                match spec.tristate(r) {
+                    Ok(Some(false)) => return false,
+                    Ok(Some(true)) => {}
+                    Ok(None) => unknown = true,
+                    Err(e) => {
+                        err = Some(e);
+                        return false;
+                    }
+                }
+            }
+            !unknown
+        }),
+        PredPath::General => rows.retain(|r| {
+            if err.is_some() {
+                return false;
+            }
+            match predicate.eval_predicate(r) {
+                Ok(b) => b,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            }
+        }),
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 // The input's hint is an upper bound for a filter — still useful as a
 // preallocation ceiling for `collect`.
 batch_operator!(Filter, hint: |s: &Filter| s.input.size_hint());
 
-/// How the batch projection computes its output rows.
-enum ProjPath {
+/// How the batch projection computes its output rows. Cloneable so the
+/// parallel engine can hand each worker its own compiled copy.
+#[derive(Clone)]
+pub(crate) enum ProjPath {
     /// Strictly increasing bare columns: each row is projected *in place*,
     /// reusing its own allocation — no clone, no per-row `Vec`.
     InPlace(Vec<usize>),
@@ -400,7 +419,7 @@ enum ProjPath {
 }
 
 impl ProjPath {
-    fn analyze(exprs: &[PhysExpr]) -> ProjPath {
+    pub(crate) fn analyze(exprs: &[PhysExpr]) -> ProjPath {
         let cols: Option<Vec<usize>> = exprs
             .iter()
             .map(|e| match e {
@@ -455,43 +474,55 @@ impl Project {
         let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        let mut rows = batch.into_rows();
-        match &self.path {
-            ProjPath::InPlace(cols) => {
-                for row in &mut rows {
-                    row.project_in_place(cols)?;
-                }
-                Ok(Some(RowBatch::from_rows(self.schema.clone(), rows)))
+        let rows = project_rows(&self.path, &self.exprs, batch.into_rows())?;
+        Ok(Some(RowBatch::from_rows(self.schema.clone(), rows)))
+    }
+}
+
+/// The batch projection kernel, shared by the serial [`Project`] operator
+/// and the parallel engine's per-worker project stage. Pure-column
+/// projections move (or retitle in place) the values of the consumed rows
+/// instead of cloning them.
+pub(crate) fn project_rows(
+    path: &ProjPath,
+    exprs: &[PhysExpr],
+    mut rows: Vec<Row>,
+) -> Result<Vec<Row>> {
+    match path {
+        ProjPath::InPlace(cols) => {
+            for row in &mut rows {
+                row.project_in_place(cols)?;
             }
-            ProjPath::Move(cols) => {
-                let mut out = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let width = row.len();
-                    let mut vals = row.into_values();
-                    let mut picked = Vec::with_capacity(cols.len());
-                    for &i in cols {
-                        let slot = vals.get_mut(i).ok_or_else(|| {
-                            CsqError::Exec(format!(
-                                "column ordinal {i} out of bounds for row of width {width}"
-                            ))
-                        })?;
-                        picked.push(std::mem::replace(slot, Value::Null));
-                    }
-                    out.push(Row::new(picked));
+            Ok(rows)
+        }
+        ProjPath::Move(cols) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let width = row.len();
+                let mut vals = row.into_values();
+                let mut picked = Vec::with_capacity(cols.len());
+                for &i in cols {
+                    let slot = vals.get_mut(i).ok_or_else(|| {
+                        CsqError::Exec(format!(
+                            "column ordinal {i} out of bounds for row of width {width}"
+                        ))
+                    })?;
+                    picked.push(std::mem::replace(slot, Value::Null));
                 }
-                Ok(Some(RowBatch::from_rows(self.schema.clone(), out)))
+                out.push(Row::new(picked));
             }
-            ProjPath::Eval => {
-                let mut out = Vec::with_capacity(rows.len());
-                for row in &rows {
-                    let mut vals = Vec::with_capacity(self.exprs.len());
-                    for e in &self.exprs {
-                        vals.push(e.eval(row)?);
-                    }
-                    out.push(Row::new(vals));
+            Ok(out)
+        }
+        ProjPath::Eval => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    vals.push(e.eval(row)?);
                 }
-                Ok(Some(RowBatch::from_rows(self.schema.clone(), out)))
+                out.push(Row::new(vals));
             }
+            Ok(out)
         }
     }
 }

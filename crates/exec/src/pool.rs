@@ -1,0 +1,146 @@
+//! The worker pool behind the morsel-driven parallel engine (DESIGN.md §4).
+//!
+//! A [`WorkerPool`] owns a fixed set of OS threads fed by one shared
+//! (vendored crossbeam) channel of boxed jobs: every clone of the receiver
+//! pops each job exactly once, so submission order is dispatch order and
+//! idle workers self-schedule. Dropping the pool closes the job channel,
+//! lets workers drain what is already queued, and joins them — operators
+//! that own a pool therefore never leak threads, even on early drop
+//! (e.g. a `Limit` abandoning its input mid-stream).
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads executing submitted jobs.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("csq-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// The configured degree of parallelism — the worker-count knob. Reads
+    /// `CSQ_WORKERS` when set (≥ 1), otherwise the host's available
+    /// parallelism.
+    pub fn default_workers() -> usize {
+        if let Some(n) = std::env::var("CSQ_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a job. Jobs run in submission order across the pool (each on
+    /// whichever worker frees up first).
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("worker pool already shut down")
+            .send(Box::new(job));
+        assert!(sent.is_ok(), "worker pool has no live workers");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends each worker's recv loop after it drains
+        // the jobs already queued.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            // A panicked worker already reported via its job's channel (or
+            // is detected by the gather side); don't double-panic here.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins after draining the queue
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.spawn(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        pool.spawn(|| panic!("job panic"));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let d = done.clone();
+            pool.spawn(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        // The surviving worker still drains the queue.
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+}

@@ -90,6 +90,10 @@ pub struct OptContext {
     /// tie-breaker so plans with fewer server operators win among
     /// network-equal plans. The paper assumes server cost is negligible.
     pub server_tuple_cost: f64,
+    /// Degree of parallelism of the morsel-driven execution engine
+    /// (DESIGN.md §4): per-tuple server cost is discounted by
+    /// [`csq_cost::parallel_scale`] at this worker count. 1 = serial.
+    pub dop: usize,
 }
 
 impl OptContext {
@@ -100,7 +104,14 @@ impl OptContext {
             udfs: HashMap::new(),
             net,
             server_tuple_cost: 0.01,
+            dop: 1,
         }
+    }
+
+    /// Builder-style: set the engine's degree of parallelism (≥ 1).
+    pub fn with_dop(mut self, dop: usize) -> OptContext {
+        self.dop = dop.max(1);
+        self
     }
 
     /// Register a table's statistics.

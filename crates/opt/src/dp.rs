@@ -22,6 +22,11 @@ use crate::context::OptContext;
 use crate::plan::{PlanNode, UdfStrategy};
 use crate::query::{QueryGraph, Unit};
 
+/// Parallelizable fraction of server-side operator work assumed by the
+/// costing discount for [`OptContext::dop`] (scan/filter/project/join run
+/// on workers; dispatch and gather stay serial).
+const ENGINE_PARALLEL_FRACTION: f64 = 0.9;
+
 /// The optimizer's output.
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
@@ -79,7 +84,12 @@ impl<'a> Ctx<'a> {
     }
 
     fn server_cost(&self, rows: f64) -> f64 {
+        // The morsel-driven engine runs server-side operators with
+        // `opt.dop` workers; per-tuple cost shrinks by Amdahl's law with
+        // the engine's measured ~90% parallelizable fraction (DESIGN.md
+        // §4). At dop = 1 this divides by exactly 1.0.
         rows * self.opt.server_tuple_cost * 1e-6
+            / csq_cost::parallel_scale(self.opt.dop, ENGINE_PARALLEL_FRACTION)
     }
 
     /// Column display names referenced by an expression.

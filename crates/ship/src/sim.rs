@@ -5,7 +5,7 @@
 //! model the network with the discrete-event [`csq_net::Link`] model, so a
 //! 28.8 kbit/s modem experiment that took the paper minutes of wall clock
 //! completes in microseconds here — deterministically. This is the
-//! substitution for the paper's physical testbed (see DESIGN.md §4).
+//! substitution for the paper's physical testbed (see DESIGN.md §5).
 //!
 //! Returned [`SimRun`]s carry the completion time and per-link byte/busy
 //! accounting used by EXPERIMENTS.md and the cost-model validation.

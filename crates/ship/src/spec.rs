@@ -61,6 +61,11 @@ pub struct SemiJoinSpec {
     /// Use client-side memoization too (normally pointless for semi-joins —
     /// the server already deduplicates — but exposed for ablations).
     pub client_cache: bool,
+    /// Degree of parallelism for the threaded sender's wire encoding:
+    /// above 1, argument batches are serialized on a worker pool (in wire
+    /// order) while the sender stages the next batch. Bytes and message
+    /// boundaries are identical to the serial path. 1 = encode inline.
+    pub dop: usize,
 }
 
 impl SemiJoinSpec {
@@ -73,6 +78,7 @@ impl SemiJoinSpec {
             batch_size: 1,
             sorted: false,
             client_cache: false,
+            dop: 1,
         }
     }
 
@@ -161,6 +167,9 @@ pub struct ClientJoinSpec {
     pub sort_on_args: bool,
     /// Client-side memoization of UDF results per argument tuple.
     pub client_cache: bool,
+    /// Degree of parallelism for the threaded sender's wire encoding (see
+    /// [`SemiJoinSpec::dop`]). 1 = encode inline.
+    pub dop: usize,
 }
 
 impl ClientJoinSpec {
@@ -174,6 +183,7 @@ impl ClientJoinSpec {
             batch_size: 1,
             sort_on_args: false,
             client_cache: true,
+            dop: 1,
         }
     }
 

@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use csq_common::{CsqError, Result, Row, RowBatch, Schema};
-use csq_exec::{Operator, Sort};
+use csq_exec::{Operator, Sort, WorkerPool};
 use csq_net::{Endpoint, NetReceiver, NetSender};
 
 use csq_client::{Request, Response};
@@ -67,6 +67,102 @@ impl ResultCache {
     }
 }
 
+/// In-order wire relay with optional parallel encoding — how the threaded
+/// senders pull from the parallel engine's [`WorkerPool`]. `submit` takes a
+/// message-encoding closure plus a payload that must become visible only
+/// *after* the message is on the wire (semi-join records headed for the
+/// bounded buffer, client-join tickets); with `dop > 1` encoding runs on
+/// pool workers while the sender stages further input, and messages still
+/// hit the network in submission order, so byte and message accounting is
+/// identical to the serial path. All sends report `false` on a closed
+/// endpoint so callers can stop quietly, exactly like the serial senders.
+struct WireRelay<T> {
+    net_tx: NetSender,
+    pool: Option<WorkerPool>,
+    inflight: VecDeque<(Receiver<Vec<u8>>, T)>,
+}
+
+impl<T> WireRelay<T> {
+    fn new(net_tx: NetSender, dop: usize) -> WireRelay<T> {
+        WireRelay {
+            net_tx,
+            pool: (dop > 1).then(|| WorkerPool::new(dop)),
+            inflight: VecDeque::new(),
+        }
+    }
+
+    /// Send a pre-encoded control message (install/finish), after draining
+    /// any queued data messages so wire order is preserved.
+    fn send_control<F>(&mut self, msg: Vec<u8>, deliver: &mut F) -> bool
+    where
+        F: FnMut(T) -> bool,
+    {
+        self.finish(deliver) && self.net_tx.send(msg).is_ok()
+    }
+
+    /// Queue (or, serially, immediately perform) encode → net send →
+    /// deliver(payload) for one message.
+    fn submit<E, F>(&mut self, encode: E, payload: T, deliver: &mut F) -> bool
+    where
+        E: FnOnce() -> Vec<u8> + Send + 'static,
+        F: FnMut(T) -> bool,
+    {
+        let Some(depth) = self.pool.as_ref().map(WorkerPool::worker_count) else {
+            if self.net_tx.send(encode()).is_err() {
+                return false;
+            }
+            return deliver(payload);
+        };
+        // Keep at most one queued job per worker; forwarding the oldest
+        // first preserves wire order.
+        while self.inflight.len() >= depth {
+            if !self.forward_one(deliver) {
+                return false;
+            }
+        }
+        let (tx, rx) = bounded(1);
+        self.pool.as_ref().unwrap().spawn(move || {
+            let _ = tx.send(encode());
+        });
+        self.inflight.push_back((rx, payload));
+        true
+    }
+
+    fn forward_one<F>(&mut self, deliver: &mut F) -> bool
+    where
+        F: FnMut(T) -> bool,
+    {
+        let Some((rx, payload)) = self.inflight.pop_front() else {
+            return true;
+        };
+        let Ok(msg) = rx.recv() else {
+            return false; // encode worker lost (panic) — abandon the stream
+        };
+        if self.net_tx.send(msg).is_err() {
+            return false;
+        }
+        deliver(payload)
+    }
+
+    /// Drain every queued message (no-op when `inflight` is empty).
+    fn finish<F>(&mut self, deliver: &mut F) -> bool
+    where
+        F: FnMut(T) -> bool,
+    {
+        while !self.inflight.is_empty() {
+            if !self.forward_one(deliver) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when no queued message is awaiting its wire slot.
+    fn is_drained(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
 /// The semi-join operator (Figure 3): sender thread + bounded buffer +
 /// receiver pulling matched rows.
 pub struct ThreadedSemiJoin {
@@ -100,10 +196,13 @@ impl ThreadedSemiJoin {
         let arg_cols = spec.arg_union(input_schema.len());
         let batch_size = spec.batch_size.max(1);
         let sorted = spec.sorted;
+        let dop = spec.dop.max(1);
         let sender = std::thread::Builder::new()
             .name("csq-sj-sender".into())
             .spawn(move || {
-                semijoin_sender(input, task, arg_cols, batch_size, sorted, net_tx, buffer_tx)
+                semijoin_sender(
+                    input, task, arg_cols, batch_size, sorted, dop, net_tx, buffer_tx,
+                )
             })
             .expect("failed to spawn semi-join sender");
         Ok(ThreadedSemiJoin {
@@ -193,7 +292,10 @@ impl Operator for ThreadedSemiJoin {
 /// [`RowBatch`] at a time (the sorted mode wraps it in a `Sort`, which
 /// itself streams batches out of its materialized buffer); argument keys
 /// are `Arc`-shared between the dedup set, the wire batch, and the buffer
-/// records, so the hot loop never clones a row.
+/// records, so the hot loop never clones a row. Wire messages go through a
+/// [`WireRelay`]: with `dop > 1` encoding overlaps input staging, and each
+/// span's records enter the bounded buffer only after its message is on
+/// the wire, preserving the sender/receiver pairing protocol.
 #[allow(clippy::too_many_arguments)]
 fn semijoin_sender(
     input: Box<dyn Operator + Send>,
@@ -201,16 +303,36 @@ fn semijoin_sender(
     arg_cols: Vec<usize>,
     batch_size: usize,
     sorted: bool,
+    dop: usize,
     net_tx: NetSender,
     buffer_tx: Sender<Pending>,
 ) {
-    let fail = |buffer_tx: &Sender<Pending>, e: CsqError| {
-        let _ = buffer_tx.send(Pending::Err(e));
+    let mut relay: WireRelay<Vec<Pending>> = WireRelay::new(net_tx, dop);
+    let buffer = buffer_tx.clone();
+    let mut deliver = move |recs: Vec<Pending>| {
+        for rec in recs {
+            if buffer.send(rec).is_err() {
+                return false; // receiver dropped (e.g. LIMIT) — stop.
+            }
+        }
+        true
     };
+    // Duplicates of *already-shipped* arguments that only wait for wire
+    // order (messages still queued in the relay); always safe to deliver
+    // once the relay drains, even on failure. Records of the current
+    // unsent span live in `batch_records` instead and die with it on
+    // failure — exactly the serial sender's error prefix.
+    let mut deferred: Vec<Pending> = Vec::new();
+    macro_rules! fail {
+        ($e:expr) => {{
+            let _ = relay.finish(&mut deliver) && deliver(std::mem::take(&mut deferred));
+            let _ = buffer_tx.send(Pending::Err($e));
+            return;
+        }};
+    }
 
-    if net_tx.send(Request::Install(task).encode()).is_err() {
-        fail(&buffer_tx, CsqError::Net("client unreachable".into()));
-        return;
+    if !relay.send_control(Request::Install(task).encode(), &mut deliver) {
+        fail!(CsqError::Net("client unreachable".into()));
     }
 
     // Sort when requested (makes argument duplicates adjacent).
@@ -225,29 +347,11 @@ fn semijoin_sender(
     let mut batch_args: Vec<Arc<Row>> = Vec::with_capacity(batch_size);
     let mut batch_records: Vec<Pending> = Vec::new();
 
-    macro_rules! flush {
-        () => {{
-            if !batch_args.is_empty() {
-                let msg = Request::encode_batch(batch_args.iter().map(|a| a.as_ref()));
-                batch_args.clear();
-                if net_tx.send(msg).is_err() {
-                    // Receiver/client gone; stop quietly.
-                    return;
-                }
-            }
-            for rec in batch_records.drain(..) {
-                if buffer_tx.send(rec).is_err() {
-                    return; // receiver dropped (e.g. LIMIT) — stop.
-                }
-            }
-        }};
-    }
-
     loop {
         let batch = match source.next_batch() {
             Ok(Some(b)) => b,
             Ok(None) => break,
-            Err(e) => return fail(&buffer_tx, e),
+            Err(e) => fail!(e),
         };
         for row in batch.into_rows() {
             let key = Arc::new(row.project(&arg_cols));
@@ -265,8 +369,12 @@ fn semijoin_sender(
             }
             let rec = Pending::Rec { row, key, fresh };
             if fresh || !batch_args.is_empty() {
-                // Part of the current unsent batch's span: must wait for flush.
+                // Part of the current unsent span: must wait for its flush.
                 batch_records.push(rec);
+            } else if !relay.is_drained() {
+                // Duplicate of a shipped argument, but earlier messages are
+                // still queued: hold it so buffer order matches wire order.
+                deferred.push(rec);
             } else {
                 // Duplicate of an already-shipped argument: goes straight to
                 // the buffer (its result is already in flight or cached).
@@ -275,12 +383,36 @@ fn semijoin_sender(
                 }
             }
             if batch_args.len() >= batch_size {
-                flush!();
+                let args = std::mem::take(&mut batch_args);
+                // Deferred duplicates all precede this span in input order.
+                let mut recs = std::mem::take(&mut deferred);
+                recs.append(&mut batch_records);
+                let encode = move || Request::encode_batch(args.iter().map(|a| a.as_ref()));
+                if !relay.submit(encode, recs, &mut deliver) {
+                    return; // receiver/client gone; stop quietly.
+                }
             }
         }
     }
-    flush!();
-    let _ = net_tx.send(Request::Finish.encode());
+    if !batch_args.is_empty() {
+        let args = std::mem::take(&mut batch_args);
+        let mut recs = std::mem::take(&mut deferred);
+        recs.append(&mut batch_records);
+        let encode = move || Request::encode_batch(args.iter().map(|a| a.as_ref()));
+        if !relay.submit(encode, recs, &mut deliver) {
+            return;
+        }
+    }
+    if !relay.finish(&mut deliver) {
+        return;
+    }
+    // Trailing duplicates whose span had no message of its own.
+    for rec in deferred.drain(..) {
+        if buffer_tx.send(rec).is_err() {
+            return;
+        }
+    }
+    let _ = relay.send_control(Request::Finish.encode(), &mut deliver);
     // Dropping buffer_tx closes the buffer; the receiver then terminates.
 }
 
@@ -314,10 +446,11 @@ impl ThreadedClientJoin {
         } else {
             None
         };
+        let dop = spec.dop.max(1);
         let sender = std::thread::Builder::new()
             .name("csq-csj-sender".into())
             .spawn(move || {
-                client_join_sender(input, task, batch_size, sort_cols, net_tx, tickets_tx)
+                client_join_sender(input, task, batch_size, sort_cols, dop, net_tx, tickets_tx)
             })
             .expect("failed to spawn client-join sender");
         Ok(ThreadedClientJoin {
@@ -415,15 +548,23 @@ impl Operator for ThreadedClientJoin {
 /// Sender-thread body for the client-site join: consumes operator batches
 /// directly and re-chunks them into `batch_size`-row wire messages (so byte
 /// and message accounting is independent of the engine's batch capacity).
+/// Messages go through a [`WireRelay`] — with `dop > 1` encoding overlaps
+/// input staging, and each message's ticket is issued only once it is on
+/// the wire.
 fn client_join_sender(
     input: Box<dyn Operator + Send>,
     task: csq_client::ClientTask,
     batch_size: usize,
     sort_cols: Option<Vec<usize>>,
+    dop: usize,
     net_tx: NetSender,
     tickets_tx: Sender<Result<()>>,
 ) {
-    if net_tx.send(Request::Install(task).encode()).is_err() {
+    let mut relay: WireRelay<()> = WireRelay::new(net_tx, dop);
+    let tickets = tickets_tx.clone();
+    let mut deliver = move |_: ()| tickets.send(Ok(())).is_ok();
+
+    if !relay.send_control(Request::Install(task).encode(), &mut deliver) {
         let _ = tickets_tx.send(Err(CsqError::Net("client unreachable".into())));
         return;
     }
@@ -440,6 +581,9 @@ fn client_join_sender(
             Ok(Some(b)) => b,
             Ok(None) => break,
             Err(e) => {
+                // Tickets for already-shipped messages first, then the
+                // error, so the receiver consumes exactly what was sent.
+                let _ = relay.finish(&mut deliver);
                 let _ = tickets_tx.send(Err(e));
                 return;
             }
@@ -447,25 +591,20 @@ fn client_join_sender(
         for row in batch.into_rows() {
             pending.push(row);
             if pending.len() >= batch_size {
-                if net_tx.send(Request::encode_batch(pending.iter())).is_err() {
-                    return;
-                }
-                pending.clear();
-                if tickets_tx.send(Ok(())).is_err() {
+                let rows = std::mem::take(&mut pending);
+                if !relay.submit(move || Request::encode_batch(rows.iter()), (), &mut deliver) {
                     return;
                 }
             }
         }
     }
     if !pending.is_empty() {
-        if net_tx.send(Request::encode_batch(pending.iter())).is_err() {
-            return;
-        }
-        if tickets_tx.send(Ok(())).is_err() {
+        let rows = std::mem::take(&mut pending);
+        if !relay.submit(move || Request::encode_batch(rows.iter()), (), &mut deliver) {
             return;
         }
     }
-    let _ = net_tx.send(Request::Finish.encode());
+    let _ = relay.send_control(Request::Finish.encode(), &mut deliver);
 }
 
 /// The naive strategy of §2.1: treat the client-site UDF like a server-site
@@ -688,6 +827,61 @@ mod tests {
     fn semijoin_concurrency_one_still_completes() {
         let out = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 1), rows(10, 10)).unwrap();
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn semijoin_parallel_encoding_is_wire_identical() {
+        // dop > 1 must change neither the rows, the message count, nor the
+        // bytes — only who serializes them.
+        let data = rows(40, 8);
+        let (serial_rows, serial_stats) = {
+            let rt = runtime();
+            let (server, client, stats) = in_memory_duplex();
+            let handle = spawn_client(rt, client);
+            let mut spec = SemiJoinSpec::new(vec![analyze_app()], 6);
+            spec.batch_size = 3;
+            let input = Box::new(RowsOp::new(input_schema(), data.clone()));
+            let mut op = ThreadedSemiJoin::new(input, spec, server).unwrap();
+            let out = collect(&mut op).unwrap();
+            drop(op);
+            let _ = handle.join().unwrap();
+            (out, stats)
+        };
+        let rt = runtime();
+        let (server, client, stats) = in_memory_duplex();
+        let handle = spawn_client(rt, client);
+        let mut spec = SemiJoinSpec::new(vec![analyze_app()], 6);
+        spec.batch_size = 3;
+        spec.dop = 3;
+        let input = Box::new(RowsOp::new(input_schema(), data));
+        let mut op = ThreadedSemiJoin::new(input, spec, server).unwrap();
+        let out = collect(&mut op).unwrap();
+        drop(op);
+        let _ = handle.join().unwrap();
+        assert_eq!(out, serial_rows);
+        assert_eq!(stats.down_messages(), serial_stats.down_messages());
+        assert_eq!(stats.down_bytes(), serial_stats.down_bytes());
+        assert_eq!(stats.up_bytes(), serial_stats.up_bytes());
+    }
+
+    #[test]
+    fn client_join_parallel_encoding_matches_serial() {
+        let data = rows(50, 50);
+        let run = |dop: usize| {
+            let rt = runtime();
+            let (server, client, stats) = in_memory_duplex();
+            let handle = spawn_client(rt, client);
+            let mut spec = ClientJoinSpec::new(vec![analyze_app()]);
+            spec.batch_size = 4;
+            spec.dop = dop;
+            let input = Box::new(RowsOp::new(input_schema(), data.clone()));
+            let mut op = ThreadedClientJoin::new(input, spec, server).unwrap();
+            let out = collect(&mut op).unwrap();
+            drop(op);
+            let _ = handle.join().unwrap();
+            (out, stats.down_messages(), stats.down_bytes())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -308,3 +308,33 @@ fn explain_is_stable_and_readable() {
     assert!(a.contains("Scan"));
     assert!(a.contains("Final"));
 }
+
+#[test]
+fn dop_discounts_server_cost_without_changing_the_plan() {
+    // The degree-of-parallelism knob tells costing that server-side
+    // per-tuple work runs on the morsel-driven engine's workers. Network
+    // transfer dominates every plan here, so the *chosen* plan must not
+    // change — but the estimate must shrink monotonically, and never below
+    // the Amdahl bound (some work stays serial).
+    let make = |dop: usize| {
+        let mut ctx = fig11_ctx(NetworkSpec::modem_28_8()).with_dop(dop);
+        ctx.add_udf(
+            UdfMeta::client("ClientAnalysis", vec![DataType::Blob], DataType::Int)
+                .with_result_bytes(9.0)
+                .with_selectivity(0.001),
+        );
+        let g = csq_opt::query::extract(&select(FIG11), &ctx).unwrap();
+        let plan = optimize(&g, &ctx).unwrap();
+        (plan.root.explain(&g), plan.cost_seconds)
+    };
+    let (serial_plan, serial_cost) = make(1);
+    let (dop4_plan, dop4_cost) = make(4);
+    let (dop16_plan, dop16_cost) = make(16);
+    assert_eq!(serial_plan, dop4_plan);
+    assert_eq!(serial_plan, dop16_plan);
+    assert!(dop4_cost < serial_cost);
+    assert!(dop16_cost < dop4_cost);
+    // Server cost is a tie-breaker, not the bottleneck: the discount must
+    // stay a small fraction of the total.
+    assert!(dop16_cost > serial_cost * 0.5);
+}

@@ -1,0 +1,265 @@
+//! Property tests for the morsel-driven parallel engine (DESIGN.md §4):
+//! random pipelines over random data must produce the same result through
+//! the serial batch engine and the parallel engine at worker counts
+//! 1/2/4/8 — *modulo each operator's declared ordering*:
+//!
+//! * [`ParallelPipeline`] in ordered mode preserves input order, so
+//!   filter/project stage chains must match the serial operators **row for
+//!   row**, and ill-typed pipelines must fail with the same error kind at
+//!   the same deterministic position.
+//! * [`Exchange`] operators are declared order-destroying (partition
+//!   interleave), so partitioned distinct and hash join must match the
+//!   serial operators **as multisets** — and for distinct, the *same*
+//!   first-occurrence rows must survive, not merely the same keys.
+//!
+//! Failing seeds persist under `proptest-regressions/` (see the vendored
+//! proptest shim) and the committed seeds replay on every `cargo test`.
+
+use proptest::prelude::*;
+
+use csq_common::{DataType, Field, Result, Row, Schema, Value};
+use csq_exec::{
+    collect, BoxOp, Distinct, Exchange, Filter, FilterStageFactory, HashJoin, ParallelOpts,
+    ParallelPipeline, Project, ProjectStageFactory, RowsOp, StageFactory,
+};
+use csq_expr::{BinaryOp, PhysExpr};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn base_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("c0", DataType::Int),
+        Field::new("c1", DataType::Int),
+        Field::new("s", DataType::Str),
+    ])
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        prop_oneof![(-6i64..6).prop_map(Value::Int), Just(Value::Null)],
+        prop_oneof![(-6i64..6).prop_map(Value::Int), Just(Value::Null)],
+        prop_oneof![
+            (0usize..4).prop_map(|k| match k {
+                0 => Value::from("a"),
+                1 => Value::from("bb"),
+                2 => Value::from("ccc"),
+                _ => Value::from("a longer string payload"),
+            }),
+            Just(Value::Null),
+        ],
+    )
+        .prop_map(|(a, b, c)| Row::new(vec![a, b, c]))
+}
+
+fn cmp_op(sel: u8) -> BinaryOp {
+    match sel % 6 {
+        0 => BinaryOp::Eq,
+        1 => BinaryOp::NotEq,
+        2 => BinaryOp::Lt,
+        3 => BinaryOp::LtEq,
+        4 => BinaryOp::Gt,
+        _ => BinaryOp::GtEq,
+    }
+}
+
+/// One filter/project stage, buildable both as a serial operator layer and
+/// as a parallel [`StageFactory`].
+#[derive(Debug, Clone)]
+enum StageSpec {
+    /// `col <op> lit` (typed fast path when col is the literal's type;
+    /// general/erroring evaluation when it hits the string column).
+    FilterCmp { col: u8, op: u8, lit: i64 },
+    /// Bare-column projection, optionally plus a computed `c + c` column
+    /// (in-place, move, and eval paths; the eval path can type-error).
+    Project { cols: Vec<u8>, add_sum: bool },
+}
+
+fn arb_stage() -> impl Strategy<Value = StageSpec> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), -6i64..6).prop_map(|(col, op, lit)| StageSpec::FilterCmp {
+            col,
+            op,
+            lit
+        }),
+        (prop::collection::vec(any::<u8>(), 1..4), any::<bool>())
+            .prop_map(|(cols, add_sum)| StageSpec::Project { cols, add_sum }),
+    ]
+}
+
+fn stage_pred(col: usize, op: u8, lit: i64) -> PhysExpr {
+    PhysExpr::Binary {
+        left: Box::new(PhysExpr::Column(col)),
+        op: cmp_op(op),
+        right: Box::new(PhysExpr::Literal(Value::Int(lit))),
+    }
+}
+
+fn stage_exprs(
+    width: usize,
+    schema: &Schema,
+    cols: &[u8],
+    add_sum: bool,
+) -> Vec<(PhysExpr, Field)> {
+    let mut exprs: Vec<(PhysExpr, Field)> = cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let ord = *c as usize % width;
+            let dtype = schema.field(ord).dtype;
+            (PhysExpr::Column(ord), Field::new(format!("p{i}"), dtype))
+        })
+        .collect();
+    if add_sum {
+        let sum = PhysExpr::Binary {
+            left: Box::new(PhysExpr::Column(0)),
+            op: BinaryOp::Add,
+            right: Box::new(PhysExpr::Column(0)),
+        };
+        exprs.push((sum, Field::new("sum", DataType::Int)));
+    }
+    exprs
+}
+
+/// The serial pipeline: Filter/Project operators stacked over the source.
+fn build_serial(stages: &[StageSpec], rows: Vec<Row>) -> BoxOp {
+    let mut op: BoxOp = Box::new(RowsOp::new(base_schema(), rows));
+    for s in stages {
+        let w = op.schema().len().max(1);
+        op = match s {
+            StageSpec::FilterCmp { col, op: sel, lit } => {
+                Box::new(Filter::new(op, stage_pred(*col as usize % w, *sel, *lit)))
+            }
+            StageSpec::Project { cols, add_sum } => {
+                let exprs = stage_exprs(w, op.schema(), cols, *add_sum);
+                Box::new(Project::new(op, exprs))
+            }
+        };
+    }
+    op
+}
+
+/// The same stages as parallel stage factories (schemas tracked alongside).
+fn build_factories(stages: &[StageSpec]) -> Vec<Box<dyn StageFactory>> {
+    let mut schema = base_schema();
+    let mut out: Vec<Box<dyn StageFactory>> = Vec::new();
+    for s in stages {
+        let w = schema.len().max(1);
+        match s {
+            StageSpec::FilterCmp { col, op: sel, lit } => {
+                out.push(Box::new(FilterStageFactory::new(stage_pred(
+                    *col as usize % w,
+                    *sel,
+                    *lit,
+                ))));
+            }
+            StageSpec::Project { cols, add_sum } => {
+                let exprs = stage_exprs(w, &schema, cols, *add_sum);
+                schema = Schema::new(exprs.iter().map(|(_, f)| f.clone()).collect());
+                out.push(Box::new(ProjectStageFactory::new(exprs)));
+            }
+        }
+    }
+    out
+}
+
+fn run_op(mut op: BoxOp) -> Result<Vec<Row>> {
+    collect(op.as_mut())
+}
+
+fn opts(workers: usize, morsel_rows: usize, ordered: bool) -> ParallelOpts {
+    ParallelOpts {
+        workers,
+        morsel_rows,
+        ordered,
+        window: 0,
+    }
+}
+
+fn sorted_display(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r}")).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serial_and_parallel_pipelines_agree(
+        rows in prop::collection::vec(arb_row(), 0..140),
+        stages in prop::collection::vec(arb_stage(), 0..4),
+        morsel in 1usize..40,
+    ) {
+        let serial = run_op(build_serial(&stages, rows.clone()));
+        for workers in WORKER_COUNTS {
+            let scan: BoxOp = Box::new(RowsOp::new(base_schema(), rows.clone()));
+            let par = ParallelPipeline::new(scan, build_factories(&stages), opts(workers, morsel, true))
+                .and_then(|mut p| collect(&mut p));
+            match (&serial, &par) {
+                // Ordered mode: exact row-for-row equality.
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "workers = {}", workers),
+                // Ill-typed pipelines fail with the same error kind (the
+                // ordered gather surfaces the failing morsel's error at the
+                // serial engine's position).
+                (Err(a), Err(b)) => prop_assert_eq!(a.kind(), b.kind(), "workers = {}", workers),
+                (a, b) => prop_assert!(false, "engines disagree at {workers} workers: serial={a:?} parallel={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_partitioned_distinct_agree(
+        rows in prop::collection::vec(arb_row(), 0..140),
+        on_key in any::<bool>(),
+        key_col in any::<u8>(),
+        morsel in 1usize..40,
+    ) {
+        let key = key_col as usize % base_schema().len();
+        let serial = {
+            let scan: BoxOp = Box::new(RowsOp::new(base_schema(), rows.clone()));
+            let mut d: BoxOp = if on_key {
+                Box::new(Distinct::on(scan, vec![key]))
+            } else {
+                Box::new(Distinct::all(scan))
+            };
+            collect(d.as_mut()).unwrap()
+        };
+        for workers in WORKER_COUNTS {
+            let scan: BoxOp = Box::new(RowsOp::new(base_schema(), rows.clone()));
+            let mut d = if on_key {
+                Exchange::distinct_on(scan, vec![key], &opts(workers, morsel, false))
+            } else {
+                Exchange::distinct_all(scan, &opts(workers, morsel, false))
+            };
+            let par = collect(&mut d).unwrap();
+            // Multiset equality is also row-identity equality here: the
+            // same first-occurrence rows must survive, in any order.
+            prop_assert_eq!(sorted_display(&par), sorted_display(&serial), "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn serial_and_partitioned_hash_join_agree(
+        probe in prop::collection::vec(arb_row(), 0..120),
+        build in prop::collection::vec(arb_row(), 0..60),
+        key_sel in any::<u8>(),
+        morsel in 1usize..40,
+    ) {
+        // Join the Int columns (NULL keys never match, on both engines).
+        let k = (key_sel as usize) % 2;
+        let serial = {
+            let l: BoxOp = Box::new(RowsOp::new(base_schema(), probe.clone()));
+            let r: BoxOp = Box::new(RowsOp::new(base_schema(), build.clone()));
+            let mut j = HashJoin::new(l, r, vec![k], vec![1 - k]);
+            collect(&mut j).unwrap()
+        };
+        for workers in WORKER_COUNTS {
+            let l: BoxOp = Box::new(RowsOp::new(base_schema(), probe.clone()));
+            let r: BoxOp = Box::new(RowsOp::new(base_schema(), build.clone()));
+            let mut j = Exchange::hash_join(l, r, vec![k], vec![1 - k], &opts(workers, morsel, false))
+                .unwrap();
+            let par = collect(&mut j).unwrap();
+            prop_assert_eq!(sorted_display(&par), sorted_display(&serial), "workers = {}", workers);
+        }
+    }
+}

@@ -1,46 +1,135 @@
 //! Minimal offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no access to crates.io, so this vendored shim
-//! provides the slice of `crossbeam::channel` the workspace uses (bounded and
-//! unbounded MPSC channels with `Sender`/`Receiver`/`TryRecvError`) on top of
-//! `std::sync::mpsc`. Semantics match for this use: `bounded(n)` applies
-//! backpressure at `n` in-flight messages (`bounded(0)` is a rendezvous
-//! channel), and receive operations report disconnection once all senders
-//! are dropped.
+//! provides the slice of `crossbeam::channel` the workspace uses: bounded
+//! and unbounded MPMC channels with `Sender`/`Receiver`/`TryRecvError`.
+//! Semantics match for this use: `bounded(n)` applies backpressure at `n`
+//! in-flight messages (`bounded(0)` is a rendezvous channel), receive
+//! operations report disconnection once all senders are dropped, and — as
+//! in real crossbeam — both halves are `Clone`, so multiple consumers (the
+//! morsel-driven worker pool) can share one channel; every message is
+//! delivered to exactly one of them. The implementation is a
+//! mutex-plus-condvars queue (not a wrapper over `std::sync::mpsc`, whose
+//! single-consumer receiver would have to hold a lock across blocking
+//! receives — deadlocking a producer that consumes opportunistically).
 
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
     pub use std::sync::mpsc::{RecvError, TryRecvError};
 
-    /// Sending half of a channel; unifies std's unbounded and bounded
-    /// sender types behind crossbeam's single `Sender`.
-    pub enum Sender<T> {
-        Unbounded(mpsc::Sender<T>),
-        Bounded(mpsc::SyncSender<T>),
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded; `Some(0)` = rendezvous.
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+        /// Parked senders/receivers — notifications are skipped when
+        /// nobody waits, keeping the uncontended path syscall-free.
+        waiting_send: usize,
+        waiting_recv: usize,
     }
 
-    /// Error returned by [`Sender::send`] when the receiver disconnected.
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signaled on push and on last-sender drop.
+        not_empty: Condvar,
+        /// Signaled on pop and on last-receiver drop.
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                // A panicking user thread cannot corrupt a plain queue.
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    fn wait<'a, T>(
+        cv: &Condvar,
+        guard: MutexGuard<'a, Inner<T>>,
+        shared: &'a Shared<T>,
+    ) -> MutexGuard<'a, Inner<T>> {
+        match cv.wait(guard) {
+            Ok(g) => g,
+            Err(_) => shared.lock(),
+        }
+    }
+
+    /// Sending half of a channel; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers disconnected.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
     impl<T> Sender<T> {
-        /// Send a message, blocking while a bounded channel is full.
-        /// Errors only when the receiving half has been dropped.
+        /// Send a message, blocking while a bounded channel is full (and,
+        /// for a rendezvous channel, until the message is taken). Errors
+        /// only when every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match self {
-                Sender::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
-                Sender::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            let mut g = self.shared.lock();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match g.cap {
+                    Some(cap) if g.queue.len() >= cap.max(1) => {
+                        g.waiting_send += 1;
+                        g = wait(&self.shared.not_full, g, &self.shared);
+                        g.waiting_send -= 1;
+                    }
+                    _ => break,
+                }
             }
+            let rendezvous = g.cap == Some(0);
+            g.queue.push_back(value);
+            if g.waiting_recv > 0 {
+                self.shared.not_empty.notify_one();
+            }
+            if rendezvous {
+                // Block until a receiver takes the message (or all
+                // receivers vanish; the message is then lost, like a
+                // disconnected std rendezvous send that already paired).
+                while !g.queue.is_empty() && g.receivers > 0 {
+                    g.waiting_send += 1;
+                    g = wait(&self.shared.not_full, g, &self.shared);
+                    g.waiting_send -= 1;
+                }
+                // Pass the baton: the receiver's single pop-side notify may
+                // have woken *this* (phase-2) sender rather than a sender
+                // still waiting to push; re-notify so it isn't stranded.
+                if g.waiting_send > 0 {
+                    self.shared.not_full.notify_one();
+                }
+            }
+            Ok(())
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            match self {
-                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
-                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.shared.lock();
+            g.senders -= 1;
+            if g.senders == 0 {
+                drop(g);
+                self.shared.not_empty.notify_all();
             }
         }
     }
@@ -51,25 +140,77 @@ pub mod channel {
         }
     }
 
-    /// Receiving half of a channel.
+    /// Receiving half of a channel. Clonable, like crossbeam's: clones
+    /// share the queue and each message goes to exactly one receiver.
     pub struct Receiver<T> {
-        rx: mpsc::Receiver<T>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Receiver<T> {
-        /// Block until a message arrives; errors when all senders dropped.
+        /// Block until a message arrives; errors when all senders dropped
+        /// and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.rx.recv()
+            let mut g = self.shared.lock();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    let wake = g.waiting_send > 0;
+                    drop(g);
+                    if wake {
+                        self.shared.not_full.notify_one();
+                    }
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g.waiting_recv += 1;
+                g = wait(&self.shared.not_empty, g, &self.shared);
+                g.waiting_recv -= 1;
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.rx.try_recv()
+            let mut g = self.shared.lock();
+            if let Some(v) = g.queue.pop_front() {
+                let wake = g.waiting_send > 0;
+                drop(g);
+                if wake {
+                    self.shared.not_full.notify_one();
+                }
+                return Ok(v);
+            }
+            if g.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
         /// Iterate over messages until the channel disconnects.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.rx.iter()
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.shared.lock();
+            g.receivers -= 1;
+            if g.receivers == 0 {
+                drop(g);
+                // Blocked senders must observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
         }
     }
 
@@ -79,17 +220,49 @@ pub mod channel {
         }
     }
 
+    /// Blocking iterator over received messages; ends at disconnection.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+                waiting_send: 0,
+                waiting_recv: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
     /// A channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender::Unbounded(tx), Receiver { rx })
+        channel(None)
     }
 
     /// A channel holding at most `cap` in-flight messages; `cap == 0` gives
     /// a rendezvous channel.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender::Bounded(tx), Receiver { rx })
+        channel(Some(cap))
     }
 }
 
@@ -119,9 +292,103 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_blocks_until_taken() {
+        let (tx, rx) = bounded(0);
+        let t = std::thread::spawn(move || {
+            tx.send(41).unwrap();
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert_eq!(rx.recv().unwrap(), 42);
+        t.join().unwrap();
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn rendezvous_with_multiple_senders_passes_the_baton() {
+        // A phase-2 sender (message just taken) must re-notify a phase-1
+        // sender still waiting to push; a lost wakeup here deadlocks.
+        let (tx, rx) = bounded(0);
+        let senders: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        for t in senders {
+            t.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|i| (0..25).map(move |j| i * 100 + j))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn send_fails_after_receiver_drop() {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        // A consumer thread blocked in recv() must not starve the producer
+        // thread's own try_recv/send loop (a lock-holding blocking recv
+        // would deadlock exactly this pattern).
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut local = Vec::new();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+            if let Ok(v) = rx.try_recv() {
+                local.push(v);
+            }
+        }
+        drop(tx);
+        while let Ok(v) = rx.recv() {
+            local.push(v);
+        }
+        let mut all = consumer.join().unwrap();
+        all.extend(local);
+        all.sort_unstable();
+        // Every message delivered exactly once across the two consumers.
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cloned_senders_disconnect_only_when_all_drop() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
     }
 }

@@ -10,6 +10,13 @@
 //! failing cases are reported by panic with the case's seed but are **not
 //! shrunk**, and generation is deterministic per test (seeded from the test
 //! name) so failures reproduce across runs.
+//!
+//! Like real proptest, failing seeds are persisted: a failure appends
+//! `xs <test_name> 0x<seed>` to `proptest-regressions/<source_stem>.txt`
+//! under the test crate's manifest directory, and every later run replays
+//! the committed seeds for that test *before* generating fresh cases — so
+//! regression seeds checked into the repository are exercised on every
+//! `cargo test`, locally and in CI.
 
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -470,6 +477,87 @@ pub mod collection {
     }
 }
 
+/// Regression-seed persistence, mirroring proptest's `proptest-regressions/`
+/// files. One file per test *source file* (its stem), holding one line per
+/// recorded failure: `xs <test_name> 0x<seed>`. `#`-prefixed lines are
+/// comments. Seeds replay through [`TestRng::from_seed`].
+pub mod persistence {
+    use std::path::{Path, PathBuf};
+
+    /// Handle on one test's slice of a regression file.
+    pub struct RegressionFile {
+        path: PathBuf,
+        test: String,
+    }
+
+    impl RegressionFile {
+        /// Locate the regression file for `source_file` (a `file!()` path)
+        /// under `manifest_dir`, scoped to the property test `test`.
+        pub fn for_test(manifest_dir: &str, source_file: &str, test: &str) -> RegressionFile {
+            let stem = Path::new(source_file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unknown");
+            RegressionFile {
+                path: Path::new(manifest_dir)
+                    .join("proptest-regressions")
+                    .join(format!("{stem}.txt")),
+                test: test.to_string(),
+            }
+        }
+
+        /// Seeds recorded for this test, in file order.
+        pub fn seeds(&self) -> Vec<u64> {
+            let Ok(text) = std::fs::read_to_string(&self.path) else {
+                return Vec::new();
+            };
+            text.lines()
+                .filter_map(|line| {
+                    let line = line.trim();
+                    let rest = line.strip_prefix("xs ")?;
+                    let (name, seed) = rest.split_once(' ')?;
+                    if name != self.test {
+                        return None;
+                    }
+                    let seed = seed.trim();
+                    let hex = seed.strip_prefix("0x").unwrap_or(seed);
+                    u64::from_str_radix(hex, 16).ok()
+                })
+                .collect()
+        }
+
+        /// Record a failing seed (idempotent, best effort: IO errors are
+        /// swallowed so persistence never masks the test failure itself).
+        /// Uses a single appending write — tests in one binary run on
+        /// parallel threads, and a read-modify-rewrite would let two
+        /// failing properties sharing this file drop each other's seed.
+        pub fn record(&self, seed: u64) {
+            use std::io::Write;
+            if self.seeds().contains(&seed) {
+                return;
+            }
+            if let Some(dir) = self.path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let mut entry = String::new();
+            if !self.path.exists() {
+                entry.push_str(
+                    "# Proptest regression seeds. Each line is `xs <test_name> 0x<seed>`;\n\
+                     # committed seeds replay before fresh generation on every run.\n",
+                );
+            }
+            entry.push_str(&format!("xs {} 0x{seed:016x}\n", self.test));
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+            {
+                let _ = f.write_all(entry.as_bytes());
+            }
+        }
+    }
+}
+
 /// Uniform choice among strategies with a common value type.
 #[macro_export]
 macro_rules! prop_oneof {
@@ -511,17 +599,44 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            // `mut` is needed whenever the case body captures state
+            // mutably, which depends on the caller's strategies/body.
+            #[allow(unused_mut)]
+            let mut run_case = |rng: &mut $crate::TestRng| {
+                let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, rng),)+);
+                $body
+            };
+            let regressions = $crate::persistence::RegressionFile::for_test(
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+            );
+            // Committed regression seeds replay before fresh generation.
+            for seed in regressions.seeds() {
+                let mut rng = $crate::TestRng::from_seed(seed);
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || run_case(&mut rng),
+                ));
+                if let Err(cause) = result {
+                    eprintln!(
+                        "proptest regression seed 0x{seed:016x} failed in {}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..config.cases {
                 let case_seed = rng.seed();
-                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                    let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, &mut rng),)+);
-                    $body
-                }));
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || run_case(&mut rng),
+                ));
                 if let Err(cause) = result {
+                    regressions.record(case_seed);
                     eprintln!(
                         "proptest case {case}/{} failed in {} (replay with \
-                         TestRng::from_seed(0x{case_seed:016x}))",
+                         TestRng::from_seed(0x{case_seed:016x}); seed persisted \
+                         under proptest-regressions/)",
                         config.cases,
                         stringify!($name),
                     );
@@ -574,6 +689,28 @@ mod tests {
             seen.insert(v.min(10));
         }
         assert_eq!(seen.len(), 3, "all arms exercised");
+    }
+
+    #[test]
+    fn persistence_roundtrip_and_scoping() {
+        let dir = std::env::temp_dir().join(format!("csq-proptest-shim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap();
+        let f = crate::persistence::RegressionFile::for_test(manifest, "tests/some_suite.rs", "a");
+        assert!(f.seeds().is_empty(), "missing file reads as no seeds");
+        f.record(0xdead_beef);
+        f.record(0xdead_beef); // idempotent
+        f.record(7);
+        let g = crate::persistence::RegressionFile::for_test(manifest, "tests/some_suite.rs", "b");
+        g.record(42);
+        assert_eq!(f.seeds(), vec![0xdead_beef, 7], "scoped to test name");
+        assert_eq!(g.seeds(), vec![42]);
+        let text =
+            std::fs::read_to_string(dir.join("proptest-regressions/some_suite.txt")).unwrap();
+        assert!(text.starts_with('#'), "header comment present");
+        assert!(text.contains("xs a 0x00000000deadbeef"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     proptest! {
