@@ -1,0 +1,481 @@
+//! Grouped-aggregation workload: the serial [`HashAggregate`] vs. the
+//! partitioned exchange at several worker counts and vs. the shipped
+//! partial/final split, writing `results/BENCH_aggregate.json`.
+//!
+//! Two workloads bracket the placement trade-off the optimizer models
+//! (DESIGN.md §7):
+//!
+//! * `high_card` — many groups (rows/10): the aggregation hash table
+//!   dominates, partial states barely reduce the wire volume.
+//! * `low_card` — 64 groups: per-worker tables are tiny and partial
+//!   aggregation collapses the shipment to a handful of state rows.
+//!
+//! ## The projected speedup (basis `projected`)
+//!
+//! Exchange-partitioned aggregation is a three-stage pipeline — route
+//! (serialized feeder hashing rows to partitions), per-partition
+//! aggregation (divides across N workers because group keys are disjoint),
+//! and gather (consumer-side merge of worker outputs). As in the parallel
+//! bench, the hardware-normalized number the gate tracks is the
+//! pipeline-bottleneck projection built from per-component costs measured
+//! in one process:
+//!
+//! ```text
+//! D1 = routing pass (RowBatch::partition_by_hash over the input)
+//! B1 = Σ per-partition serial aggregation time (the divisible work)
+//! G1 = output gather/concat
+//! projected_time(N) = max(D1, G1, B1 / N)      (N > 1)
+//! speedup(N)        = min(Ts / projected_time(N), N)
+//! speedup(1)        = Ts / T1                  (measured wall, no model)
+//! ```
+//!
+//! Every component is its minimum across reps (noise floor), mirroring
+//! `parallel.rs`; real Exchange wall numbers ride along as `wall_*` and
+//! gate only between same-shape hosts.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use csq_common::{DataType, Field, Row, RowBatch, Schema, Value};
+use csq_exec::{collect, AggSpec, BoxOp, Exchange, HashAggregate, ParallelOpts, RowsOp};
+use csq_expr::{AggFunc, PhysExpr};
+use csq_ship::PartialAggSpec;
+
+use crate::throughput::{field_num, field_str};
+
+/// One measured (workload, variant, worker count) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateEntry {
+    /// "full" or "quick".
+    pub mode: String,
+    /// "high_card" or "low_card".
+    pub workload: String,
+    /// "parallel" (exchange-partitioned) or "shipped_partial"
+    /// (partial → wire codec → final).
+    pub variant: String,
+    /// Input rows.
+    pub rows: usize,
+    /// Groups produced.
+    pub groups: usize,
+    /// Worker threads (1 for shipped_partial).
+    pub workers: usize,
+    /// Hardware threads of the measuring host (context for `wall_*`).
+    pub host_cpus: usize,
+    /// Serial single-phase aggregation throughput.
+    pub serial_rows_per_sec: f64,
+    /// This variant's wall-clock throughput.
+    pub wall_rows_per_sec: f64,
+    /// `wall_rows_per_sec / serial_rows_per_sec`.
+    pub wall_speedup: f64,
+    /// The gated speedup number; see module docs for `basis`.
+    pub speedup: f64,
+    /// "projected" (parallel) or "wall" (shipped_partial).
+    pub basis: String,
+}
+
+const REPS: usize = 5;
+
+fn agg_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+    ])
+}
+
+/// Deterministic rows whose key column scatters over `groups` values.
+pub fn agg_rows(n: usize, groups: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            let k = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % groups as u64;
+            Row::new(vec![Value::Int(k as i64), Value::Int((i % 1000) as i64)])
+        })
+        .collect()
+}
+
+fn agg_specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::new(AggFunc::Count, None, "cnt"),
+        AggSpec::new(AggFunc::Sum, Some(PhysExpr::Column(1)), "sum_v"),
+        AggSpec::new(AggFunc::Avg, Some(PhysExpr::Column(1)), "avg_v"),
+    ]
+}
+
+fn serial_aggregate(schema: &Schema, rows: Vec<Row>) -> Vec<Row> {
+    let scan: BoxOp = Box::new(RowsOp::new(schema.clone(), rows));
+    let mut agg = HashAggregate::new(scan, vec![0], agg_specs());
+    collect(&mut agg).expect("serial aggregate")
+}
+
+/// The pipeline decomposition of one partitioned run at `parts` partitions:
+/// (route secs, summed per-partition aggregation secs, gather secs, groups).
+fn decompose(schema: &Schema, rows: Vec<Row>, parts: usize) -> (f64, f64, f64, usize) {
+    let t = Instant::now();
+    let partitions =
+        RowBatch::from_rows(Arc::new(schema.clone()), rows).partition_by_hash(Some(&[0]), parts);
+    let d = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut outs = Vec::with_capacity(parts);
+    for p in partitions {
+        outs.push(serial_aggregate(schema, p));
+    }
+    let b = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut all: Vec<Row> = Vec::new();
+    for o in outs {
+        all.extend(o);
+    }
+    let g = t.elapsed().as_secs_f64();
+    (d, b, g, std::hint::black_box(all).len())
+}
+
+struct Workload {
+    name: &'static str,
+    rows: usize,
+    groups_cfg: usize,
+}
+
+/// Run every workload at full scale (1M rows) or quick scale (÷10).
+pub fn run_all(quick: bool) -> Vec<AggregateEntry> {
+    let mode = if quick { "quick" } else { "full" };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let scale = if quick { 10 } else { 1 };
+    let rows_n = 1_000_000 / scale;
+    let workloads = [
+        Workload {
+            name: "high_card",
+            rows: rows_n,
+            groups_cfg: rows_n / 10,
+        },
+        Workload {
+            name: "low_card",
+            rows: rows_n,
+            groups_cfg: 64,
+        },
+    ];
+    let max_parts = *worker_counts.iter().max().unwrap();
+    let schema = agg_schema();
+    let mut out = Vec::new();
+
+    for w in &workloads {
+        let data = agg_rows(w.rows, w.groups_cfg);
+        let expected_groups = serial_aggregate(&schema, data.clone()).len();
+
+        // Interleaved best-of rounds (see parallel.rs: shared-host speed
+        // drifts; every engine must sample the same phases). The serial
+        // engine runs on a spawned thread for scheduling parity.
+        let mut serial_secs = f64::INFINITY;
+        let mut exchange_walls = vec![f64::INFINITY; worker_counts.len()];
+        let mut shipped_secs = f64::INFINITY;
+        let (mut t1, mut d1, mut b1, mut g1) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..REPS {
+            let dcl = data.clone();
+            let sref = &schema;
+            let start = Instant::now();
+            let n = std::thread::scope(|sc| {
+                sc.spawn(move || serial_aggregate(sref, dcl).len())
+                    .join()
+                    .unwrap()
+            });
+            serial_secs = serial_secs.min(start.elapsed().as_secs_f64());
+            assert_eq!(std::hint::black_box(n), expected_groups);
+
+            for (i, &workers) in worker_counts.iter().enumerate() {
+                let scan: BoxOp = Box::new(RowsOp::new(schema.clone(), data.clone()));
+                let opts = ParallelOpts {
+                    workers,
+                    morsel_rows: 4096,
+                    ordered: false,
+                    window: 0,
+                };
+                let start = Instant::now();
+                let mut agg = Exchange::hash_aggregate(scan, vec![0], agg_specs(), &opts);
+                let n = collect(&mut agg).expect("exchange aggregate").len();
+                let wall = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    std::hint::black_box(n),
+                    expected_groups,
+                    "{}: partitioned aggregation lost or invented groups",
+                    w.name
+                );
+                exchange_walls[i] = exchange_walls[i].min(wall);
+                if workers == 1 {
+                    t1 = t1.min(wall);
+                }
+            }
+
+            let (d, b, g, n) = decompose(&schema, data.clone(), max_parts);
+            assert_eq!(n, expected_groups);
+            d1 = d1.min(d);
+            b1 = b1.min(b);
+            g1 = g1.min(g);
+
+            let spec = PartialAggSpec::new(vec![0], agg_specs());
+            let scan: BoxOp = Box::new(RowsOp::new(schema.clone(), data.clone()));
+            let start = Instant::now();
+            let (_, shipped_rows, _) = spec.ship_through_wire(scan).expect("shipped aggregate");
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(std::hint::black_box(shipped_rows).len(), expected_groups);
+            shipped_secs = shipped_secs.min(wall);
+        }
+
+        if std::env::var("CSQ_BENCH_DEBUG").is_ok() {
+            eprintln!(
+                "    [debug] {}: Ts={:.1}ms T1={:.1}ms D1={:.1}ms B1={:.1}ms G1={:.1}ms",
+                w.name,
+                serial_secs * 1e3,
+                t1 * 1e3,
+                d1 * 1e3,
+                b1 * 1e3,
+                g1 * 1e3,
+            );
+        }
+
+        for (i, &workers) in worker_counts.iter().enumerate() {
+            let wall = exchange_walls[i];
+            let projected = if workers == 1 {
+                serial_secs / t1
+            } else {
+                let bottleneck = d1.max(g1).max(b1 / workers as f64).max(1e-12);
+                (serial_secs / bottleneck).min(workers as f64)
+            };
+            out.push(AggregateEntry {
+                mode: mode.to_string(),
+                workload: w.name.to_string(),
+                variant: "parallel".to_string(),
+                rows: w.rows,
+                groups: expected_groups,
+                workers,
+                host_cpus,
+                serial_rows_per_sec: w.rows as f64 / serial_secs,
+                wall_rows_per_sec: w.rows as f64 / wall,
+                wall_speedup: serial_secs / wall,
+                speedup: projected,
+                basis: "projected".to_string(),
+            });
+        }
+        out.push(AggregateEntry {
+            mode: mode.to_string(),
+            workload: w.name.to_string(),
+            variant: "shipped_partial".to_string(),
+            rows: w.rows,
+            groups: expected_groups,
+            workers: 1,
+            host_cpus,
+            serial_rows_per_sec: w.rows as f64 / serial_secs,
+            wall_rows_per_sec: w.rows as f64 / shipped_secs,
+            wall_speedup: serial_secs / shipped_secs,
+            speedup: serial_secs / shipped_secs,
+            basis: "wall".to_string(),
+        });
+    }
+    out
+}
+
+// ---- results file -----------------------------------------------------------
+
+/// Render the results document (one entry per line, as in the other bench
+/// files, so the parser and diffs stay trivial).
+pub fn render_document(entries: &[AggregateEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"csq_aggregate\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"unit\": \"rows_per_sec\",\n");
+    out.push_str(
+        "  \"note\": \"speedup with basis=projected is the hardware-normalized pipeline model \
+         min(T_serial / max(D1, G1, B1/N), N) from measured components: D1 = serialized \
+         hash-routing pass, B1 = summed per-partition aggregation (divides across workers, \
+         disjoint group keys), G1 = output gather, each its minimum across reps (noise floor); \
+         speedup at workers=1 and all wall_* fields are raw wall clock on host_cpus hardware \
+         threads; shipped_partial is the partial->wire-codec->final split, gated on wall only \
+         between same-shape hosts\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"workload\": \"{}\", \"variant\": \"{}\", \"rows\": {}, \
+             \"groups\": {}, \"workers\": {}, \"host_cpus\": {}, \
+             \"serial_rows_per_sec\": {:.0}, \"wall_rows_per_sec\": {:.0}, \
+             \"wall_speedup\": {:.2}, \"speedup\": {:.2}, \"basis\": \"{}\"}}{}\n",
+            e.mode,
+            e.workload,
+            e.variant,
+            e.rows,
+            e.groups,
+            e.workers,
+            e.host_cpus,
+            e.serial_rows_per_sec,
+            e.wall_rows_per_sec,
+            e.wall_speedup,
+            e.speedup,
+            e.basis,
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the entries out of a results document written by
+/// [`render_document`] (line-oriented; not a general JSON parser).
+pub fn parse_entries(text: &str) -> Vec<AggregateEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(AggregateEntry {
+                mode: field_str(line, "mode")?,
+                workload: field_str(line, "workload")?,
+                variant: field_str(line, "variant")?,
+                rows: field_num(line, "rows")? as usize,
+                groups: field_num(line, "groups")? as usize,
+                workers: field_num(line, "workers")? as usize,
+                host_cpus: field_num(line, "host_cpus")? as usize,
+                serial_rows_per_sec: field_num(line, "serial_rows_per_sec")?,
+                wall_rows_per_sec: field_num(line, "wall_rows_per_sec")?,
+                wall_speedup: field_num(line, "wall_speedup")?,
+                speedup: field_num(line, "speedup")?,
+                basis: field_str(line, "basis")?,
+            })
+        })
+        .collect()
+}
+
+/// Compare a fresh run against the committed baseline, mirroring the
+/// parallel bench's two-tier gate: projected speedups gate on any hardware
+/// (they are within-process cost ratios); absolute wall numbers gate only
+/// when the hardware is demonstrably comparable (same `host_cpus` and every
+/// workload's serial engine within `tolerance` of its baseline).
+pub fn check_regressions(
+    current: &[AggregateEntry],
+    baseline: &[AggregateEntry],
+    tolerance: f64,
+) -> Vec<String> {
+    let baseline_of = |c: &AggregateEntry| {
+        baseline.iter().find(|b| {
+            b.mode == c.mode
+                && b.workload == c.workload
+                && b.variant == c.variant
+                && b.workers == c.workers
+        })
+    };
+    let comparable_hw = current.iter().all(|c| match baseline_of(c) {
+        Some(b) => {
+            c.host_cpus == b.host_cpus
+                && (c.serial_rows_per_sec - b.serial_rows_per_sec).abs()
+                    <= b.serial_rows_per_sec * tolerance
+        }
+        None => true,
+    });
+    let mut failures = Vec::new();
+    for c in current {
+        let Some(b) = baseline_of(c) else {
+            continue;
+        };
+        let projected_gate = c.basis == "projected" && b.basis == "projected" && c.workers > 1;
+        if projected_gate && c.speedup < b.speedup * (1.0 - tolerance) {
+            failures.push(format!(
+                "{} {} ({}, {} workers): projected speedup {:.2}x fell more than {}% below \
+                 baseline {:.2}x",
+                c.workload,
+                c.variant,
+                c.mode,
+                c.workers,
+                c.speedup,
+                (tolerance * 100.0) as u64,
+                b.speedup,
+            ));
+            continue;
+        }
+        let floor = b.wall_rows_per_sec * (1.0 - tolerance);
+        if comparable_hw && c.wall_rows_per_sec < floor {
+            failures.push(format!(
+                "{} {} ({}, {} workers): {:.0} rows/s < {:.0} ({}% below baseline {:.0} on \
+                 comparable hardware)",
+                c.workload,
+                c.variant,
+                c.mode,
+                c.workers,
+                c.wall_rows_per_sec,
+                floor,
+                (tolerance * 100.0) as u64,
+                b.wall_rows_per_sec,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(workload: &str, variant: &str, workers: usize, speedup: f64) -> AggregateEntry {
+        AggregateEntry {
+            mode: "quick".into(),
+            workload: workload.into(),
+            variant: variant.into(),
+            rows: 100_000,
+            groups: 10_000,
+            workers,
+            host_cpus: 4,
+            serial_rows_per_sec: 1_000_000.0,
+            wall_rows_per_sec: 1_000_000.0 * speedup,
+            wall_speedup: speedup,
+            speedup,
+            basis: if variant == "parallel" {
+                "projected".into()
+            } else {
+                "wall".into()
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let entries = vec![
+            entry("high_card", "parallel", 4, 2.5),
+            entry("low_card", "shipped_partial", 1, 0.8),
+        ];
+        let doc = render_document(&entries);
+        let parsed = parse_entries(&doc);
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn projected_gate_fires_and_wall_gate_needs_comparable_hw() {
+        let baseline = vec![
+            entry("high_card", "parallel", 4, 2.5),
+            entry("low_card", "shipped_partial", 1, 0.8),
+        ];
+        assert!(check_regressions(&baseline, &baseline, 0.25).is_empty());
+        let mut bad = baseline.clone();
+        bad[0].speedup = 1.0;
+        let fails = check_regressions(&bad, &baseline, 0.25);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("projected speedup"));
+        // Wall drop on a different-shaped host is not flagged.
+        let mut other = baseline.clone();
+        for e in &mut other {
+            e.host_cpus = 1;
+            e.wall_rows_per_sec *= 0.4;
+        }
+        assert!(check_regressions(&other, &baseline, 0.25).is_empty());
+        // Wall drop on the same host shape is flagged.
+        let mut real = baseline.clone();
+        real[1].wall_rows_per_sec *= 0.5;
+        assert_eq!(check_regressions(&real, &baseline, 0.25).len(), 1);
+    }
+
+    #[test]
+    fn quick_run_smoke_group_counts_agree() {
+        // Tiny smoke: both aggregation paths produce the configured group
+        // count (full equivalence lives in the differential proptests).
+        let schema = agg_schema();
+        let data = agg_rows(4_000, 64);
+        assert_eq!(serial_aggregate(&schema, data.clone()).len(), 64);
+        let (_, _, _, n) = decompose(&schema, data, 4);
+        assert_eq!(n, 64);
+    }
+}

@@ -50,8 +50,10 @@ pub use csq_client::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
 pub use csq_common::{
     Blob, CsqError, DataType, Field, Result, Row, RowBatch, Schema, Str, Value, DEFAULT_BATCH_SIZE,
 };
+pub use csq_exec::{AggSpec, HashAggregate};
+pub use csq_expr::AggFunc;
 pub use csq_net::{NetStats, NetworkSpec};
-pub use csq_opt::{OptimizedPlan, UdfMeta};
+pub use csq_opt::{AggPlacement, OptimizedPlan, UdfMeta};
 pub use csq_storage::{Catalog, Table, TableBuilder};
 
 /// The database: server catalog + client runtime + optimizer + network.
@@ -99,6 +101,18 @@ impl Database {
     /// expected result size, expected selectivity).
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) -> Result<()> {
         let sig = udf.signature().clone();
+        // COUNT/SUM/MIN/MAX/AVG are contextual keywords in the SQL front
+        // end: `max(x)` always parses as the aggregate, so a scalar UDF
+        // with such a name could never be called — reject the collision
+        // instead of silently shadowing it.
+        if csq_expr::AggFunc::parse(&sig.name).is_some() {
+            return Err(CsqError::Plan(format!(
+                "cannot register UDF '{}': the name collides with the SQL \
+                 aggregate function {}",
+                sig.name,
+                sig.name.to_ascii_uppercase()
+            )));
+        }
         let meta = UdfMeta {
             name: sig.name.clone(),
             arg_types: sig.arg_types.clone(),

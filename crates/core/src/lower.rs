@@ -19,12 +19,15 @@
 
 use csq_client::spawn_client;
 use csq_common::{codec, CsqError, Field, Result, Row, Schema};
-use csq_exec::{collect, Filter, MemScan, NestedLoopJoin, Operator, RowsOp};
+use csq_exec::{
+    collect, AggSpec, Filter, HashAggregate, MemScan, NestedLoopJoin, Operator, RowsOp,
+};
 use csq_expr::{analysis, bind, PhysExpr};
 use csq_net::in_memory_duplex;
-use csq_opt::{PlanNode, QueryGraph, UdfStrategy, Unit};
+use csq_opt::{AggPlacement, AggregateSpec, PlanNode, QueryGraph, UdfStrategy, Unit};
 use csq_ship::{
-    simulate_client_join, simulate_semijoin, ClientJoinSpec, SemiJoinSpec, UdfApplication,
+    simulate_client_join, simulate_semijoin, ClientJoinSpec, PartialAggSpec, SemiJoinSpec,
+    UdfApplication,
 };
 
 use crate::result::QueryResult;
@@ -104,6 +107,67 @@ fn bind_preds(graph: &QueryGraph, preds: &[usize], schema: &Schema) -> Result<Op
     }
 }
 
+/// Bind a grouped-aggregation spec against the inner plan's schema: group
+/// key ordinals plus one bound [`AggSpec`] per call.
+fn bind_aggregate(spec: &AggregateSpec, schema: &Schema) -> Result<(Vec<usize>, Vec<AggSpec>)> {
+    let key: Vec<usize> = spec
+        .group_by
+        .iter()
+        .map(|c| schema.index_of(c.qualifier.as_deref(), &c.name))
+        .collect::<Result<_>>()?;
+    let aggs: Vec<AggSpec> = spec
+        .calls
+        .iter()
+        .map(|call| {
+            let arg = call.arg.as_ref().map(|e| bind(e, schema)).transpose()?;
+            Ok(AggSpec::new(call.func, arg, call.result_col.clone()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((key, aggs))
+}
+
+/// Execute the aggregation layer over materialized rows (shared by the
+/// simulated backend and tests). `placement` picks the decomposition:
+/// client-only runs one single-phase pass; server-partial runs the partial
+/// phase, round-trips the decomposed state through the wire codec (the
+/// bytes a networked deployment would ship), and finishes from the decoded
+/// states. Row semantics are identical by construction — the differential
+/// suite holds both against a naive reference.
+fn apply_aggregate(
+    spec: &AggregateSpec,
+    placement: AggPlacement,
+    schema: &Schema,
+    rows: Vec<Row>,
+) -> Result<(Schema, Vec<Row>)> {
+    let (key, aggs) = bind_aggregate(spec, schema)?;
+    let input: csq_exec::BoxOp = Box::new(RowsOp::new(schema.clone(), rows));
+    let (out_schema, out_rows) = match placement {
+        AggPlacement::ClientOnly => {
+            let mut agg = HashAggregate::new(input, key, aggs);
+            let s = agg.schema().clone();
+            (s, collect(&mut agg)?)
+        }
+        AggPlacement::ServerPartial => {
+            let pspec = PartialAggSpec::new(key, aggs);
+            let (s, r, _wire_bytes) = pspec.ship_through_wire(input)?;
+            (s, r)
+        }
+    };
+    match &spec.having {
+        Some(h) => {
+            let pred = bind(h, &out_schema)?;
+            let mut kept = Vec::with_capacity(out_rows.len());
+            for r in out_rows {
+                if pred.eval_predicate(&r)? {
+                    kept.push(r);
+                }
+            }
+            Ok((out_schema, kept))
+        }
+        None => Ok((out_schema, out_rows)),
+    }
+}
+
 fn udf_application(graph: &QueryGraph, unit: usize, schema: &Schema) -> Result<UdfApplication> {
     let Unit::Udf { name, .. } = &graph.units[unit] else {
         unreachable!()
@@ -142,6 +206,34 @@ fn build_threaded(
             Ok(Box::new(Filter::new(child, pred)))
         }
         PlanNode::ReturnToServer { input } => build_threaded(db, graph, input),
+        PlanNode::Aggregate {
+            input, placement, ..
+        } => {
+            let child = build_threaded(db, graph, input)?;
+            let spec = graph
+                .aggregate
+                .as_ref()
+                .ok_or_else(|| CsqError::Plan("Aggregate node without an aggregate spec".into()))?;
+            let schema = child.schema().clone();
+            let (key, aggs) = bind_aggregate(spec, &schema)?;
+            let mut op: Box<dyn Operator + Send> = match placement {
+                AggPlacement::ClientOnly => Box::new(HashAggregate::new(child, key, aggs)),
+                AggPlacement::ServerPartial => {
+                    // The server-side partial phase reduces rows to groups,
+                    // the decomposed state crosses the wire through the
+                    // partial-aggregate codec, and the client finishes from
+                    // the decoded states.
+                    let pspec = PartialAggSpec::new(key, aggs);
+                    let (out_schema, rows, _wire_bytes) = pspec.ship_through_wire(child)?;
+                    Box::new(RowsOp::new(out_schema, rows))
+                }
+            };
+            if let Some(h) = &spec.having {
+                let pred = bind(h, op.schema())?;
+                op = Box::new(Filter::new(op, pred));
+            }
+            Ok(op)
+        }
         PlanNode::Final {
             input,
             pushed_preds,
@@ -189,8 +281,9 @@ fn build_threaded(
 /// the vectorized `Project` operator (pure-column outputs move values out
 /// of the intermediate rows instead of cloning them).
 fn project_output(graph: &QueryGraph, schema: &Schema, rows: Vec<Row>) -> Result<QueryResult> {
-    let mut exprs = Vec::with_capacity(graph.output.len());
-    for (e, name) in &graph.output {
+    let out = graph.final_output();
+    let mut exprs = Vec::with_capacity(out.len());
+    for (e, name) in out {
         let pe = bind(e, schema)?;
         let dtype = pe.infer_type(schema).unwrap_or(csq_common::DataType::Str);
         exprs.push((pe, Field::new(name.clone(), dtype)));
@@ -265,6 +358,20 @@ fn run_simulated(
             }
         }
         PlanNode::ReturnToServer { input } => run_simulated(db, graph, input, summary),
+        PlanNode::Aggregate {
+            input, placement, ..
+        } => {
+            let (schema, rows) = run_simulated(db, graph, input, summary)?;
+            let spec = graph
+                .aggregate
+                .as_ref()
+                .ok_or_else(|| CsqError::Plan("Aggregate node without an aggregate spec".into()))?;
+            // Placement changes what crosses the wire, not the rows; like
+            // leave-on-client/merged-final, the byte savings live in the
+            // optimizer's estimates (see module docs), so both placements
+            // execute the same decomposition here.
+            apply_aggregate(spec, *placement, &schema, rows)
+        }
         PlanNode::ApplyUdf {
             input,
             unit,

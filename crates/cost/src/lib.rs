@@ -282,6 +282,111 @@ pub fn parallel_scale(dop: usize, parallel_fraction: f64) -> f64 {
     1.0 / ((1.0 - f) + f / dop)
 }
 
+// ---- grouped-aggregation placement (DESIGN.md §7) --------------------------
+
+/// Where a grouped aggregation's partial phase runs relative to the
+/// client-server split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggPlacement {
+    /// Ship the pre-aggregation rows; the client aggregates everything.
+    ClientOnly,
+    /// The server partially aggregates (rows → groups) and ships decomposed
+    /// state; the client merges and finishes.
+    ServerPartial,
+}
+
+impl AggPlacement {
+    /// Explain label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggPlacement::ClientOnly => "client-only",
+            AggPlacement::ServerPartial => "server-partial",
+        }
+    }
+}
+
+/// Estimate the number of groups a GROUP BY produces: the product of the
+/// key columns' distinct counts (independence assumption), capped by the
+/// input cardinality. No keys = one global group.
+pub fn estimate_group_count(rows: f64, key_distincts: &[f64]) -> f64 {
+    if rows <= 0.0 {
+        return 0.0;
+    }
+    let mut d = 1.0f64;
+    for &k in key_distincts {
+        d *= k.max(1.0);
+    }
+    d.min(rows)
+}
+
+/// The partial-aggregation reduction factor `groups / rows` in (0, 1]: the
+/// fraction of the input cardinality that survives server-side partial
+/// aggregation and has to cross the wire.
+pub fn agg_reduction_factor(rows: f64, groups: f64) -> f64 {
+    if rows <= 0.0 {
+        return 1.0;
+    }
+    (groups / rows).clamp(0.0, 1.0)
+}
+
+/// Wire bytes of one shipped partial-aggregate state (per group, excluding
+/// the key columns): COUNT ships a 9-byte Int, SUM/MIN/MAX ship their
+/// running value (the argument's width), AVG ships running sum + count.
+pub fn agg_state_bytes(func: csq_expr::AggFunc, arg_bytes: f64) -> f64 {
+    use csq_expr::AggFunc;
+    const INT_WIRE: f64 = 9.0; // 1 tag + 8 payload
+    match func {
+        AggFunc::Count => INT_WIRE,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg_bytes,
+        AggFunc::Avg => INT_WIRE + INT_WIRE, // running sum + count
+    }
+}
+
+/// Shipping-volume inputs of the placement choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggPlacementParams {
+    /// Pre-aggregation input cardinality at the server.
+    pub rows: f64,
+    /// Estimated group count ([`estimate_group_count`]).
+    pub groups: f64,
+    /// Bytes per *row* the client-only placement ships (group-key columns +
+    /// aggregate argument columns).
+    pub row_bytes: f64,
+    /// Bytes per *group* the server-partial placement ships (group-key
+    /// columns + decomposed state, [`agg_state_bytes`]).
+    pub state_bytes: f64,
+}
+
+impl AggPlacementParams {
+    /// Downlink bytes a placement puts on the wire.
+    pub fn down_bytes(&self, placement: AggPlacement) -> f64 {
+        match placement {
+            AggPlacement::ClientOnly => self.rows * self.row_bytes,
+            AggPlacement::ServerPartial => self.groups * self.state_bytes,
+        }
+    }
+
+    /// The reduction factor below which server-partial ships fewer bytes:
+    /// `groups/rows < row_bytes/state_bytes`. Above 1.0 the state overhead
+    /// never loses; at 0 it never wins.
+    pub fn breakeven_reduction(&self) -> f64 {
+        if self.state_bytes <= 0.0 {
+            return 1.0;
+        }
+        self.row_bytes / self.state_bytes
+    }
+}
+
+/// Pick the placement that ships fewer bytes across the bottleneck link;
+/// ties go to client-only (no extra server work, no state framing).
+pub fn choose_agg_placement(p: &AggPlacementParams) -> AggPlacement {
+    if p.down_bytes(AggPlacement::ServerPartial) < p.down_bytes(AggPlacement::ClientOnly) {
+        AggPlacement::ServerPartial
+    } else {
+        AggPlacement::ClientOnly
+    }
+}
+
 /// Measure `I`, `A`, and `D` from actual rows: the average record wire
 /// size, the argument fraction, and the distinct-argument fraction over the
 /// given argument column ordinals.
@@ -577,6 +682,52 @@ mod tests {
         assert!((parallel_scale(8, 1.0) - 8.0).abs() < 1e-12);
         // Fully serial work does not scale.
         assert_eq!(parallel_scale(8, 0.0), 1.0);
+    }
+
+    #[test]
+    fn group_count_estimate_caps_and_multiplies() {
+        assert_eq!(estimate_group_count(1000.0, &[10.0]), 10.0);
+        assert_eq!(estimate_group_count(1000.0, &[50.0, 40.0]), 1000.0, "cap");
+        assert_eq!(estimate_group_count(1000.0, &[]), 1.0, "global group");
+        assert_eq!(estimate_group_count(0.0, &[10.0]), 0.0);
+        // Degenerate distincts clamp to 1, never shrinking the estimate.
+        assert_eq!(estimate_group_count(100.0, &[0.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn agg_placement_flips_at_breakeven_reduction() {
+        // AVG over a 9-byte int with a 9-byte key: client-only ships 18 B/row,
+        // server-partial ships 27 B/group → break-even at reduction 2/3.
+        let p = |groups: f64| AggPlacementParams {
+            rows: 1000.0,
+            groups,
+            row_bytes: 18.0,
+            state_bytes: 27.0,
+        };
+        assert!((p(1.0).breakeven_reduction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(choose_agg_placement(&p(300.0)), AggPlacement::ServerPartial);
+        assert_eq!(choose_agg_placement(&p(900.0)), AggPlacement::ClientOnly);
+        // Exactly at break-even the tie goes to client-only.
+        assert_eq!(
+            choose_agg_placement(&p(1000.0 * 2.0 / 3.0)),
+            AggPlacement::ClientOnly
+        );
+    }
+
+    #[test]
+    fn state_bytes_by_function() {
+        use csq_expr::AggFunc;
+        assert_eq!(agg_state_bytes(AggFunc::Count, 100.0), 9.0);
+        assert_eq!(agg_state_bytes(AggFunc::Sum, 9.0), 9.0);
+        assert_eq!(agg_state_bytes(AggFunc::Min, 24.0), 24.0);
+        assert_eq!(agg_state_bytes(AggFunc::Avg, 9.0), 18.0);
+    }
+
+    #[test]
+    fn reduction_factor_clamps() {
+        assert_eq!(agg_reduction_factor(100.0, 10.0), 0.1);
+        assert_eq!(agg_reduction_factor(100.0, 200.0), 1.0);
+        assert_eq!(agg_reduction_factor(0.0, 5.0), 1.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use csq_common::{CsqError, Result, Row, RowBatch, Schema};
 
+use crate::aggregate::{AggSpec, HashAggregate};
 use crate::join::HashJoin;
 use crate::ops::{batch_operator, collect, Distinct, Operator, RowCarry};
 use crate::parallel::ParallelOpts;
@@ -239,6 +240,41 @@ impl Exchange {
             builders,
             opts,
         ))
+    }
+
+    /// Partitioned grouped aggregation: rows route by the group key, each
+    /// worker runs a private single-phase [`HashAggregate`] over a disjoint
+    /// key range, and the gather side merges — the same multiset of groups
+    /// (and the same per-group values, accumulated in input order) as the
+    /// serial operator. A global aggregate (empty `key`) has exactly one
+    /// group, so it runs on a single partition regardless of `opts.workers`
+    /// (otherwise every idle worker would emit its own identity group).
+    pub fn hash_aggregate(
+        input: BoxOp,
+        key: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        opts: &ParallelOpts,
+    ) -> Exchange {
+        let parts = if key.is_empty() {
+            1
+        } else {
+            opts.resolved_workers()
+        };
+        let out_schema = Arc::new(crate::aggregate::aggregate_output_schema(
+            input.schema(),
+            &key,
+            &aggs,
+        ));
+        let builders: Vec<PartitionBuilder> = (0..parts)
+            .map(|_| {
+                let key = key.clone();
+                let aggs = aggs.clone();
+                Box::new(move |inbox: BoxOp| -> Result<BoxOp> {
+                    Ok(Box::new(HashAggregate::new(inbox, key, aggs)))
+                }) as PartitionBuilder
+            })
+            .collect();
+        Exchange::with_builders(input, Some(key), out_schema, builders, opts)
     }
 
     /// Partitioned duplicate elimination on `key` columns. Equal keys share

@@ -20,15 +20,19 @@
 //! and other aggregation-style operators) run one private instance per
 //! worker and merge at the sink.
 
+pub mod aggregate;
 pub mod exchange;
 pub mod join;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
 
+pub use aggregate::{aggregate_output_schema, aggregate_state_schema, AggSpec, HashAggregate};
 pub use exchange::{Exchange, PartitionBuilder};
 pub use join::{HashJoin, MergeJoin, NestedLoopJoin};
-pub use ops::{collect, Distinct, Filter, Limit, MemScan, Operator, Project, RowsOp, Sort};
+pub use ops::{
+    collect, compare_values, Distinct, Filter, Limit, MemScan, Operator, Project, RowsOp, Sort,
+};
 pub use parallel::{
     BatchStage, ClosureFactory, FilterStageFactory, ParallelOpts, ParallelPipeline,
     ProjectStageFactory, StageFactory,

@@ -167,7 +167,7 @@ impl MemScan {
 batch_operator!(MemScan, hint: |s: &MemScan| Some(s.rows.len()));
 
 /// Move up to one batch worth of rows out of a materialized iterator.
-fn produce_chunk(
+pub(crate) fn produce_chunk(
     rows: &mut std::vec::IntoIter<Row>,
     schema: &Arc<Schema>,
 ) -> Result<Option<RowBatch>> {
@@ -541,20 +541,29 @@ pub fn compare_on(a: &Row, b: &Row, key: &[usize]) -> Result<Ordering> {
 pub fn compare_on_keys(a: &Row, a_key: &[usize], b: &Row, b_key: &[usize]) -> Result<Ordering> {
     debug_assert_eq!(a_key.len(), b_key.len());
     for (&ka, &kb) in a_key.iter().zip(b_key) {
-        let (va, vb) = (a.value(ka), b.value(kb));
-        let ord = match (va.is_null(), vb.is_null()) {
-            (true, true) => Ordering::Equal,
-            (true, false) => Ordering::Less,
-            (false, true) => Ordering::Greater,
-            (false, false) => va
-                .sql_cmp(vb)?
-                .ok_or_else(|| CsqError::Exec("incomparable values in sort key".into()))?,
-        };
+        let ord = compare_values(a.value(ka), b.value(kb))?;
         if ord != Ordering::Equal {
             return Ok(ord);
         }
     }
     Ok(Ordering::Equal)
+}
+
+/// SQL ordering of two values with NULLs first; incomparable pairs (NaN
+/// against another float, cross-type) are exec errors rather than panics.
+/// This is the key-validation primitive shared by [`Sort`]'s fallible
+/// comparator and [`crate::HashAggregate`]'s MIN/MAX accumulators, so
+/// `ORDER BY` over NaN-bearing aggregate output errors the same way a sort
+/// over a NaN-bearing base column does.
+pub fn compare_values(va: &Value, vb: &Value) -> Result<Ordering> {
+    match (va.is_null(), vb.is_null()) {
+        (true, true) => Ok(Ordering::Equal),
+        (true, false) => Ok(Ordering::Less),
+        (false, true) => Ok(Ordering::Greater),
+        (false, false) => va
+            .sql_cmp(vb)?
+            .ok_or_else(|| CsqError::Exec("incomparable values in sort key".into())),
+    }
 }
 
 /// Materializing sort on key columns (ascending). The input is drained

@@ -65,6 +65,20 @@ pub fn contains_udf(expr: &Expr) -> bool {
     found
 }
 
+/// True when the expression contains at least one aggregate call.
+/// (Grouping validation itself runs on the planner's *rewritten*
+/// expressions — aggregate calls already replaced by `$aN` references — so
+/// plain [`columns_referenced`] covers the "outside aggregates" check.)
+pub fn contains_aggregate(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| {
+        if matches!(e, Expr::Aggregate { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
 /// Heuristic selectivity for a predicate, used when no explicit annotation is
 /// available. Mirrors the classic System-R defaults.
 pub fn estimate_selectivity(expr: &Expr) -> f64 {

@@ -19,5 +19,5 @@ pub mod logical;
 pub mod physical;
 
 pub use analysis::{columns_referenced, split_conjuncts, udfs_referenced};
-pub use logical::{BinaryOp, ColumnRef, Expr, UnaryOp};
+pub use logical::{AggFunc, BinaryOp, ColumnRef, Expr, UnaryOp};
 pub use physical::{bind, PhysExpr};

@@ -109,6 +109,58 @@ pub enum UnaryOp {
     Neg,
 }
 
+/// SQL aggregate functions over a group of rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)` — rows, or rows with a non-NULL argument.
+    Count,
+    /// `SUM(expr)` — NULL over an all-NULL (or empty) group.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)` — always a FLOAT; NULL over an all-NULL group.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Recognize an aggregate function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ]
+        .into_iter()
+        .find(|f| name.eq_ignore_ascii_case(f.name()))
+    }
+
+    /// Result type given the argument type (`None` for `COUNT(*)` or an
+    /// argument whose type is unknown).
+    pub fn result_type(self, arg: Option<csq_common::DataType>) -> csq_common::DataType {
+        use csq_common::DataType;
+        match self {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg.unwrap_or(DataType::Int),
+        }
+    }
+}
+
 /// A logical scalar expression.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
@@ -127,6 +179,13 @@ pub enum Expr {
     /// A user-defined function call `name(args...)`. Whether it is
     /// client-site is a property of the registered function, not the syntax.
     Udf { name: String, args: Vec<Expr> },
+    /// An aggregate call `FUNC(expr)` / `COUNT(*)` (`arg` is `None`).
+    /// Only meaningful in SELECT items and HAVING; the planner rewrites
+    /// every call into a reference to its synthetic result column.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
 }
 
 impl Expr {
@@ -162,6 +221,14 @@ impl Expr {
         }
     }
 
+    /// An aggregate call expression (`arg = None` is `COUNT(*)`).
+    pub fn agg(func: AggFunc, arg: Option<Expr>) -> Expr {
+        Expr::Aggregate {
+            func,
+            arg: arg.map(Box::new),
+        }
+    }
+
     /// `AND` of two expressions.
     pub fn and(self, other: Expr) -> Expr {
         Expr::binary(self, BinaryOp::And, other)
@@ -179,6 +246,11 @@ impl Expr {
             }
             Expr::Udf { args, .. } => {
                 for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
                     a.walk(f);
                 }
             }
@@ -201,6 +273,10 @@ impl Expr {
             Expr::Udf { name, args } => Expr::Udf {
                 name,
                 args: args.into_iter().map(|a| a.rewrite(f)).collect(),
+            },
+            Expr::Aggregate { func, arg } => Expr::Aggregate {
+                func,
+                arg: arg.map(|a| Box::new(a.rewrite(f))),
             },
         };
         f(rebuilt)
@@ -229,6 +305,10 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => write!(f, "{}({a})", func.name()),
+                None => write!(f, "{}(*)", func.name()),
+            },
         }
     }
 }

@@ -47,6 +47,11 @@ pub fn bind(expr: &Expr, schema: &Schema) -> Result<PhysExpr> {
             "UDF '{name}' reached physical binding; it should have been \
              extracted into a shipping operator by the optimizer"
         ))),
+        Expr::Aggregate { func, .. } => Err(CsqError::Plan(format!(
+            "aggregate {} reached physical binding; it should have been \
+             rewritten into a result-column reference by the planner",
+            func.name()
+        ))),
     }
 }
 

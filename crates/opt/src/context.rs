@@ -84,6 +84,10 @@ impl UdfMeta {
 pub struct OptContext {
     tables: HashMap<String, TableStats>,
     udfs: HashMap<String, UdfMeta>,
+    /// Per-column distinct-count overrides, keyed `table.column`
+    /// (lowercase). Absent columns fall back to `sqrt(rows)` — the classic
+    /// System-R default when no statistics exist.
+    col_distincts: HashMap<String, f64>,
     /// The client↔server network.
     pub net: NetworkSpec,
     /// Server-side per-tuple processing cost in "byte-equivalents" — a small
@@ -102,9 +106,40 @@ impl OptContext {
         OptContext {
             tables: HashMap::new(),
             udfs: HashMap::new(),
+            col_distincts: HashMap::new(),
             net,
             server_tuple_cost: 0.01,
             dop: 1,
+        }
+    }
+
+    /// Record the distinct-value count of `table.column` (drives the
+    /// grouped-aggregation group-count estimate).
+    pub fn set_col_distinct(&mut self, table: &str, column: &str, distinct: f64) {
+        self.col_distincts.insert(
+            format!(
+                "{}.{}",
+                table.to_ascii_lowercase(),
+                column.to_ascii_lowercase()
+            ),
+            distinct.max(1.0),
+        );
+    }
+
+    /// Distinct-value count of `table.column`: the recorded statistic, or
+    /// `sqrt(rows)` when none exists.
+    pub fn col_distinct(&self, table: &str, column: &str) -> f64 {
+        let key = format!(
+            "{}.{}",
+            table.to_ascii_lowercase(),
+            column.to_ascii_lowercase()
+        );
+        match self.col_distincts.get(&key) {
+            Some(&d) => d,
+            None => self
+                .table(table)
+                .map(|t| t.rows.sqrt().max(1.0))
+                .unwrap_or(1.0),
         }
     }
 

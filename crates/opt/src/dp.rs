@@ -103,17 +103,7 @@ impl<'a> Ctx<'a> {
     /// Canonical display name of a reference (resolves bare rel columns to
     /// their alias-qualified form).
     fn canonical(&self, c: &csq_expr::ColumnRef) -> String {
-        if c.qualifier.is_some() {
-            return c.to_string();
-        }
-        if let Some(i) = self.graph.owner_of(c) {
-            match &self.graph.units[i] {
-                Unit::Udf { result_col, .. } => result_col.clone(),
-                Unit::Rel { alias, .. } => format!("{alias}.{}", c.name),
-            }
-        } else {
-            c.to_string()
-        }
+        self.graph.canonical_name(c)
     }
 
     /// Columns still needed by unapplied predicates, unapplied UDF args,
@@ -629,11 +619,103 @@ fn finalize(ctx: &Ctx<'_>, s: &State) -> Option<State> {
     }
     let client_resident = out_cols.len() - ship.iter().filter(|c| out_cols.contains(*c)).count();
     let down = s.rows * ctx.bytes_of(&ship);
-    s2.cost += ctx.net_cost(down, 0.0);
+
+    // Delivery cost of the plain (non-aggregated) output.
+    let mut delivery = ctx.net_cost(down, 0.0);
+    let mut agg_node = None;
+    if let Some(spec) = &ctx.graph.aggregate {
+        // Grouped aggregation: enumerate where the partial phase runs.
+        //
+        // * client-only — ship the pre-aggregation rows (the `down` above)
+        //   and aggregate at the client (serial per-tuple work).
+        // * server-partial — the server reduces rows to groups first and
+        //   ships decomposed state (`groups × state bytes`); the partial
+        //   pass runs on the morsel-driven engine, so its per-tuple cost is
+        //   discounted by `dop` like every server-side operator. Only legal
+        //   when every aggregation input is server-resident and no residual
+        //   predicate remains to be evaluated at the client pre-grouping.
+        let key_cols: BTreeSet<String> = spec.group_by.iter().map(|c| c.to_string()).collect();
+        let mut state_bytes = ctx.bytes_of(&key_cols);
+        for call in &spec.calls {
+            let arg_bytes = call
+                .arg
+                .as_ref()
+                .map(|a| ctx.bytes_of(&ctx.cols_of_expr(a)))
+                .unwrap_or(0.0);
+            state_bytes += csq_cost::agg_state_bytes(call.func, arg_bytes);
+        }
+        let distincts: Vec<f64> = spec
+            .group_by
+            .iter()
+            .map(|g| {
+                for u in &ctx.graph.units {
+                    if let Unit::Rel { alias, table, .. } = u {
+                        if Some(alias.as_str()) == g.qualifier.as_deref() {
+                            return ctx.opt.col_distinct(table, &g.name);
+                        }
+                    }
+                }
+                s2.rows.sqrt().max(1.0)
+            })
+            .collect();
+        let groups = csq_cost::estimate_group_count(s2.rows.max(0.0), &distincts);
+        // The shipping-volume model lives in csq-cost; this DP turns its
+        // per-placement byte counts into seconds and layers the (tiny)
+        // site-CPU terms on top.
+        let params = csq_cost::AggPlacementParams {
+            rows: s2.rows,
+            groups,
+            row_bytes: ctx.bytes_of(&ship),
+            state_bytes,
+        };
+        let tuple_secs = ctx.opt.server_tuple_cost * 1e-6;
+        let client_total = delivery + params.rows * tuple_secs;
+        let server_legal = pushed.is_empty() && out_cols.iter().all(|c| s2.server_cols.contains(c));
+        let server_total = ctx.net_cost(
+            params.down_bytes(csq_cost::AggPlacement::ServerPartial),
+            0.0,
+        ) + ctx.server_cost(params.rows)
+            + groups * tuple_secs; // the client still merges and finishes
+        let placement = if server_legal && server_total < client_total {
+            delivery = server_total;
+            csq_cost::AggPlacement::ServerPartial
+        } else {
+            delivery = client_total;
+            csq_cost::AggPlacement::ClientOnly
+        };
+        debug_assert!(
+            // CPU terms only sharpen ties; the byte-level chooser and this
+            // enumeration must agree whenever server-partial is legal and
+            // the byte gap is decisive.
+            !server_legal
+                || csq_cost::choose_agg_placement(&params) == placement
+                || (ctx.net_cost(
+                    params.down_bytes(csq_cost::AggPlacement::ServerPartial),
+                    0.0
+                ) - ctx.net_cost(params.down_bytes(csq_cost::AggPlacement::ClientOnly), 0.0))
+                .abs()
+                    < ctx.server_cost(params.rows) + params.rows * tuple_secs
+        );
+        let having_sel = spec
+            .having
+            .as_ref()
+            .map(analysis::estimate_selectivity)
+            .unwrap_or(1.0);
+        s2.rows = groups * having_sel;
+        agg_node = Some((placement, groups));
+    }
+    s2.cost += delivery;
     s2.plan = PlanNode::Final {
         input: Box::new(s2.plan),
         client_resident,
         pushed_preds: pushed,
     };
+    if let Some((placement, groups_est)) = agg_node {
+        s2.plan = PlanNode::Aggregate {
+            input: Box::new(s2.plan),
+            placement,
+            groups_est,
+        };
+    }
     Some(s2)
 }

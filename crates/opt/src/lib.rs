@@ -28,7 +28,8 @@ pub mod query;
 pub mod rank;
 
 pub use context::{OptContext, TableStats, UdfMeta};
+pub use csq_cost::AggPlacement;
 pub use dp::{optimize, OptimizedPlan};
 pub use plan::{PlanNode, UdfStrategy};
-pub use query::{QueryGraph, Unit};
+pub use query::{AggCall, AggregateSpec, QueryGraph, Unit};
 pub use rank::rank_order_baseline;

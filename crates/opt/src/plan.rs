@@ -1,5 +1,7 @@
 //! Optimizer plan trees and EXPLAIN rendering.
 
+use csq_cost::AggPlacement;
+
 use crate::query::QueryGraph;
 
 /// How a client-site UDF unit is executed (§2.3 strategies plus the §5.1
@@ -64,6 +66,17 @@ pub enum PlanNode {
         input: Box<PlanNode>,
         client_resident: usize,
         pushed_preds: Vec<usize>,
+    },
+    /// Grouped aggregation over the delivered rows (details in
+    /// [`QueryGraph::aggregate`]). `placement` says where the partial phase
+    /// ran: `server-partial` reduced rows to groups before they crossed the
+    /// wire (shipping decomposed state), `client-only` shipped the
+    /// pre-aggregation rows and aggregated at the client. `groups_est` is
+    /// the optimizer's group-count estimate.
+    Aggregate {
+        input: Box<PlanNode>,
+        placement: AggPlacement,
+        groups_est: f64,
     },
 }
 
@@ -134,6 +147,39 @@ impl PlanNode {
                 out.push_str(&format!("{pad}ReturnToServer\n"));
                 input.fmt(graph, depth + 1, out);
             }
+            PlanNode::Aggregate {
+                input,
+                placement,
+                groups_est,
+            } => {
+                let mut desc = String::new();
+                if let Some(spec) = &graph.aggregate {
+                    let keys: Vec<String> = spec.group_by.iter().map(|c| c.to_string()).collect();
+                    let calls: Vec<String> = spec
+                        .calls
+                        .iter()
+                        .map(|c| match &c.arg {
+                            Some(a) => format!("{}({a})", c.func.name()),
+                            None => format!("{}(*)", c.func.name()),
+                        })
+                        .collect();
+                    if !keys.is_empty() {
+                        desc.push_str(&format!(" by [{}]", keys.join(", ")));
+                    }
+                    if !calls.is_empty() {
+                        desc.push_str(&format!(" [{}]", calls.join(", ")));
+                    }
+                    if let Some(h) = &spec.having {
+                        desc.push_str(&format!(" [having: {h}]"));
+                    }
+                }
+                out.push_str(&format!(
+                    "{pad}Aggregate [{}]{desc} (~{:.0} groups)\n",
+                    placement.label(),
+                    groups_est
+                ));
+                input.fmt(graph, depth + 1, out);
+            }
             PlanNode::Final {
                 input,
                 client_resident,
@@ -176,7 +222,8 @@ impl PlanNode {
             PlanNode::ApplyUdf { input, .. }
             | PlanNode::Filter { input, .. }
             | PlanNode::ReturnToServer { input }
-            | PlanNode::Final { input, .. } => input.walk(f),
+            | PlanNode::Final { input, .. }
+            | PlanNode::Aggregate { input, .. } => input.walk(f),
         }
     }
 

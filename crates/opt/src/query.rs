@@ -6,7 +6,7 @@
 use std::collections::BTreeSet;
 
 use csq_common::{CsqError, Result};
-use csq_expr::{analysis, ColumnRef, Expr};
+use csq_expr::{analysis, AggFunc, ColumnRef, Expr};
 use csq_sql::ast::{SelectItem, SelectStmt};
 
 use crate::context::{OptContext, TableStats, UdfMeta};
@@ -72,6 +72,37 @@ pub struct PredInfo {
     pub references_udf: bool,
 }
 
+/// One aggregate call of a grouped query, rewritten into a synthetic
+/// result-column reference (`$a0`, `$a1`, ...).
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` = `COUNT(*)`); plain scalar, no UDFs.
+    pub arg: Option<Expr>,
+    /// Synthetic result column name.
+    pub result_col: String,
+}
+
+/// The grouped-aggregation layer of a query: extracted GROUP BY keys,
+/// aggregate calls, HAVING, and the final (post-aggregation) SELECT list.
+/// The graph's own [`QueryGraph::output`] holds the *pre-aggregation*
+/// columns (group keys + aggregate argument columns) the inner plan must
+/// produce; the placement of the partial phase is the optimizer's choice
+/// ([`crate::dp::optimize`]).
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// Grouping columns (canonicalized to `alias.name`).
+    pub group_by: Vec<ColumnRef>,
+    /// Aggregate calls in result-column order.
+    pub calls: Vec<AggCall>,
+    /// HAVING predicate over group columns and `$aN` references.
+    pub having: Option<Expr>,
+    /// Final SELECT list over group columns and `$aN` references, with
+    /// display names.
+    pub output: Vec<(Expr, String)>,
+}
+
 /// The extracted query: units, predicates, output.
 #[derive(Debug, Clone)]
 pub struct QueryGraph {
@@ -81,8 +112,14 @@ pub struct QueryGraph {
     pub n_rels: usize,
     /// Classified WHERE conjuncts.
     pub predicates: Vec<PredInfo>,
-    /// Output expressions (UDF-rewritten) with display names.
+    /// Output expressions (UDF-rewritten) with display names. For grouped
+    /// queries these are the *pre-aggregation* columns (group keys +
+    /// aggregate arguments); the post-aggregation list lives in
+    /// [`QueryGraph::aggregate`].
     pub output: Vec<(Expr, String)>,
+    /// The grouped-aggregation layer, when the query has GROUP BY/HAVING or
+    /// aggregate calls.
+    pub aggregate: Option<AggregateSpec>,
 }
 
 impl QueryGraph {
@@ -180,6 +217,31 @@ impl QueryGraph {
         }
     }
 
+    /// The SELECT list execution projects onto: the post-aggregation list
+    /// for grouped queries, the plain output otherwise.
+    pub fn final_output(&self) -> &[(Expr, String)] {
+        match &self.aggregate {
+            Some(a) => &a.output,
+            None => &self.output,
+        }
+    }
+
+    /// Canonical display name of a column reference: bare relation columns
+    /// resolve to `alias.name`, UDF results to their synthetic column.
+    pub fn canonical_name(&self, c: &ColumnRef) -> String {
+        if c.qualifier.is_some() {
+            return c.to_string();
+        }
+        if let Some(i) = self.owner_of(c) {
+            match &self.units[i] {
+                Unit::Udf { result_col, .. } => result_col.clone(),
+                Unit::Rel { alias, .. } => format!("{alias}.{}", c.name),
+            }
+        } else {
+            c.to_string()
+        }
+    }
+
     /// All columns referenced by the output and by predicates/UDF args not
     /// yet applied — what later stages still need.
     pub fn needed_columns(&self, applied_preds: u64, applied_units: u64) -> BTreeSet<ColumnRef> {
@@ -203,6 +265,61 @@ impl QueryGraph {
     }
 }
 
+/// Extract aggregate calls bottom-up, replacing each with a reference to
+/// its synthetic result column (identical calls share one column).
+fn extract_aggs(e: Expr, calls: &mut Vec<AggCall>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Aggregate { func, arg } => {
+            let arg = arg.map(|a| *a);
+            if let Some(a) = &arg {
+                if analysis::contains_aggregate(a) {
+                    return Err(CsqError::Plan(format!(
+                        "aggregate calls cannot be nested inside {}",
+                        func.name()
+                    )));
+                }
+                if analysis::contains_udf(a) {
+                    return Err(CsqError::Plan(format!(
+                        "client-site UDF calls inside {} arguments are unsupported",
+                        func.name()
+                    )));
+                }
+            }
+            for c in calls.iter() {
+                if c.func == func
+                    && c.arg.as_ref().map(|x| x.to_string()) == arg.as_ref().map(|x| x.to_string())
+                {
+                    return Ok(Expr::Column(ColumnRef::bare(c.result_col.clone())));
+                }
+            }
+            let result_col = format!("$a{}", calls.len());
+            calls.push(AggCall {
+                func,
+                arg,
+                result_col: result_col.clone(),
+            });
+            Expr::Column(ColumnRef::bare(result_col))
+        }
+        Expr::Literal(_) | Expr::Column(_) => e,
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(extract_aggs(*expr, calls)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(extract_aggs(*left, calls)?),
+            op,
+            right: Box::new(extract_aggs(*right, calls)?),
+        },
+        Expr::Udf { name, args } => Expr::Udf {
+            name,
+            args: args
+                .into_iter()
+                .map(|a| extract_aggs(a, calls))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
 /// Extract the query graph from a parsed SELECT, rewriting client-site UDF
 /// calls into synthetic result-column references.
 pub fn extract(stmt: &SelectStmt, ctx: &OptContext) -> Result<QueryGraph> {
@@ -218,29 +335,89 @@ pub fn extract(stmt: &SelectStmt, ctx: &OptContext) -> Result<QueryGraph> {
     }
     let n_rels = units.len();
 
+    let agg_mode = !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => analysis::contains_aggregate(expr),
+            SelectItem::Wildcard => false,
+        });
+    if stmt.having.is_some() && stmt.group_by.is_empty() {
+        return Err(CsqError::Plan("HAVING requires a GROUP BY clause".into()));
+    }
+    if let Some(w) = &stmt.where_clause {
+        if analysis::contains_aggregate(w) {
+            return Err(CsqError::Plan(
+                "aggregate calls are not allowed in WHERE (use HAVING)".into(),
+            ));
+        }
+    }
+
     // Walk every expression, extracting client UDF calls bottom-up.
     let mut udf_units: Vec<Unit> = Vec::new();
     let mut rewrite = |e: &Expr| -> Result<Expr> { extract_udfs(e.clone(), ctx, &mut udf_units) };
 
+    // In aggregate mode the SELECT list and HAVING are rewritten over
+    // synthetic aggregate result columns; the graph's own output becomes
+    // the pre-aggregation columns the inner plan must produce.
+    let mut agg_calls: Vec<AggCall> = Vec::new();
+    let mut agg_final: Vec<(Expr, String)> = Vec::new();
+    let mut agg_having: Option<Expr> = None;
+
     let mut output = Vec::new();
-    for item in &stmt.items {
-        match item {
-            SelectItem::Wildcard => {
-                for u in &units {
-                    if let Unit::Rel { alias, stats, .. } = u {
-                        for f in stats.schema.fields() {
-                            output.push((
-                                Expr::Column(ColumnRef::qualified(alias.clone(), f.name.clone())),
-                                f.name.clone(),
-                            ));
+    if agg_mode {
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(CsqError::Plan(
+                        "SELECT * cannot be combined with GROUP BY or aggregates".into(),
+                    ));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let rewritten = extract_aggs(expr.clone(), &mut agg_calls)?;
+                    if analysis::contains_udf(&rewritten) {
+                        return Err(CsqError::Plan(
+                            "client-site UDF calls in a grouped SELECT list are unsupported \
+                             (apply the UDF in WHERE or a subquery-free projection instead)"
+                                .into(),
+                        ));
+                    }
+                    let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                    agg_final.push((rewritten, name));
+                }
+            }
+        }
+        if let Some(h) = &stmt.having {
+            let rewritten = extract_aggs(h.clone(), &mut agg_calls)?;
+            if analysis::contains_udf(&rewritten) {
+                return Err(CsqError::Plan(
+                    "client-site UDF calls in HAVING are unsupported".into(),
+                ));
+            }
+            agg_having = Some(rewritten);
+        }
+    } else {
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for u in &units {
+                        if let Unit::Rel { alias, stats, .. } = u {
+                            for f in stats.schema.fields() {
+                                output.push((
+                                    Expr::Column(ColumnRef::qualified(
+                                        alias.clone(),
+                                        f.name.clone(),
+                                    )),
+                                    f.name.clone(),
+                                ));
+                            }
                         }
                     }
                 }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let rewritten = rewrite(expr)?;
-                let name = alias.clone().unwrap_or_else(|| expr.to_string());
-                output.push((rewritten, name));
+                SelectItem::Expr { expr, alias } => {
+                    let rewritten = rewrite(expr)?;
+                    let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                    output.push((rewritten, name));
+                }
             }
         }
     }
@@ -254,12 +431,89 @@ pub fn extract(stmt: &SelectStmt, ctx: &OptContext) -> Result<QueryGraph> {
 
     units.extend(udf_units);
 
-    let graph_partial = QueryGraph {
+    let mut graph_partial = QueryGraph {
         units,
         n_rels,
         predicates: vec![],
         output,
+        aggregate: None,
     };
+
+    if agg_mode {
+        // Canonicalize the grouping columns and validate that every
+        // non-aggregate reference in the SELECT list / HAVING is grouped.
+        let mut group_by = Vec::new();
+        let mut group_set = BTreeSet::new();
+        for e in &stmt.group_by {
+            let Expr::Column(c) = e else {
+                return Err(CsqError::Plan(format!(
+                    "GROUP BY expressions must be plain columns, got '{e}'"
+                )));
+            };
+            let Some(owner) = graph_partial.owner_of(c) else {
+                return Err(CsqError::Plan(format!(
+                    "unresolvable column '{c}' in GROUP BY"
+                )));
+            };
+            let Unit::Rel { alias, .. } = &graph_partial.units[owner] else {
+                return Err(CsqError::Plan(format!(
+                    "GROUP BY column '{c}' must come from a base relation"
+                )));
+            };
+            let canon = ColumnRef::qualified(alias.clone(), c.name.clone());
+            // Duplicate keys (`GROUP BY t.k, t.k` or `t.k, k`) are legal
+            // SQL and group identically — keep one.
+            if group_set.insert(canon.to_string()) {
+                group_by.push(canon);
+            }
+        }
+        let result_cols: BTreeSet<&str> = agg_calls.iter().map(|c| c.result_col.as_str()).collect();
+        let check_grouped = |e: &Expr| -> Result<()> {
+            for c in analysis::columns_referenced(e) {
+                if c.qualifier.is_none() && result_cols.contains(c.name.as_str()) {
+                    continue;
+                }
+                if !group_set.contains(&graph_partial.canonical_name(&c)) {
+                    return Err(CsqError::Plan(format!(
+                        "column '{c}' must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        for (e, _) in &agg_final {
+            check_grouped(e)?;
+        }
+        if let Some(h) = &agg_having {
+            check_grouped(h)?;
+        }
+
+        // Pre-aggregation output: group keys + aggregate argument columns.
+        let mut pre = Vec::new();
+        let mut seen = BTreeSet::new();
+        for g in &group_by {
+            if seen.insert(g.to_string()) {
+                pre.push((Expr::Column(g.clone()), g.to_string()));
+            }
+        }
+        for call in &agg_calls {
+            if let Some(a) = &call.arg {
+                for c in analysis::columns_referenced(a) {
+                    let canon = graph_partial.canonical_name(&c);
+                    if seen.insert(canon.clone()) {
+                        pre.push((Expr::Column(c), canon));
+                    }
+                }
+            }
+        }
+        graph_partial.output = pre;
+        graph_partial.aggregate = Some(AggregateSpec {
+            group_by,
+            calls: agg_calls,
+            having: agg_having,
+            output: agg_final,
+        });
+    }
 
     let mut predicates = Vec::new();
     for c in conjuncts {
@@ -364,6 +618,15 @@ fn extract_udfs(e: Expr, ctx: &OptContext, units: &mut Vec<Unit>) -> Result<Expr
             op,
             right: Box::new(extract_udfs(*right, ctx, units)?),
         },
+        Expr::Aggregate { func, .. } => {
+            // Aggregates are extracted (into `$aN` references) before UDF
+            // extraction runs; reaching one here means it sits somewhere
+            // aggregates are not allowed (e.g. WHERE).
+            return Err(CsqError::Plan(format!(
+                "aggregate {} is not allowed here",
+                func.name()
+            )));
+        }
     })
 }
 

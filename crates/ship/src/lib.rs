@@ -19,11 +19,13 @@
 //! accounting. Integration tests assert the two backends produce identical
 //! rows and identical byte counts.
 
+pub mod partial;
 pub mod sim;
 pub mod spec;
 pub mod threaded;
 pub mod tuning;
 
+pub use partial::PartialAggSpec;
 pub use sim::{simulate_client_join, simulate_naive, simulate_semijoin, SimRun};
 pub use spec::{ClientJoinSpec, SemiJoinSpec, UdfApplication};
 pub use threaded::{NaiveRemoteUdf, ThreadedClientJoin, ThreadedSemiJoin};

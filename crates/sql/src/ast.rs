@@ -30,6 +30,10 @@ pub struct SelectStmt {
     pub from: Vec<TableRef>,
     /// WHERE predicate, if any.
     pub where_clause: Option<Expr>,
+    /// GROUP BY expressions (empty when absent).
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate, if any (requires GROUP BY).
+    pub having: Option<Expr>,
 }
 
 /// A parsed statement.

@@ -14,7 +14,7 @@
 //! ```
 
 use csq_common::{CsqError, DataType, Result, Value};
-use csq_expr::{BinaryOp, ColumnRef, Expr, UnaryOp};
+use csq_expr::{analysis, AggFunc, BinaryOp, ColumnRef, Expr, UnaryOp};
 
 use crate::ast::{SelectItem, SelectStmt, Statement, TableRef};
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -245,10 +245,31 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.or_expr()?;
+                if analysis::contains_aggregate(&e) {
+                    return Err(self.err_here("aggregate calls are not allowed in GROUP BY"));
+                }
+                group_by.push(e);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
         Ok(SelectStmt {
             items,
             from,
             where_clause,
+            group_by,
+            having,
         })
     }
 
@@ -387,6 +408,13 @@ impl<'a> Parser<'a> {
                     return Err(self.err_here("expected expression"));
                 }
                 self.advance();
+                // Aggregate call? (COUNT/SUM/MIN/MAX/AVG are contextual:
+                // only special when directly followed by an argument list.)
+                if let Some(func) = AggFunc::parse(&name) {
+                    if self.peek_kind() == &TokenKind::LParen {
+                        return self.aggregate_call(func);
+                    }
+                }
                 // Function call?
                 if self.eat_if(&TokenKind::LParen) {
                     let mut args = Vec::new();
@@ -411,13 +439,42 @@ impl<'a> Parser<'a> {
             _ => Err(self.err_here("expected expression")),
         }
     }
+
+    /// Parse the argument list of an aggregate call; the name and the
+    /// lookahead `(` have already been seen.
+    fn aggregate_call(&mut self, func: AggFunc) -> Result<Expr> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        // COUNT(*) — the only aggregate that takes `*`.
+        if func == AggFunc::Count && self.eat_if(&TokenKind::Star) {
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(Expr::agg(AggFunc::Count, None));
+        }
+        if self.peek_kind() == &TokenKind::RParen {
+            return Err(self.err_here(&format!(
+                "{} takes exactly one argument (or * for COUNT)",
+                func.name()
+            )));
+        }
+        let arg = self.or_expr()?;
+        if analysis::contains_aggregate(&arg) {
+            return Err(self.err_here(&format!(
+                "aggregate calls cannot be nested inside {}",
+                func.name()
+            )));
+        }
+        if self.eat_if(&TokenKind::Comma) {
+            return Err(self.err_here(&format!("{} takes exactly one argument", func.name())));
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Expr::agg(func, Some(arg)))
+    }
 }
 
 /// Keywords that cannot be identifiers (kept minimal so e.g. `Name` works).
 fn is_reserved(s: &str) -> bool {
     const KW: &[&str] = &[
         "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "CREATE", "TABLE", "INSERT", "INTO",
-        "VALUES", "TRUE", "FALSE", "NULL",
+        "VALUES", "TRUE", "FALSE", "NULL", "GROUP", "BY", "HAVING",
     ];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }

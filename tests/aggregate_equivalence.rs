@@ -1,0 +1,405 @@
+//! Differential oracle for grouped aggregation (DESIGN.md §7): random
+//! schemas' worth of NULL-bearing data, random group keys, and random
+//! aggregate-call lists must produce the same groups through
+//!
+//! * a naive row-at-a-time reference aggregator (independent fold logic,
+//!   written here),
+//! * the serial [`HashAggregate`],
+//! * the partitioned [`Exchange::hash_aggregate`] at 1/2/4/8 workers, and
+//! * the decomposed partial/final split shipped through the wire codec
+//!   ([`PartialAggSpec`]), with the input cut into 1 or 3 partial sources.
+//!
+//! Results compare as row multisets; failures compare as error *kinds*
+//! (NaN-bearing MIN/MAX groups are exec errors, non-numeric SUM arguments
+//! are type errors — on every engine). Failing seeds persist under
+//! `proptest-regressions/` via the vendored proptest shim and replay on
+//! every `cargo test`.
+
+use proptest::prelude::*;
+
+use csq_common::{CsqError, DataType, Field, Result, Row, Schema, Value};
+use csq_exec::{collect, AggSpec, BoxOp, Exchange, HashAggregate, ParallelOpts, RowsOp};
+use csq_expr::{AggFunc, PhysExpr};
+use csq_ship::PartialAggSpec;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn base_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k1", DataType::Int),
+        Field::new("k2", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("s", DataType::Str),
+    ])
+}
+
+/// Floats are quarter-integers (exactly representable, so sums associate
+/// exactly across partial splits) plus the occasional NaN to drive the
+/// MIN/MAX error path.
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        prop_oneof![(-4i64..4).prop_map(Value::Int), Just(Value::Null)],
+        prop_oneof![(-3i64..3).prop_map(Value::Int), Just(Value::Null)],
+        prop_oneof![(-6i64..6).prop_map(Value::Int), Just(Value::Null)],
+        prop_oneof![
+            (-8i64..8).prop_map(|i| Value::Float(i as f64 * 0.25)),
+            (-8i64..8).prop_map(|i| Value::Float(i as f64 * 0.25)),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::Null),
+        ],
+        prop_oneof![
+            (0usize..3).prop_map(|k| match k {
+                0 => Value::from("a"),
+                1 => Value::from("bb"),
+                _ => Value::from("ccc"),
+            }),
+            Just(Value::Null),
+        ],
+    )
+        .prop_map(|(a, b, c, d, e)| Row::new(vec![a, b, c, d, e]))
+}
+
+/// One generated aggregate call. SUM/AVG stay on numeric columns (see the
+/// note at the end of [`arb_call`]); the type-error path is covered by the
+/// dedicated `sum_over_strings_is_a_type_error_on_every_engine` test.
+#[derive(Debug, Clone)]
+struct CallSpec {
+    func: AggFunc,
+    arg: Option<usize>,
+}
+
+fn arb_call() -> impl Strategy<Value = CallSpec> {
+    prop_oneof![
+        Just(CallSpec {
+            func: AggFunc::Count,
+            arg: None
+        }),
+        (0usize..5).prop_map(|c| CallSpec {
+            func: AggFunc::Count,
+            arg: Some(c)
+        }),
+        (2usize..4).prop_map(|c| CallSpec {
+            func: AggFunc::Sum,
+            arg: Some(c)
+        }),
+        (0usize..5).prop_map(|c| CallSpec {
+            func: AggFunc::Min,
+            arg: Some(c)
+        }),
+        (0usize..5).prop_map(|c| CallSpec {
+            func: AggFunc::Max,
+            arg: Some(c)
+        }),
+        (2usize..4).prop_map(|c| CallSpec {
+            func: AggFunc::Avg,
+            arg: Some(c)
+        }),
+        // SUM/AVG stay on numeric columns here so the only generatable
+        // failure kind is "exec" (NaN in a MIN/MAX group): when a case can
+        // contain two *different* error kinds, which one surfaces first
+        // depends on evaluation order (per-row, per-group, per-partition)
+        // and is legitimately engine-specific. The type-error path has its
+        // own deterministic cross-engine test below.
+    ]
+}
+
+fn specs_of(calls: &[CallSpec]) -> Vec<AggSpec> {
+    calls
+        .iter()
+        .enumerate()
+        .map(|(i, c)| AggSpec::new(c.func, c.arg.map(PhysExpr::Column), format!("a{i}")))
+        .collect()
+}
+
+/// Group keys: any subset of the two int keys and the string column
+/// (including the empty set — a global aggregate).
+fn arb_key() -> impl Strategy<Value = Vec<usize>> {
+    (0u8..8).prop_map(|mask| {
+        [0usize, 1, 4]
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect()
+    })
+}
+
+// ---- the naive row-at-a-time reference -------------------------------------
+
+/// Independent fold logic: collects each group's argument values and folds
+/// them one at a time, mirroring SQL semantics from scratch (NULL skipping,
+/// Int overflow checks, Int/Float widening, sql_cmp-based MIN/MAX).
+fn naive_reference(rows: &[Row], key: &[usize], calls: &[CallSpec]) -> Result<Vec<Row>> {
+    use std::collections::HashMap;
+    let mut order: Vec<Row> = Vec::new();
+    let mut groups: HashMap<Row, Vec<Vec<Option<Value>>>> = HashMap::new();
+    for row in rows {
+        let k = row.project(key);
+        let entry = groups.entry(k.clone()).or_insert_with(|| {
+            order.push(k);
+            vec![Vec::new(); calls.len()]
+        });
+        for (ci, call) in calls.iter().enumerate() {
+            entry[ci].push(call.arg.map(|c| row.value(c).clone()));
+        }
+    }
+    if rows.is_empty() && key.is_empty() {
+        order.push(Row::new(vec![]));
+        groups.insert(Row::new(vec![]), vec![Vec::new(); calls.len()]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for k in order {
+        let vals = &groups[&k];
+        let mut row = k.into_values();
+        for (ci, call) in calls.iter().enumerate() {
+            row.push(naive_fold(call.func, &vals[ci])?);
+        }
+        out.push(Row::new(row));
+    }
+    Ok(out)
+}
+
+fn naive_add(acc: Option<Value>, v: &Value) -> Result<Option<Value>> {
+    let acc = match acc {
+        None => {
+            return match v {
+                Value::Int(_) | Value::Float(_) => Ok(Some(v.clone())),
+                other => Err(CsqError::Type(format!(
+                    "aggregate argument must be numeric, got {:?}",
+                    other.data_type()
+                ))),
+            }
+        }
+        Some(a) => a,
+    };
+    Ok(Some(match (&acc, v) {
+        (Value::Int(a), Value::Int(b)) => Value::Int(
+            a.checked_add(*b)
+                .ok_or_else(|| CsqError::Exec("integer overflow".into()))?,
+        ),
+        (a, b) => Value::Float(a.as_f64()? + b.as_f64()?),
+    }))
+}
+
+fn naive_fold(func: AggFunc, vals: &[Option<Value>]) -> Result<Value> {
+    match func {
+        AggFunc::Count => {
+            let n = vals
+                .iter()
+                .filter(|v| match v {
+                    None => true, // COUNT(*)
+                    Some(v) => !v.is_null(),
+                })
+                .count();
+            Ok(Value::Int(n as i64))
+        }
+        AggFunc::Sum => {
+            let mut acc = None;
+            for v in vals.iter().flatten() {
+                if !v.is_null() {
+                    acc = naive_add(acc, v)?;
+                }
+            }
+            Ok(acc.unwrap_or(Value::Null))
+        }
+        AggFunc::Avg => {
+            let mut acc = None;
+            let mut n = 0i64;
+            for v in vals.iter().flatten() {
+                if !v.is_null() {
+                    acc = naive_add(acc, v)?;
+                    n += 1;
+                }
+            }
+            match acc {
+                Some(a) => Ok(Value::Float(a.as_f64()? / n as f64)),
+                None => Ok(Value::Null),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut acc: Option<Value> = None;
+            for v in vals.iter().flatten() {
+                if v.is_null() {
+                    continue;
+                }
+                match &acc {
+                    None => acc = Some(v.clone()),
+                    Some(a) => {
+                        let ord = v.sql_cmp(a)?.ok_or_else(|| {
+                            CsqError::Exec("incomparable values in sort key".into())
+                        })?;
+                        let replace = match func {
+                            AggFunc::Min => ord == std::cmp::Ordering::Less,
+                            _ => ord == std::cmp::Ordering::Greater,
+                        };
+                        if replace {
+                            acc = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            Ok(acc.unwrap_or(Value::Null))
+        }
+    }
+}
+
+// ---- runners ----------------------------------------------------------------
+
+fn run_serial(rows: Vec<Row>, key: Vec<usize>, specs: Vec<AggSpec>) -> Result<Vec<Row>> {
+    let scan: BoxOp = Box::new(RowsOp::new(base_schema(), rows));
+    let mut agg = HashAggregate::new(scan, key, specs);
+    collect(&mut agg)
+}
+
+fn run_parallel(
+    rows: Vec<Row>,
+    key: Vec<usize>,
+    specs: Vec<AggSpec>,
+    workers: usize,
+    morsel: usize,
+) -> Result<Vec<Row>> {
+    let scan: BoxOp = Box::new(RowsOp::new(base_schema(), rows));
+    let opts = ParallelOpts {
+        workers,
+        morsel_rows: morsel,
+        ordered: false,
+        window: 0,
+    };
+    let mut agg = Exchange::hash_aggregate(scan, key, specs, &opts);
+    collect(&mut agg)
+}
+
+/// Partial-aggregate each contiguous chunk, concatenate the encoded state
+/// shipments, decode, and finalize — the shipped partial/final split.
+fn run_shipped(
+    rows: Vec<Row>,
+    key: Vec<usize>,
+    specs: Vec<AggSpec>,
+    chunks: usize,
+) -> Result<Vec<Row>> {
+    let spec = PartialAggSpec::new(key, specs);
+    let chunk_len = rows.len().div_ceil(chunks).max(1);
+    let mut states = Vec::new();
+    let mut state_schema = spec.state_schema(&base_schema());
+    let mut pieces: Vec<Vec<Row>> = rows.chunks(chunk_len).map(<[Row]>::to_vec).collect();
+    if pieces.is_empty() {
+        pieces.push(Vec::new());
+    }
+    for piece in pieces {
+        let scan: BoxOp = Box::new(RowsOp::new(base_schema(), piece));
+        let mut partial = spec.partial_operator(scan);
+        state_schema = csq_exec::Operator::schema(&partial).clone();
+        let piece_states = collect(&mut partial)?;
+        let mut buf = Vec::new();
+        spec.encode_states(&piece_states, &mut buf);
+        states.extend(spec.decode_states(&buf)?);
+    }
+    let mut fin = spec.final_operator(state_schema, states)?;
+    collect(&mut fin)
+}
+
+fn sorted_display(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r}")).collect();
+    out.sort();
+    out
+}
+
+/// Compare two engine outcomes: equal multisets on success, equal error
+/// kinds on failure.
+fn assert_agree(label: &str, reference: &Result<Vec<Row>>, other: &Result<Vec<Row>>) {
+    match (reference, other) {
+        (Ok(a), Ok(b)) => assert_eq!(sorted_display(a), sorted_display(b), "{label}"),
+        (Err(a), Err(b)) => assert_eq!(a.kind(), b.kind(), "{label}"),
+        (a, b) => panic!("{label}: reference={a:?} other={b:?}"),
+    }
+}
+
+#[test]
+fn sum_over_strings_is_a_type_error_on_every_engine() {
+    let rows: Vec<Row> = (0..20)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i % 3),
+                Value::Null,
+                Value::Int(i),
+                Value::Float(0.5),
+                Value::from("x"),
+            ])
+        })
+        .collect();
+    let calls = vec![CallSpec {
+        func: AggFunc::Sum,
+        arg: Some(4),
+    }];
+    let key = vec![0usize];
+    assert_eq!(
+        naive_reference(&rows, &key, &calls).unwrap_err().kind(),
+        "type"
+    );
+    assert_eq!(
+        run_serial(rows.clone(), key.clone(), specs_of(&calls))
+            .unwrap_err()
+            .kind(),
+        "type"
+    );
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            run_parallel(rows.clone(), key.clone(), specs_of(&calls), workers, 7)
+                .unwrap_err()
+                .kind(),
+            "type",
+            "workers = {workers}"
+        );
+    }
+    for chunks in [1usize, 3] {
+        assert_eq!(
+            run_shipped(rows.clone(), key.clone(), specs_of(&calls), chunks)
+                .unwrap_err()
+                .kind(),
+            "type",
+            "chunks = {chunks}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn naive_reference_matches_hash_aggregate(
+        rows in prop::collection::vec(arb_row(), 0..160),
+        key in arb_key(),
+        calls in prop::collection::vec(arb_call(), 1..4),
+    ) {
+        let reference = naive_reference(&rows, &key, &calls);
+        let serial = run_serial(rows, key, specs_of(&calls));
+        assert_agree("serial vs naive", &reference, &serial);
+    }
+
+    #[test]
+    fn partitioned_aggregate_matches_naive_at_every_worker_count(
+        rows in prop::collection::vec(arb_row(), 0..160),
+        key in arb_key(),
+        calls in prop::collection::vec(arb_call(), 1..4),
+        morsel in 1usize..40,
+    ) {
+        let reference = naive_reference(&rows, &key, &calls);
+        for workers in WORKER_COUNTS {
+            let par = run_parallel(rows.clone(), key.clone(), specs_of(&calls), workers, morsel);
+            assert_agree(&format!("parallel x{workers} vs naive"), &reference, &par);
+        }
+    }
+
+    #[test]
+    fn shipped_partial_final_matches_naive(
+        rows in prop::collection::vec(arb_row(), 0..160),
+        key in arb_key(),
+        calls in prop::collection::vec(arb_call(), 1..4),
+        chunks in prop_oneof![Just(1usize), Just(3)],
+    ) {
+        let reference = naive_reference(&rows, &key, &calls);
+        let shipped = run_shipped(rows, key, specs_of(&calls), chunks);
+        assert_agree(&format!("shipped x{chunks} vs naive"), &reference, &shipped);
+    }
+}

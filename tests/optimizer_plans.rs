@@ -309,6 +309,139 @@ fn explain_is_stable_and_readable() {
     assert!(a.contains("Final"));
 }
 
+// ---- grouped-aggregation placement (DESIGN.md §7) --------------------------
+
+/// A plain metrics table for the aggregation-placement scenarios: 9-byte
+/// int key + 9-byte int value, 1000 rows.
+fn metrics_ctx(net: NetworkSpec, key_distinct: f64, dop: usize) -> OptContext {
+    let mut ctx = OptContext::new(net).with_dop(dop);
+    ctx.add_table(
+        "Metrics",
+        TableStats {
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            rows: 1000.0,
+            row_bytes: 18.0,
+            col_bytes: vec![9.0, 9.0],
+        },
+    );
+    ctx.set_col_distinct("Metrics", "k", key_distinct);
+    ctx
+}
+
+const AVG_BY_K: &str = "SELECT M.k, AVG(M.v) FROM Metrics M GROUP BY M.k";
+
+fn placement_of(plan: &csq_opt::OptimizedPlan) -> csq_opt::AggPlacement {
+    let mut found = None;
+    plan.root.walk(&mut |n| {
+        if let PlanNode::Aggregate { placement, .. } = n {
+            found = Some(*placement);
+        }
+    });
+    found.expect("grouped query must plan an Aggregate node")
+}
+
+#[test]
+fn aggregation_placement_flips_at_the_shipping_breakeven() {
+    // AVG(v) GROUP BY k: client-only ships 18 B/row (key + value);
+    // server-partial ships 27 B/group (key + decomposed sum/count state).
+    // The modeled break-even reduction factor is therefore 18/27 = 2/3 —
+    // below it (few groups) the server-side partial phase ships less and
+    // must win; above it the state overhead loses to shipping raw rows.
+    // The flip must hold at dop 1 and dop 4 (the engine discount shrinks
+    // server work but bytes decide the break-even).
+    for dop in [1usize, 4] {
+        for (distinct, expect) in [
+            (10.0, csq_opt::AggPlacement::ServerPartial),
+            (300.0, csq_opt::AggPlacement::ServerPartial),
+            (600.0, csq_opt::AggPlacement::ServerPartial),
+            (700.0, csq_opt::AggPlacement::ClientOnly),
+            (1000.0, csq_opt::AggPlacement::ClientOnly),
+        ] {
+            let ctx = metrics_ctx(NetworkSpec::modem_28_8(), distinct, dop);
+            let g = csq_opt::query::extract(&select(AVG_BY_K), &ctx).unwrap();
+            let plan = optimize(&g, &ctx).unwrap();
+            assert_eq!(
+                placement_of(&plan),
+                expect,
+                "dop={dop}, distinct={distinct}\n{}",
+                plan.root.explain(&g)
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregation_placement_explains_and_costs_monotonically() {
+    // Golden plan shape at high reduction: server-partial, with the group
+    // keys and calls rendered, and a cheaper estimate than the forced
+    // client-only shape at the same statistics.
+    let ctx = metrics_ctx(NetworkSpec::modem_28_8(), 10.0, 1);
+    let g = csq_opt::query::extract(&select(AVG_BY_K), &ctx).unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(
+        explain.contains("Aggregate [server-partial] by [M.k] [AVG(M.v)]"),
+        "{explain}"
+    );
+    assert!(explain.contains("(~10 groups)"), "{explain}");
+    // More groups must never make the plan cheaper.
+    let mut last = plan.cost_seconds;
+    for distinct in [50.0, 200.0, 600.0, 1000.0] {
+        let ctx = metrics_ctx(NetworkSpec::modem_28_8(), distinct, 1);
+        let g = csq_opt::query::extract(&select(AVG_BY_K), &ctx).unwrap();
+        let cost = optimize(&g, &ctx).unwrap().cost_seconds;
+        assert!(
+            cost >= last - 1e-12,
+            "cost must grow with group count: {cost} < {last} at {distinct}"
+        );
+        last = cost;
+    }
+}
+
+#[test]
+fn count_star_breakeven_uses_key_bytes_only() {
+    // COUNT(*) GROUP BY k ships only the 9-byte key per row client-only,
+    // vs 18 B/group (key + count state): break-even reduction 1/2.
+    let sql = "SELECT M.k, COUNT(*) FROM Metrics M GROUP BY M.k";
+    for (distinct, expect) in [
+        (400.0, csq_opt::AggPlacement::ServerPartial),
+        (600.0, csq_opt::AggPlacement::ClientOnly),
+    ] {
+        let ctx = metrics_ctx(NetworkSpec::modem_28_8(), distinct, 1);
+        let g = csq_opt::query::extract(&select(sql), &ctx).unwrap();
+        let plan = optimize(&g, &ctx).unwrap();
+        assert_eq!(
+            placement_of(&plan),
+            expect,
+            "distinct={distinct}\n{}",
+            plan.root.explain(&g)
+        );
+    }
+}
+
+#[test]
+fn having_shrinks_the_estimated_output() {
+    let ctx = metrics_ctx(NetworkSpec::modem_28_8(), 100.0, 1);
+    let with_having = {
+        let g = csq_opt::query::extract(
+            &select("SELECT M.k FROM Metrics M GROUP BY M.k HAVING COUNT(*) > 3"),
+            &ctx,
+        )
+        .unwrap();
+        optimize(&g, &ctx).unwrap().est_rows
+    };
+    let without = {
+        let g = csq_opt::query::extract(&select("SELECT M.k FROM Metrics M GROUP BY M.k"), &ctx)
+            .unwrap();
+        optimize(&g, &ctx).unwrap().est_rows
+    };
+    assert!((without - 100.0).abs() < 1e-9, "est {without}");
+    assert!(with_having < without, "{with_having} vs {without}");
+}
+
 #[test]
 fn dop_discounts_server_cost_without_changing_the_plan() {
     // The degree-of-parallelism knob tells costing that server-side

@@ -11,14 +11,21 @@ use csq_sql::{parse_expression, parse_statement, parse_statements};
 fn is_reserved(s: &str) -> bool {
     const KW: &[&str] = &[
         "select", "from", "where", "and", "or", "not", "as", "create", "table", "insert", "into",
-        "values", "true", "false", "null",
+        "values", "true", "false", "null", "group", "by", "having",
     ];
     KW.contains(&s.to_ascii_lowercase().as_str())
 }
 
+/// Aggregate function names are contextual keywords: `sum(x)` parses as an
+/// aggregate, so generated UDF names must avoid them.
+fn is_aggregate_name(s: &str) -> bool {
+    const AGG: &[&str] = &["count", "sum", "min", "max", "avg"];
+    AGG.contains(&s.to_ascii_lowercase().as_str())
+}
+
 fn arb_ident(pattern: &'static str) -> impl Strategy<Value = String> {
     pattern.prop_filter("identifier collides with keyword", |s: &String| {
-        !is_reserved(s)
+        !is_reserved(s) && !is_aggregate_name(s)
     })
 }
 
@@ -74,6 +81,9 @@ proptest! {
                 Just("SELECT".to_string()), Just("FROM".to_string()),
                 Just("WHERE".to_string()), Just("AND".to_string()),
                 Just("INSERT".to_string()), Just("VALUES".to_string()),
+                Just("GROUP".to_string()), Just("BY".to_string()),
+                Just("HAVING".to_string()), Just("COUNT".to_string()),
+                Just("SUM".to_string()), Just("AVG".to_string()),
                 Just("(".to_string()), Just(")".to_string()),
                 Just(",".to_string()), Just("*".to_string()),
                 Just("t".to_string()), Just("1".to_string()),
@@ -96,6 +106,221 @@ fn deeply_nested_expressions_parse() {
     let sql = format!("SELECT {e} FROM t");
     // Must not stack-overflow; success or graceful error both acceptable.
     let _ = parse_statement(&sql);
+}
+
+mod grouped {
+    use csq_core::Database;
+    use csq_expr::{AggFunc, Expr};
+    use csq_net::NetworkSpec;
+    use csq_sql::{parse_expression, parse_statement, Statement};
+
+    fn select(sql: &str) -> csq_sql::SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_having_parse_to_ast() {
+        let sel = select(
+            "SELECT T.k, COUNT(*), SUM(T.v) AS total FROM T T \
+             WHERE T.v > 0 GROUP BY T.k HAVING COUNT(*) > 2",
+        );
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.group_by, vec![Expr::col("T", "k")]);
+        let having = sel.having.as_ref().unwrap();
+        assert_eq!(having.to_string(), "(COUNT(*) > 2)");
+        // Aggregate AST shape.
+        match &sel.items[1] {
+            csq_sql::ast::SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr, &Expr::agg(AggFunc::Count, None));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_display_reparses_to_identical_ast() {
+        // parse → AST → display → parse is stable for every aggregate form.
+        for text in [
+            "COUNT(*)",
+            "SUM(x)",
+            "MIN(T.a)",
+            "MAX((a + b))",
+            "AVG(x)",
+            "(SUM(x) > (COUNT(*) * 2))",
+        ] {
+            let e = parse_expression(text).unwrap();
+            let redisplayed = e.to_string();
+            let reparsed = parse_expression(&redisplayed).unwrap();
+            assert_eq!(reparsed, e, "{text}");
+        }
+    }
+
+    #[test]
+    fn grouped_statement_relowers_through_reparse() {
+        // parse → AST → re-render the clauses → parse again: clause-level
+        // round trip (the statement has no Display; clauses do).
+        let sel = select("SELECT T.k, AVG(T.v) FROM T T GROUP BY T.k HAVING AVG(T.v) > 1.5");
+        let items: Vec<String> = sel
+            .items
+            .iter()
+            .map(|i| match i {
+                csq_sql::ast::SelectItem::Expr { expr, .. } => expr.to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let sql2 = format!(
+            "SELECT {} FROM T T GROUP BY {} HAVING {}",
+            items.join(", "),
+            sel.group_by[0],
+            sel.having.as_ref().unwrap()
+        );
+        let sel2 = select(&sql2);
+        assert_eq!(sel2.items, sel.items);
+        assert_eq!(sel2.group_by, sel.group_by);
+        assert_eq!(sel2.having, sel.having);
+    }
+
+    fn grouped_db() -> Database {
+        let db = Database::new(NetworkSpec::lan());
+        db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5), (2, NULL), (3, 7)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn grouped_query_executes_end_to_end() {
+        let db = grouped_db();
+        let out = db
+            .execute(
+                "SELECT t.k, COUNT(*), COUNT(t.v), SUM(t.v), AVG(t.v) \
+                 FROM t t GROUP BY t.k",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let table = out.to_table();
+        assert!(table.contains("COUNT(*)"), "{table}");
+        // Group k=1: 2 rows, sum 30, avg 15.
+        assert!(table.contains("1 | 2 | 2 | 30 | 15"), "{table}");
+        // Group k=2: COUNT(*)=2 but COUNT(v)=1 (one NULL).
+        assert!(table.contains("2 | 2 | 1 | 5 | 5"), "{table}");
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = grouped_db();
+        let out = db
+            .execute("SELECT t.k FROM t t GROUP BY t.k HAVING COUNT(*) > 1")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2, "{}", out.to_table());
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let db = grouped_db();
+        let out = db.execute("SELECT COUNT(*), MAX(t.v) FROM t t").unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.to_table().contains("5 | 20"), "{}", out.to_table());
+    }
+
+    #[test]
+    fn rejection_non_grouped_column_in_select() {
+        let db = grouped_db();
+        let err = db
+            .execute("SELECT t.v, COUNT(*) FROM t t GROUP BY t.k")
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(err.message().contains("GROUP BY"), "{}", err.message());
+    }
+
+    #[test]
+    fn rejection_having_without_group_by() {
+        let db = grouped_db();
+        let err = db
+            .execute("SELECT t.k FROM t t HAVING COUNT(*) > 1")
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(
+            err.message().contains("HAVING requires"),
+            "{}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn rejection_aggregate_of_aggregate() {
+        // A parse-level rejection: nesting is caught before planning.
+        let err = parse_statement("SELECT SUM(COUNT(*)) FROM t t GROUP BY t.k").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+        assert!(err.message().contains("nested"), "{}", err.message());
+    }
+
+    #[test]
+    fn rejection_aggregate_in_where() {
+        let db = grouped_db();
+        let err = db
+            .execute("SELECT t.k FROM t t WHERE COUNT(*) > 1 GROUP BY t.k")
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(err.message().contains("WHERE"), "{}", err.message());
+    }
+
+    #[test]
+    fn rejection_wildcard_with_group_by() {
+        let db = grouped_db();
+        assert_eq!(
+            db.execute("SELECT * FROM t t GROUP BY t.k")
+                .unwrap_err()
+                .kind(),
+            "plan"
+        );
+    }
+
+    #[test]
+    fn duplicate_group_by_keys_dedup() {
+        // `GROUP BY t.k, t.k` is legal SQL and groups identically to one
+        // key; the duplicate must not leak into the output schema (where
+        // it would make the final projection ambiguous).
+        let db = grouped_db();
+        let out = db
+            .execute("SELECT t.k, COUNT(*) FROM t t GROUP BY t.k, t.k")
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn udf_named_like_an_aggregate_is_rejected_at_registration() {
+        // `max(x)` always parses as the aggregate, so a scalar UDF named
+        // "Max" could never be invoked — registration must fail loudly
+        // instead of letting the aggregate silently shadow it.
+        use csq_core::synthetic::ObjectUdf;
+        use std::sync::Arc;
+        let db = grouped_db();
+        let err = db
+            .register_udf(Arc::new(ObjectUdf::sized("Max", 10)))
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(err.message().contains("aggregate"), "{}", err.message());
+        // Non-colliding names still register.
+        db.register_udf(Arc::new(ObjectUdf::sized("Maximal", 10)))
+            .unwrap();
+    }
+
+    #[test]
+    fn explain_shows_aggregate_placement() {
+        let db = grouped_db();
+        let plan = db
+            .explain("SELECT t.k, SUM(t.v) FROM t t GROUP BY t.k")
+            .unwrap();
+        assert!(plan.contains("Aggregate ["), "{plan}");
+        assert!(
+            plan.contains("client-only") || plan.contains("server-partial"),
+            "{plan}"
+        );
+    }
 }
 
 #[test]
