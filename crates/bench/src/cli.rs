@@ -65,14 +65,34 @@ pub fn run<E>(cli: BenchCli<E>) -> ExitCode {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 let baseline = (cli.parse)(&text);
-                let failures = (cli.check)(&current, &baseline, cli.tolerance);
-                if failures.is_empty() {
-                    eprintln!("regression check vs {path}: ok");
-                } else {
-                    for f in &failures {
-                        eprintln!("REGRESSION: {f}");
-                    }
+                // A malformed (or wrong-file) baseline parses to zero
+                // entries, and zero entries can never flag a regression —
+                // that must read as a broken gate, not a green one. Same
+                // for a baseline that has entries but none for this mode.
+                if baseline.is_empty() {
+                    eprintln!(
+                        "REGRESSION CHECK FAILED: baseline {path} contains no parseable \
+                         entries (malformed or not a {} results file)",
+                        cli.name
+                    );
                     status = ExitCode::FAILURE;
+                } else if !baseline.iter().any(|e| (cli.mode_of)(e) == mode) {
+                    eprintln!(
+                        "REGRESSION CHECK FAILED: baseline {path} has no '{mode}'-mode \
+                         entries to compare against (regenerate it with {})",
+                        if quick { "--quick --merge" } else { "--merge" }
+                    );
+                    status = ExitCode::FAILURE;
+                } else {
+                    let failures = (cli.check)(&current, &baseline, cli.tolerance);
+                    if failures.is_empty() {
+                        eprintln!("regression check vs {path}: ok");
+                    } else {
+                        for f in &failures {
+                            eprintln!("REGRESSION: {f}");
+                        }
+                        status = ExitCode::FAILURE;
+                    }
                 }
             }
             Err(e) => {

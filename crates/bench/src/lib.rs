@@ -13,6 +13,7 @@ pub mod aggregate;
 pub mod cli;
 pub mod figures;
 pub mod parallel;
+pub mod service;
 pub mod throughput;
 pub mod workloads;
 

@@ -1,0 +1,469 @@
+//! Closed-loop load harness for the socket-backed query service
+//! (DESIGN.md §8): N concurrent clients, each with its own TCP connection
+//! and prepared statement, execute-as-fast-as-answered against one server,
+//! at 1/4/16/64 clients. Reported per (pipeline, client-count):
+//!
+//! * **throughput** — completed queries/sec over the whole level, and
+//! * **latency** — per-query p50/p95/p99 in µs (closed loop, so latency
+//!   includes queueing behind the service's session workers — exactly what
+//!   a caller experiences under load).
+//!
+//! Machine normalization follows the other benches: every run also
+//! measures `inproc_qps`, the same prepared statement executed serially
+//! in-process (no sockets, no sessions). `rel = qps / inproc_qps` is the
+//! service's efficiency against the raw engine *on this host*; the
+//! regression gate compares `rel` only between same-`host_cpus` runs, and
+//! absolute qps / p99 only when every pipeline's in-process engine confirms
+//! comparable hardware.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use csq_client::ServiceConn;
+use csq_common::{DataType, Value};
+use csq_core::{service, Database, NetworkSpec, ServiceConfig};
+use csq_storage::TableBuilder;
+
+use crate::throughput::{field_num, field_str};
+
+/// Client counts per level (the concurrency sweep).
+pub const CLIENT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+/// One measured (pipeline, client-count) level.
+#[derive(Debug, Clone)]
+pub struct ServiceEntry {
+    /// "quick" or "full".
+    pub mode: String,
+    /// Workload name ("filter" / "aggregate").
+    pub pipeline: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total queries completed in the level.
+    pub queries: usize,
+    /// Completed queries per second across the level.
+    pub qps: f64,
+    /// Median per-query latency, µs.
+    pub p50_us: f64,
+    /// 95th percentile latency, µs.
+    pub p95_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// Serial in-process prepared-execution rate (no sockets), queries/sec.
+    pub inproc_qps: f64,
+    /// `qps / inproc_qps` — socket+session efficiency on this host.
+    pub rel: f64,
+    /// Hardware threads on the measuring host.
+    pub host_cpus: usize,
+}
+
+struct Workload {
+    name: &'static str,
+    sql: &'static str,
+}
+
+const WORKLOADS: [Workload; 2] = [
+    Workload {
+        name: "filter",
+        sql: "SELECT T.Id, T.Val FROM T T WHERE T.Val > 89",
+    },
+    Workload {
+        name: "aggregate",
+        sql: "SELECT T.Grp, count(*), sum(T.Val) FROM T T GROUP BY T.Grp",
+    },
+];
+
+fn build_db(rows: usize) -> Arc<Database> {
+    let db = Database::new(NetworkSpec::lan());
+    let mut b = TableBuilder::new("T")
+        .column("Id", DataType::Int)
+        .column("Grp", DataType::Int)
+        .column("Val", DataType::Int);
+    for i in 0..rows {
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::Int((i % 64) as i64),
+            // Pseudo-uniform 0..100 so "> 89" keeps ~10% of rows.
+            Value::Int(((i as u64).wrapping_mul(2654435761) % 100) as i64),
+        ]);
+    }
+    db.catalog().register(b.build().unwrap()).unwrap();
+    Arc::new(db)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Serial in-process baseline: the same prepared plan executed
+/// back-to-back on the caller's thread.
+fn inproc_qps(db: &Database, sql: &str, iters: usize) -> f64 {
+    let (mut planned, _) = db.prepare(sql).expect("bench SQL must plan");
+    // Warmup (also populates the plan cache the service will share).
+    for _ in 0..3 {
+        let (_, fresh, _) = db.execute_planned(&planned).expect("bench SQL must run");
+        planned = fresh;
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        let (_, fresh, _) = db.execute_planned(&planned).expect("bench SQL must run");
+        planned = fresh;
+    }
+    iters as f64 / started.elapsed().as_secs_f64()
+}
+
+/// One closed-loop level: `clients` threads × `per_client` executions of a
+/// prepared statement over real sockets. Returns (elapsed, latencies µs).
+fn run_level(
+    addr: std::net::SocketAddr,
+    sql: &str,
+    clients: usize,
+    per_client: usize,
+) -> (Duration, Vec<f64>) {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let failed = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = barrier.clone();
+            let failed = failed.clone();
+            let sql = sql.to_string();
+            std::thread::spawn(move || {
+                let mut conn = ServiceConn::connect(addr).expect("bench client must connect");
+                let (stmt, _) = conn.prepare(&sql).expect("bench SQL must prepare");
+                let _ = conn.execute(stmt).expect("bench warmup must run");
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let started = Instant::now();
+                    if conn.execute(stmt).is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    latencies.push(started.elapsed().as_secs_f64() * 1e6);
+                }
+                conn.close();
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(clients * per_client);
+    for t in threads {
+        latencies.extend(t.join().expect("bench client must not panic"));
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        !failed.load(Ordering::Relaxed),
+        "bench queries must not fail"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    (elapsed, latencies)
+}
+
+/// Run the whole sweep. Quick mode shrinks the table and per-client
+/// iteration counts (the CI smoke configuration).
+pub fn run_all(quick: bool) -> Vec<ServiceEntry> {
+    if quick {
+        run_sweep("quick", 4_000, 512, 20)
+    } else {
+        run_sweep("full", 20_000, 768, 60)
+    }
+}
+
+fn run_sweep(
+    mode: &str,
+    rows: usize,
+    total_per_level: usize,
+    inproc_iters: usize,
+) -> Vec<ServiceEntry> {
+    let db = build_db(rows);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut out = Vec::new();
+    for w in &WORKLOADS {
+        let inproc = inproc_qps(&db, w.sql, inproc_iters);
+        for &clients in &CLIENT_COUNTS {
+            // One service per level, provisioned for the level: a session
+            // holds its worker for the connection's lifetime (DESIGN.md
+            // §8), so serving N concurrent closed-loop clients needs N
+            // session workers — the sweep measures scheduling and engine
+            // contention, not an artificially starved worker pool.
+            let handle = service::start(
+                db.clone(),
+                ServiceConfig {
+                    workers: clients,
+                    max_sessions: clients + 8,
+                    idle_timeout: Duration::from_millis(50),
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("bench service must start");
+            let addr = handle.local_addr();
+            // Keep each level's total work roughly level-independent so the
+            // sweep is dominated by concurrency, not by query count.
+            let per_client = (total_per_level / clients).max(8);
+            let (elapsed, latencies) = run_level(addr, w.sql, clients, per_client);
+            handle.shutdown();
+            let queries = latencies.len();
+            out.push(ServiceEntry {
+                mode: mode.to_string(),
+                pipeline: w.name.to_string(),
+                clients,
+                queries,
+                qps: queries as f64 / elapsed.as_secs_f64(),
+                p50_us: percentile(&latencies, 0.50),
+                p95_us: percentile(&latencies, 0.95),
+                p99_us: percentile(&latencies, 0.99),
+                inproc_qps: inproc,
+                rel: (queries as f64 / elapsed.as_secs_f64()) / inproc,
+                host_cpus,
+            });
+        }
+    }
+    out
+}
+
+// ---- results file -----------------------------------------------------------
+
+/// Render the results document (one entry per line, like the other
+/// benches, so the parser and diffs stay trivial).
+pub fn render_document(entries: &[ServiceEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"csq_service\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"unit\": \"queries_per_sec\",\n");
+    out.push_str(
+        "  \"note\": \"closed-loop load over real loopback TCP: N clients, each its own \
+         connection + prepared statement; latency percentiles include session queueing. \
+         inproc_qps is the same prepared plan executed serially in-process and rel = \
+         qps/inproc_qps; the gate compares rel only between same-host_cpus runs, and absolute \
+         qps / median latency / 3x-p99-blow-up only when every pipeline's inproc_qps confirms \
+         comparable hardware\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"pipeline\": \"{}\", \"clients\": {}, \"queries\": {}, \
+             \"qps\": {:.1}, \"p50_us\": {:.0}, \"p95_us\": {:.0}, \"p99_us\": {:.0}, \
+             \"inproc_qps\": {:.1}, \"rel\": {:.3}, \"host_cpus\": {}}}{}\n",
+            e.mode,
+            e.pipeline,
+            e.clients,
+            e.queries,
+            e.qps,
+            e.p50_us,
+            e.p95_us,
+            e.p99_us,
+            e.inproc_qps,
+            e.rel,
+            e.host_cpus,
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the entries out of a results document written by
+/// [`render_document`] (line-oriented; not a general JSON parser).
+pub fn parse_entries(text: &str) -> Vec<ServiceEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(ServiceEntry {
+                mode: field_str(line, "mode")?,
+                pipeline: field_str(line, "pipeline")?,
+                clients: field_num(line, "clients")? as usize,
+                queries: field_num(line, "queries")? as usize,
+                qps: field_num(line, "qps")?,
+                p50_us: field_num(line, "p50_us")?,
+                p95_us: field_num(line, "p95_us")?,
+                p99_us: field_num(line, "p99_us")?,
+                inproc_qps: field_num(line, "inproc_qps")?,
+                rel: field_num(line, "rel")?,
+                host_cpus: field_num(line, "host_cpus")? as usize,
+            })
+        })
+        .collect()
+}
+
+/// Compare a fresh run against the committed baseline. Gates per
+/// same-(mode, pipeline, clients) entry:
+///
+/// * **rel** (machine-normalized): gated only between runs with equal
+///   `host_cpus` — the service-vs-in-process ratio depends on how many
+///   cores the sessions can actually use. Fails below `(1 - tol)`.
+/// * **absolute qps** and **p99 latency**: gated only under comparable
+///   hardware — equal `host_cpus` *and* every pipeline's `inproc_qps`
+///   within `tol` of baseline (the in-process engine is the untouched
+///   reference; any drift disarms the absolute gates run-wide). qps fails
+///   below `(1 - tol)`; latency gates on the **median** above
+///   `(1 + 2·tol)` (p50 is the stable location statistic) and on **p99**
+///   only above `3×` baseline — tails over a few hundred closed-loop
+///   samples swing 2× between runs on the *same* host, so the p99 gate is
+///   a blow-up detector (lock convoys, stalls), not a drift detector.
+pub fn check_regressions(
+    current: &[ServiceEntry],
+    baseline: &[ServiceEntry],
+    tolerance: f64,
+) -> Vec<String> {
+    let baseline_of = |c: &ServiceEntry| {
+        baseline
+            .iter()
+            .find(|b| b.mode == c.mode && b.pipeline == c.pipeline && b.clients == c.clients)
+    };
+    let comparable_hw = current.iter().all(|c| match baseline_of(c) {
+        Some(b) => {
+            b.host_cpus == c.host_cpus
+                && (c.inproc_qps - b.inproc_qps).abs() <= b.inproc_qps * tolerance
+        }
+        None => true,
+    });
+    let mut failures = Vec::new();
+    for c in current {
+        let Some(b) = baseline_of(c) else {
+            continue;
+        };
+        if b.host_cpus == c.host_cpus && c.rel < b.rel * (1.0 - tolerance) {
+            failures.push(format!(
+                "{} ({}x{} clients): service/in-process ratio {:.3} fell more than {}% below \
+                 baseline {:.3} on same-shape hardware ({} cpus)",
+                c.pipeline,
+                c.mode,
+                c.clients,
+                c.rel,
+                (tolerance * 100.0) as u64,
+                b.rel,
+                c.host_cpus,
+            ));
+            continue;
+        }
+        if !comparable_hw {
+            continue;
+        }
+        if c.qps < b.qps * (1.0 - tolerance) {
+            failures.push(format!(
+                "{} ({}x{} clients): throughput {:.1} qps < {:.1} ({}% below baseline {:.1}, \
+                 hardware comparable)",
+                c.pipeline,
+                c.mode,
+                c.clients,
+                c.qps,
+                b.qps * (1.0 - tolerance),
+                (tolerance * 100.0) as u64,
+                b.qps,
+            ));
+        } else if c.p50_us > b.p50_us * (1.0 + 2.0 * tolerance) {
+            failures.push(format!(
+                "{} ({}x{} clients): median latency {:.0}µs > {:.0}µs ({}% above baseline \
+                 {:.0}µs, hardware comparable)",
+                c.pipeline,
+                c.mode,
+                c.clients,
+                c.p50_us,
+                b.p50_us * (1.0 + 2.0 * tolerance),
+                (2.0 * tolerance * 100.0) as u64,
+                b.p50_us,
+            ));
+        } else if c.p99_us > b.p99_us * 3.0 {
+            failures.push(format!(
+                "{} ({}x{} clients): p99 latency {:.0}µs blew past 3x baseline {:.0}µs \
+                 (hardware comparable)",
+                c.pipeline, c.mode, c.clients, c.p99_us, b.p99_us,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pipeline: &str, clients: usize, qps: f64, p99: f64, inproc: f64) -> ServiceEntry {
+        ServiceEntry {
+            mode: "quick".into(),
+            pipeline: pipeline.into(),
+            clients,
+            queries: 100,
+            qps,
+            p50_us: p99 / 3.0,
+            p95_us: p99 / 1.5,
+            p99_us: p99,
+            inproc_qps: inproc,
+            rel: qps / inproc,
+            host_cpus: 4,
+        }
+    }
+
+    #[test]
+    fn document_roundtrips() {
+        let entries = vec![
+            entry("filter", 1, 900.0, 1500.0, 1000.0),
+            entry("aggregate", 64, 400.0, 9000.0, 600.0),
+        ];
+        let doc = render_document(&entries);
+        let parsed = parse_entries(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].pipeline, "filter");
+        assert_eq!(parsed[1].clients, 64);
+        assert!((parsed[0].qps - 900.0).abs() < 0.2);
+        assert!((parsed[1].rel - 400.0 / 600.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gate_catches_rel_regression_on_same_hardware() {
+        let baseline = vec![entry("filter", 4, 1000.0, 2000.0, 1000.0)];
+        let mut current = vec![entry("filter", 4, 600.0, 2000.0, 1000.0)];
+        let failures = check_regressions(&current, &baseline, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("ratio"), "{failures:?}");
+        // Different host shape: the rel gate (and absolute gates) disarm.
+        current[0].host_cpus = 32;
+        assert!(check_regressions(&current, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_latency_blowups_only_on_comparable_hardware() {
+        // Median drift beyond 50% trips the p50 gate.
+        let baseline = vec![entry("filter", 16, 1000.0, 2000.0, 1000.0)];
+        let mut current = vec![entry("filter", 16, 1000.0, 2000.0, 1000.0)];
+        current[0].p50_us = baseline[0].p50_us * 1.6;
+        let failures = check_regressions(&current, &baseline, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("median"), "{failures:?}");
+
+        // A pure tail blow-up (stable median) trips only past 3x.
+        let mut current = vec![entry("filter", 16, 1000.0, 2000.0, 1000.0)];
+        current[0].p99_us = 5_000.0; // 2.5x: tolerated tail noise
+        assert!(check_regressions(&current, &baseline, 0.25).is_empty());
+        current[0].p99_us = 7_000.0; // 3.5x: genuine blow-up
+        let failures = check_regressions(&current, &baseline, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("p99"), "{failures:?}");
+
+        // A slower in-process engine disarms the absolute gates.
+        current[0].inproc_qps = 500.0;
+        current[0].rel = 1000.0 / 500.0;
+        assert!(check_regressions(&current, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn tiny_sweep_runs_end_to_end() {
+        // Tiny smoke of the real harness (debug builds run this in the
+        // tier-1 suite, so the workload is minimal): invariants only.
+        let entries = run_sweep("quick", 200, 16, 3);
+        assert_eq!(entries.len(), 2 * CLIENT_COUNTS.len());
+        for e in &entries {
+            assert!(e.queries > 0);
+            assert!(e.qps > 0.0 && e.inproc_qps > 0.0);
+            assert!(e.p50_us <= e.p95_us && e.p95_us <= e.p99_us);
+        }
+    }
+}

@@ -23,13 +23,21 @@
 //! * [`service`] — the client event loop run as a thread over a
 //!   [`csq_net::Endpoint`], and a synchronous in-process handle used by the
 //!   virtual-time executors.
+//! * [`qproto`] + [`pool`] — the *query service* side of being a client:
+//!   the SQL-in/rows-out wire protocol spoken to `csq-core`'s socket
+//!   server, a single framed [`ServiceConn`], and a bounded blocking
+//!   [`ConnectionPool`] with prepared-statement support.
 
+pub mod pool;
 pub mod protocol;
+pub mod qproto;
 pub mod runtime;
 pub mod service;
 pub mod synthetic;
 pub mod vm;
 
+pub use pool::{ConnectionPool, PooledConn, RemoteResult, ServiceConn, StatementHandle};
 pub use protocol::{ClientTask, Request, Response, TaskMode, UdfStep};
+pub use qproto::{QueryRequest, QueryResponse};
 pub use runtime::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
 pub use service::{spawn_client, ClientHandle};

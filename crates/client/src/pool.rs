@@ -1,0 +1,330 @@
+//! Client-side access to the query service: a single framed connection
+//! ([`ServiceConn`]) and a bounded, blocking [`ConnectionPool`] for
+//! many-threads-few-connections applications.
+//!
+//! A pooled connection is checked out with [`ConnectionPool::get`], used
+//! like a plain [`ServiceConn`], and returned on drop. Connections whose
+//! *transport* failed (socket error, codec desync) are discarded instead of
+//! returned — a server-side query error (bad SQL, unknown table) leaves the
+//! session healthy and the connection reusable, exactly mirroring the
+//! server's per-session error isolation.
+
+use std::net::ToSocketAddrs;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use csq_common::{CsqError, Result, Row};
+use csq_net::{Frame, NetStats, TcpConn};
+
+use crate::qproto::{QueryRequest, QueryResponse};
+
+/// A complete result fetched through the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteResult {
+    /// Output column display names.
+    pub columns: Vec<String>,
+    /// Result rows, in stream order.
+    pub rows: Vec<Row>,
+    /// DML-affected row count (0 for SELECT).
+    pub affected: u64,
+    /// Whether the server answered from its plan cache.
+    pub plan_cache_hit: bool,
+}
+
+/// A session-local prepared statement handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementHandle {
+    id: u32,
+}
+
+/// One framed connection to a query service.
+pub struct ServiceConn {
+    conn: TcpConn,
+    stats: NetStats,
+    /// Set when the transport or protocol desynchronized; the connection
+    /// must not be reused (the pool drops it instead of returning it).
+    broken: bool,
+    /// Statement ids prepared on this session and not yet released —
+    /// server-side plan pins counting against the per-session cap. The
+    /// pool releases them when a checkout ends (handles are lost on drop,
+    /// so an unreleased pin could never be used again anyway).
+    open_stmts: Vec<u32>,
+}
+
+impl ServiceConn {
+    /// Connect to a service address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServiceConn> {
+        Ok(ServiceConn {
+            conn: TcpConn::connect(addr)?,
+            stats: NetStats::new(),
+            broken: false,
+            open_stmts: Vec::new(),
+        })
+    }
+
+    /// Client-side byte/message accounting (sends are uplink, receives are
+    /// downlink — the client's view of the same wire the server counts).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// True when a transport/protocol failure poisoned this connection.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn send(&mut self, req: &QueryRequest) -> Result<()> {
+        let payload = req.encode();
+        self.stats
+            .record_up(payload.len() + csq_net::FRAME_HEADER_BYTES);
+        self.conn.send(&payload).inspect_err(|_| {
+            self.broken = true;
+        })
+    }
+
+    fn recv(&mut self) -> Result<QueryResponse> {
+        match self.conn.recv() {
+            Ok(Frame::Payload(buf)) => {
+                self.stats
+                    .record_down(buf.len() + csq_net::FRAME_HEADER_BYTES);
+                // Zero-copy: row payloads stay views of the frame buffer.
+                let buf = Arc::new(buf);
+                QueryResponse::decode_shared(&buf).inspect_err(|_| {
+                    self.broken = true;
+                })
+            }
+            Ok(Frame::Closed) => {
+                self.broken = true;
+                Err(CsqError::Net("server closed the connection".into()))
+            }
+            Ok(Frame::TimedOut) => {
+                self.broken = true;
+                Err(CsqError::Net("unexpected idle timeout on client".into()))
+            }
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain one result stream (after `Query`/`Execute` was sent).
+    fn read_result(&mut self) -> Result<RemoteResult> {
+        let columns = match self.recv()? {
+            QueryResponse::Begin { columns } => columns,
+            QueryResponse::Error {
+                kind,
+                message,
+                fatal,
+            } => {
+                // A fatal error (admission refusal, server shutdown) means
+                // the server closes this connection after replying — it
+                // must not go back into a pool.
+                self.broken |= fatal;
+                return Err(CsqError::from_kind(&kind, message));
+            }
+            other => {
+                self.broken = true;
+                return Err(CsqError::Net(format!(
+                    "protocol violation: expected Begin, got {other:?}"
+                )));
+            }
+        };
+        let mut rows = Vec::new();
+        loop {
+            match self.recv()? {
+                QueryResponse::Rows(chunk) => rows.extend(chunk),
+                QueryResponse::End {
+                    rows: n,
+                    affected,
+                    plan_cache_hit,
+                } => {
+                    if n as usize != rows.len() {
+                        self.broken = true;
+                        return Err(CsqError::Net(format!(
+                            "protocol violation: End declared {n} rows, received {}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(RemoteResult {
+                        columns,
+                        rows,
+                        affected,
+                        plan_cache_hit,
+                    });
+                }
+                QueryResponse::Error {
+                    kind,
+                    message,
+                    fatal,
+                } => {
+                    self.broken |= fatal;
+                    return Err(CsqError::from_kind(&kind, message));
+                }
+                other => {
+                    self.broken = true;
+                    return Err(CsqError::Net(format!(
+                        "protocol violation: expected Rows/End, got {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Execute one SQL statement, collecting the full result.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteResult> {
+        self.send(&QueryRequest::Query { sql: sql.into() })?;
+        self.read_result()
+    }
+
+    /// Prepare a SELECT for repeated execution on this session. Returns the
+    /// handle plus whether the server's plan cache already had the plan.
+    pub fn prepare(&mut self, sql: &str) -> Result<(StatementHandle, bool)> {
+        self.send(&QueryRequest::Prepare { sql: sql.into() })?;
+        match self.recv()? {
+            QueryResponse::Prepared {
+                stmt,
+                plan_cache_hit,
+            } => {
+                self.open_stmts.push(stmt);
+                Ok((StatementHandle { id: stmt }, plan_cache_hit))
+            }
+            QueryResponse::Error {
+                kind,
+                message,
+                fatal,
+            } => {
+                self.broken |= fatal;
+                Err(CsqError::from_kind(&kind, message))
+            }
+            other => {
+                self.broken = true;
+                Err(CsqError::Net(format!(
+                    "protocol violation: expected Prepared, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute(&mut self, stmt: StatementHandle) -> Result<RemoteResult> {
+        self.send(&QueryRequest::Execute { stmt: stmt.id })?;
+        self.read_result()
+    }
+
+    /// Release a prepared statement's server-side pin (fire-and-forget —
+    /// no round trip; the server processes it before any later request on
+    /// this session). The handle must not be executed afterwards.
+    pub fn close_statement(&mut self, stmt: StatementHandle) -> Result<()> {
+        self.open_stmts.retain(|&id| id != stmt.id);
+        self.send(&QueryRequest::CloseStmt { stmt: stmt.id })
+    }
+
+    /// Release every prepared statement still pinned on this session
+    /// (fire-and-forget). The pool calls this when a checkout ends so pins
+    /// cannot accumulate across users of a recycled connection.
+    pub fn release_statements(&mut self) -> Result<()> {
+        for id in std::mem::take(&mut self.open_stmts) {
+            self.send(&QueryRequest::CloseStmt { stmt: id })?;
+        }
+        Ok(())
+    }
+
+    /// Gracefully end the session.
+    pub fn close(mut self) {
+        let _ = self.send(&QueryRequest::Close);
+        self.conn.shutdown();
+    }
+}
+
+/// A bounded pool of service connections shared by many threads.
+///
+/// Connections are created lazily up to `max`; [`get`](ConnectionPool::get)
+/// blocks when all are checked out (the client-side face of the server's
+/// admission backpressure). Internally the pool is a channel of `max`
+/// slots — an empty slot means "you may dial", a full one carries an idle
+/// connection; the channel's blocking recv is the wait queue.
+pub struct ConnectionPool {
+    addr: std::net::SocketAddr,
+    slots_tx: Sender<Option<ServiceConn>>,
+    slots_rx: Receiver<Option<ServiceConn>>,
+}
+
+impl ConnectionPool {
+    /// A pool of up to `max` connections to `addr`.
+    pub fn new(addr: impl ToSocketAddrs, max: usize) -> Result<ConnectionPool> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| CsqError::Net(format!("resolve pool address: {e}")))?
+            .next()
+            .ok_or_else(|| CsqError::Net("pool address resolved to nothing".into()))?;
+        let max = max.max(1);
+        let (slots_tx, slots_rx) = bounded(max);
+        for _ in 0..max {
+            let _ = slots_tx.send(None);
+        }
+        Ok(ConnectionPool {
+            addr,
+            slots_tx,
+            slots_rx,
+        })
+    }
+
+    /// Check out a connection, dialing a fresh one if this slot has none.
+    /// Blocks while all `max` connections are in use.
+    pub fn get(&self) -> Result<PooledConn<'_>> {
+        let slot = self
+            .slots_rx
+            .recv()
+            .map_err(|_| CsqError::Net("connection pool closed".into()))?;
+        let conn = match slot {
+            Some(conn) => conn,
+            None => match ServiceConn::connect(self.addr) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    // Give the slot back so a later caller can retry.
+                    let _ = self.slots_tx.send(None);
+                    return Err(e);
+                }
+            },
+        };
+        Ok(PooledConn {
+            pool: self,
+            conn: Some(conn),
+        })
+    }
+}
+
+/// A checked-out pool connection; returns itself (or its empty slot, when
+/// broken) to the pool on drop.
+pub struct PooledConn<'a> {
+    pool: &'a ConnectionPool,
+    conn: Option<ServiceConn>,
+}
+
+impl Deref for PooledConn<'_> {
+    type Target = ServiceConn;
+    fn deref(&self) -> &ServiceConn {
+        self.conn.as_ref().expect("pooled connection taken")
+    }
+}
+
+impl DerefMut for PooledConn<'_> {
+    fn deref_mut(&mut self) -> &mut ServiceConn {
+        self.conn.as_mut().expect("pooled connection taken")
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        let mut conn = self.conn.take().expect("pooled connection taken");
+        // Prepared handles die with the checkout, so their server-side
+        // pins must too — otherwise a recycled connection accumulates
+        // pins until the per-session cap refuses every future prepare.
+        let _ = conn.release_statements();
+        let slot = if conn.is_broken() { None } else { Some(conn) };
+        let _ = self.pool.slots_tx.send(slot);
+    }
+}

@@ -156,16 +156,16 @@ const EXPR_COL: u8 = 1;
 const EXPR_UNARY: u8 = 2;
 const EXPR_BINARY: u8 = 3;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, b: bool) {
+pub(crate) fn put_bool(out: &mut Vec<u8>, b: bool) {
     out.push(u8::from(b));
 }
 
@@ -258,7 +258,7 @@ pub fn decode_expr(d: &mut Decoder<'_>) -> Result<PhysExpr> {
     }
 }
 
-fn take_str(d: &mut Decoder<'_>) -> Result<String> {
+pub(crate) fn take_str(d: &mut Decoder<'_>) -> Result<String> {
     let len = d.take_u32()? as usize;
     let bytes = d.take_bytes(len)?;
     std::str::from_utf8(bytes)
@@ -266,7 +266,7 @@ fn take_str(d: &mut Decoder<'_>) -> Result<String> {
         .map_err(|e| CsqError::Codec(format!("invalid UTF-8: {e}")))
 }
 
-fn take_bool(d: &mut Decoder<'_>) -> Result<bool> {
+pub(crate) fn take_bool(d: &mut Decoder<'_>) -> Result<bool> {
     match d.take_u8()? {
         0 => Ok(false),
         1 => Ok(true),

@@ -1,0 +1,390 @@
+//! The query-service wire protocol: SQL in, result streams out.
+//!
+//! This sits one level *above* the shipping protocol in [`crate::protocol`].
+//! That protocol is what the server speaks to a client-site UDF runtime
+//! inside one query; this one is what an application speaks to the whole
+//! database over a real socket (see `csq-net::tcp`): send SQL (or a
+//! prepared-statement handle), get back a column header, a stream of row
+//! chunks, and a terminator — or a typed error that maps 1:1 onto
+//! [`CsqError::kind`], so errors observed through the service are
+//! comparable to errors from the in-process engine (the differential suite
+//! relies on this).
+//!
+//! Results are *streamed* in bounded chunks rather than sent as one
+//! message: a client that disconnects mid-result costs the server only the
+//! chunk in flight, and the per-frame length cap in the transport stays
+//! effective no matter how large a result set is.
+
+use csq_common::codec::Decoder;
+use csq_common::{CsqError, Result, Row};
+
+use crate::protocol::{put_bool, put_str, put_u32, take_bool, take_str};
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Execute one SQL statement (planned through the server's plan cache).
+    Query {
+        /// SQL text.
+        sql: String,
+    },
+    /// Parse/optimize only; the plan is pinned to this session under the
+    /// returned statement id.
+    Prepare {
+        /// SQL text (SELECT only).
+        sql: String,
+    },
+    /// Execute a statement previously pinned by `Prepare` on this session.
+    Execute {
+        /// Session-local statement id from [`QueryResponse::Prepared`].
+        stmt: u32,
+    },
+    /// Unpin a prepared statement (fire-and-forget: the server sends no
+    /// reply; TCP ordering guarantees it is processed before any later
+    /// request on the session). Frees the server-side plan pin and its
+    /// slot under the per-session prepared-statement cap.
+    CloseStmt {
+        /// Session-local statement id to release.
+        stmt: u32,
+    },
+    /// Graceful session end.
+    Close,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Result stream header: output column display names.
+    Begin {
+        /// Column display names, in output order.
+        columns: Vec<String>,
+    },
+    /// One chunk of result rows (zero or more chunks per query).
+    Rows(Vec<Row>),
+    /// Result stream terminator.
+    End {
+        /// Total rows streamed.
+        rows: u64,
+        /// DML-affected row count (0 for SELECT).
+        affected: u64,
+        /// Whether the server reused a cached plan (no parse/optimize).
+        plan_cache_hit: bool,
+    },
+    /// The statement failed. `kind` is the server-side [`CsqError::kind`]
+    /// tag. With `fatal: false` the session survives and the next request
+    /// plans fresh; `fatal: true` announces the server is closing this
+    /// connection right after the reply (admission refusal, shutdown
+    /// notice, protocol fault), so clients must not reuse or pool it.
+    Error {
+        /// Error category tag.
+        kind: String,
+        /// Human-readable message.
+        message: String,
+        /// True when the server closes the connection after this reply.
+        fatal: bool,
+    },
+    /// Answer to `Prepare`.
+    Prepared {
+        /// Session-local statement id.
+        stmt: u32,
+        /// Whether the plan came from the server's plan cache.
+        plan_cache_hit: bool,
+    },
+}
+
+impl QueryResponse {
+    /// The error response for a statement failure the session survives.
+    pub fn from_error(e: &CsqError) -> QueryResponse {
+        QueryResponse::Error {
+            kind: e.kind().to_string(),
+            message: e.message().to_string(),
+            fatal: false,
+        }
+    }
+
+    /// The error response for a failure after which the server closes the
+    /// connection.
+    pub fn fatal_error(e: &CsqError) -> QueryResponse {
+        QueryResponse::Error {
+            kind: e.kind().to_string(),
+            message: e.message().to_string(),
+            fatal: true,
+        }
+    }
+}
+
+const REQ_QUERY: u8 = 1;
+const REQ_PREPARE: u8 = 2;
+const REQ_EXECUTE: u8 = 3;
+const REQ_CLOSE: u8 = 4;
+const REQ_CLOSE_STMT: u8 = 5;
+
+const RESP_BEGIN: u8 = 1;
+const RESP_ROWS: u8 = 2;
+const RESP_END: u8 = 3;
+const RESP_ERROR: u8 = 4;
+const RESP_PREPARED: u8 = 5;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl QueryRequest {
+    /// Encode to wire bytes (one frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QueryRequest::Query { sql } => {
+                out.push(REQ_QUERY);
+                put_str(&mut out, sql);
+            }
+            QueryRequest::Prepare { sql } => {
+                out.push(REQ_PREPARE);
+                put_str(&mut out, sql);
+            }
+            QueryRequest::Execute { stmt } => {
+                out.push(REQ_EXECUTE);
+                put_u32(&mut out, *stmt);
+            }
+            QueryRequest::CloseStmt { stmt } => {
+                out.push(REQ_CLOSE_STMT);
+                put_u32(&mut out, *stmt);
+            }
+            QueryRequest::Close => out.push(REQ_CLOSE),
+        }
+        out
+    }
+
+    fn decode_with(d: &mut Decoder<'_>) -> Result<QueryRequest> {
+        let req = match d.take_u8()? {
+            REQ_QUERY => QueryRequest::Query { sql: take_str(d)? },
+            REQ_PREPARE => QueryRequest::Prepare { sql: take_str(d)? },
+            REQ_EXECUTE => QueryRequest::Execute {
+                stmt: d.take_u32()?,
+            },
+            REQ_CLOSE_STMT => QueryRequest::CloseStmt {
+                stmt: d.take_u32()?,
+            },
+            REQ_CLOSE => QueryRequest::Close,
+            other => return Err(CsqError::Codec(format!("bad query request tag {other}"))),
+        };
+        if !d.is_exhausted() {
+            return Err(CsqError::Codec("trailing bytes after query request".into()));
+        }
+        Ok(req)
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<QueryRequest> {
+        QueryRequest::decode_with(&mut Decoder::new(buf))
+    }
+}
+
+impl QueryResponse {
+    /// Encode to wire bytes (one frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QueryResponse::Begin { columns } => {
+                out.push(RESP_BEGIN);
+                put_u32(&mut out, columns.len() as u32);
+                for c in columns {
+                    put_str(&mut out, c);
+                }
+            }
+            QueryResponse::Rows(rows) => {
+                out.push(RESP_ROWS);
+                csq_common::codec::encode_rows(rows, &mut out);
+            }
+            QueryResponse::End {
+                rows,
+                affected,
+                plan_cache_hit,
+            } => {
+                out.push(RESP_END);
+                put_u64(&mut out, *rows);
+                put_u64(&mut out, *affected);
+                put_bool(&mut out, *plan_cache_hit);
+            }
+            QueryResponse::Error {
+                kind,
+                message,
+                fatal,
+            } => {
+                out.push(RESP_ERROR);
+                put_str(&mut out, kind);
+                put_str(&mut out, message);
+                put_bool(&mut out, *fatal);
+            }
+            QueryResponse::Prepared {
+                stmt,
+                plan_cache_hit,
+            } => {
+                out.push(RESP_PREPARED);
+                put_u32(&mut out, *stmt);
+                put_bool(&mut out, *plan_cache_hit);
+            }
+        }
+        out
+    }
+
+    /// Encode a `Rows` chunk directly from borrowed rows — byte-identical
+    /// to `QueryResponse::Rows(rows.to_vec()).encode()` without cloning
+    /// first; this is the server's result-streaming hot path.
+    pub fn encode_rows_chunk(rows: &[Row]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(RESP_ROWS);
+        csq_common::codec::encode_rows(rows, &mut out);
+        out
+    }
+
+    fn decode_with(d: &mut Decoder<'_>) -> Result<QueryResponse> {
+        let resp = match d.take_u8()? {
+            RESP_BEGIN => {
+                let n = d.take_count(4)?;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(take_str(d)?);
+                }
+                QueryResponse::Begin { columns }
+            }
+            RESP_ROWS => {
+                let n = d.take_count(4)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(d.row()?);
+                }
+                QueryResponse::Rows(rows)
+            }
+            RESP_END => QueryResponse::End {
+                rows: d.take_u64()?,
+                affected: d.take_u64()?,
+                plan_cache_hit: take_bool(d)?,
+            },
+            RESP_ERROR => QueryResponse::Error {
+                kind: take_str(d)?,
+                message: take_str(d)?,
+                fatal: take_bool(d)?,
+            },
+            RESP_PREPARED => QueryResponse::Prepared {
+                stmt: d.take_u32()?,
+                plan_cache_hit: take_bool(d)?,
+            },
+            other => return Err(CsqError::Codec(format!("bad query response tag {other}"))),
+        };
+        if !d.is_exhausted() {
+            return Err(CsqError::Codec(
+                "trailing bytes after query response".into(),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Decode from wire bytes (copies string/blob payloads).
+    pub fn decode(buf: &[u8]) -> Result<QueryResponse> {
+        QueryResponse::decode_with(&mut Decoder::new(buf))
+    }
+
+    /// Zero-copy decode: `Str`/`Blob` values in a `Rows` chunk stay views
+    /// of the shared frame buffer.
+    pub fn decode_shared(buf: &std::sync::Arc<Vec<u8>>) -> Result<QueryResponse> {
+        QueryResponse::decode_with(&mut Decoder::shared(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            QueryRequest::Query {
+                sql: "SELECT R.Id FROM R R".into(),
+            },
+            QueryRequest::Prepare { sql: "".into() },
+            QueryRequest::Execute { stmt: 42 },
+            QueryRequest::CloseStmt { stmt: 42 },
+            QueryRequest::Close,
+        ];
+        for r in reqs {
+            assert_eq!(QueryRequest::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            QueryResponse::Begin {
+                columns: vec!["Id".into(), "count(*)".into()],
+            },
+            QueryResponse::Rows(vec![
+                Row::new(vec![Value::Int(1), Value::from("abc")]),
+                Row::new(vec![Value::Null, Value::Float(2.5)]),
+            ]),
+            QueryResponse::End {
+                rows: 17,
+                affected: 0,
+                plan_cache_hit: true,
+            },
+            QueryResponse::Error {
+                kind: "parse".into(),
+                message: "unexpected token".into(),
+                fatal: false,
+            },
+            QueryResponse::Prepared {
+                stmt: 7,
+                plan_cache_hit: false,
+            },
+        ];
+        for r in resps {
+            assert_eq!(QueryResponse::decode(&r.encode()).unwrap(), r);
+            let shared = Arc::new(r.encode());
+            assert_eq!(QueryResponse::decode_shared(&shared).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rows_chunk_fast_path_is_byte_identical() {
+        let rows = vec![
+            Row::new(vec![Value::Int(5), Value::from("payload")]),
+            Row::new(vec![Value::Int(6), Value::Null]),
+        ];
+        assert_eq!(
+            QueryResponse::encode_rows_chunk(&rows),
+            QueryResponse::Rows(rows).encode()
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(QueryRequest::decode(&[]).is_err());
+        assert!(QueryRequest::decode(&[99]).is_err());
+        assert!(QueryResponse::decode(&[0]).is_err());
+        let mut trailing = QueryRequest::Close.encode();
+        trailing.push(1);
+        assert!(QueryRequest::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn error_response_matches_error_kinds() {
+        let e = CsqError::Catalog("unknown table 'T'".into());
+        let resp = QueryResponse::from_error(&e);
+        let QueryResponse::Error {
+            kind,
+            message,
+            fatal,
+        } = resp
+        else {
+            panic!("expected error response");
+        };
+        assert!(!fatal);
+        assert_eq!(CsqError::from_kind(&kind, message), e);
+        assert!(matches!(
+            QueryResponse::fatal_error(&e),
+            QueryResponse::Error { fatal: true, .. }
+        ));
+    }
+}

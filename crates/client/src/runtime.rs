@@ -148,6 +148,17 @@ impl ClientRuntime {
         Ok(())
     }
 
+    /// Register a UDF, replacing any existing implementation under the same
+    /// (case-insensitive) name. Returns `true` when a previous
+    /// implementation was replaced. Re-registration is how a long-lived
+    /// client rolls out a new UDF version mid-session; the query service's
+    /// plan cache watches for it (re-registration bumps the database's plan
+    /// epoch, invalidating cached plans whose UDF metadata went stale).
+    pub fn replace(&self, udf: Arc<dyn ScalarUdf>) -> bool {
+        let key = udf.signature().name.to_ascii_lowercase();
+        self.udfs.write().insert(key, udf).is_some()
+    }
+
     /// Look up a UDF by (case-insensitive) name.
     pub fn get(&self, name: &str) -> Result<Arc<dyn ScalarUdf>> {
         self.udfs

@@ -47,6 +47,26 @@ impl CsqError {
         }
     }
 
+    /// Rebuild an error from a `kind()` tag plus message — the inverse used
+    /// when an error crosses the wire as `(kind, message)` strings (the
+    /// query service's `Error` response). Unknown tags become `Net` errors
+    /// so a newer server cannot crash an older client.
+    pub fn from_kind(kind: &str, message: impl Into<String>) -> CsqError {
+        let m = message.into();
+        match kind {
+            "parse" => CsqError::Parse(m),
+            "plan" => CsqError::Plan(m),
+            "type" => CsqError::Type(m),
+            "catalog" => CsqError::Catalog(m),
+            "exec" => CsqError::Exec(m),
+            "client" => CsqError::Client(m),
+            "limit" => CsqError::Limit(m),
+            "net" => CsqError::Net(m),
+            "codec" => CsqError::Codec(m),
+            other => CsqError::Net(format!("unknown remote error kind '{other}': {m}")),
+        }
+    }
+
     /// The human-readable message carried by the error.
     pub fn message(&self) -> &str {
         match self {
@@ -81,6 +101,25 @@ mod tests {
         assert_eq!(e.kind(), "parse");
         assert_eq!(e.message(), "unexpected token");
         assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn from_kind_roundtrips_every_kind() {
+        let errs = [
+            CsqError::Parse("m".into()),
+            CsqError::Plan("m".into()),
+            CsqError::Type("m".into()),
+            CsqError::Catalog("m".into()),
+            CsqError::Exec("m".into()),
+            CsqError::Client("m".into()),
+            CsqError::Limit("m".into()),
+            CsqError::Net("m".into()),
+            CsqError::Codec("m".into()),
+        ];
+        for e in errs {
+            assert_eq!(CsqError::from_kind(e.kind(), e.message()), e);
+        }
+        assert_eq!(CsqError::from_kind("martian", "m").kind(), "net");
     }
 
     #[test]

@@ -29,11 +29,16 @@
 //! ```
 
 mod lower;
+mod plancache;
 mod result;
+pub mod service;
 
 pub use lower::SimSummary;
+pub use plancache::{PlanCache, PlanCacheStats, PlannedQuery};
 pub use result::QueryResult;
+pub use service::{ServiceConfig, ServiceHandle, ServiceStats};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -56,12 +61,20 @@ pub use csq_net::{NetStats, NetworkSpec};
 pub use csq_opt::{AggPlacement, OptimizedPlan, UdfMeta};
 pub use csq_storage::{Catalog, Table, TableBuilder};
 
+/// Capacity of the per-database plan cache (distinct SQL×context plans).
+const PLAN_CACHE_CAPACITY: usize = 256;
+
 /// The database: server catalog + client runtime + optimizer + network.
 pub struct Database {
     catalog: Arc<Catalog>,
     client: Arc<ClientRuntime>,
     udf_metas: RwLock<Vec<UdfMeta>>,
     net: RwLock<NetworkSpec>,
+    /// Bumped on every change that can alter a plan (DDL, DML, UDF
+    /// (re-)registration, network change); cached plans are stamped with
+    /// it so a stale plan can never be served.
+    plan_epoch: AtomicU64,
+    plan_cache: PlanCache,
 }
 
 impl Database {
@@ -72,7 +85,23 @@ impl Database {
             client: Arc::new(ClientRuntime::new()),
             udf_metas: RwLock::new(Vec::new()),
             net: RwLock::new(net),
+            plan_epoch: AtomicU64::new(0),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
         }
+    }
+
+    /// Invalidate every cached plan (cheaply: by changing the epoch).
+    fn bump_plan_epoch(&self) {
+        self.plan_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The placement context a plan is valid under. Everything the
+    /// optimizer reads — catalog statistics, UDF metadata, *and* the
+    /// network description (see [`set_network`](Self::set_network), which
+    /// bumps it) — rolls into this one counter, so equal epochs mean the
+    /// optimizer would reproduce the same plan.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch.load(Ordering::SeqCst)
     }
 
     /// The server catalog (for direct table registration by workload
@@ -86,9 +115,12 @@ impl Database {
         &self.client
     }
 
-    /// Replace the network description used by simulation and optimization.
+    /// Replace the network description used by simulation and optimization
+    /// (bandwidths and latencies feed the cost model, so this invalidates
+    /// cached plans).
     pub fn set_network(&self, net: NetworkSpec) {
         *self.net.write() = net;
+        self.bump_plan_epoch();
     }
 
     /// The current network description.
@@ -100,30 +132,57 @@ impl Database {
     /// runtime; the server only learns the advertised metadata (signature,
     /// expected result size, expected selectivity).
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) -> Result<()> {
-        let sig = udf.signature().clone();
-        // COUNT/SUM/MIN/MAX/AVG are contextual keywords in the SQL front
-        // end: `max(x)` always parses as the aggregate, so a scalar UDF
-        // with such a name could never be called — reject the collision
-        // instead of silently shadowing it.
-        if csq_expr::AggFunc::parse(&sig.name).is_some() {
+        Self::check_udf_name(&udf)?;
+        let meta = Self::meta_of(&udf);
+        self.client.register(udf)?;
+        self.udf_metas.write().push(meta);
+        self.bump_plan_epoch();
+        Ok(())
+    }
+
+    /// Re-register a UDF: replace the implementation *and* the advertised
+    /// metadata under the same name (rolling out a new UDF version on a
+    /// live service). Bumps the plan epoch, so every cached or prepared
+    /// plan that saw the old metadata replans before its next execution.
+    pub fn reregister_udf(&self, udf: Arc<dyn ScalarUdf>) -> Result<()> {
+        Self::check_udf_name(&udf)?;
+        let meta = Self::meta_of(&udf);
+        self.client.replace(udf);
+        let mut metas = self.udf_metas.write();
+        metas.retain(|m| !m.name.eq_ignore_ascii_case(&meta.name));
+        metas.push(meta);
+        drop(metas);
+        self.bump_plan_epoch();
+        Ok(())
+    }
+
+    /// COUNT/SUM/MIN/MAX/AVG are contextual keywords in the SQL front
+    /// end: `max(x)` always parses as the aggregate, so a scalar UDF with
+    /// such a name could never be called — reject the collision instead
+    /// of silently shadowing it (applies to registration and live
+    /// re-registration alike).
+    fn check_udf_name(udf: &Arc<dyn ScalarUdf>) -> Result<()> {
+        let name = &udf.signature().name;
+        if csq_expr::AggFunc::parse(name).is_some() {
             return Err(CsqError::Plan(format!(
-                "cannot register UDF '{}': the name collides with the SQL \
+                "cannot register UDF '{name}': the name collides with the SQL \
                  aggregate function {}",
-                sig.name,
-                sig.name.to_ascii_uppercase()
+                name.to_ascii_uppercase()
             )));
         }
-        let meta = UdfMeta {
+        Ok(())
+    }
+
+    fn meta_of(udf: &Arc<dyn ScalarUdf>) -> UdfMeta {
+        let sig = udf.signature().clone();
+        UdfMeta {
             name: sig.name.clone(),
             arg_types: sig.arg_types.clone(),
             return_type: sig.return_type,
             result_bytes: udf.result_size_hint().unwrap_or(64) as f64,
             selectivity: udf.selectivity_hint().unwrap_or(1.0 / 3.0),
             client_site: true,
-        };
-        self.client.register(udf)?;
-        self.udf_metas.write().push(meta);
-        Ok(())
+        }
     }
 
     /// Override the advertised metadata for a registered UDF (statistics
@@ -132,6 +191,8 @@ impl Database {
         let mut metas = self.udf_metas.write();
         metas.retain(|m| !m.name.eq_ignore_ascii_case(&meta.name));
         metas.push(meta);
+        drop(metas);
+        self.bump_plan_epoch();
     }
 
     fn opt_context(&self) -> OptContext {
@@ -149,42 +210,7 @@ impl Database {
 
     /// Execute one SQL statement on the threaded engine.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        match parse_statement(sql)? {
-            Statement::CreateTable { name, columns } => {
-                let fields = columns
-                    .into_iter()
-                    .map(|(n, t)| csq_common::Field::new(n, t))
-                    .collect();
-                self.catalog
-                    .register(Table::new(name, csq_common::Schema::new(fields))?)?;
-                Ok(QueryResult::empty())
-            }
-            Statement::Insert { table, rows } => {
-                let t = self.catalog.get(&table)?;
-                let mut out = Vec::with_capacity(rows.len());
-                let empty_schema = csq_common::Schema::empty();
-                let empty_row = Row::new(vec![]);
-                for exprs in rows {
-                    let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        let bound = bind(&e, &empty_schema).map_err(|_| {
-                            CsqError::Plan("INSERT values must be literal expressions".into())
-                        })?;
-                        values.push(bound.eval(&empty_row)?);
-                    }
-                    out.push(Row::new(values));
-                }
-                let n = out.len();
-                t.insert_all(out)?;
-                Ok(QueryResult::count(n))
-            }
-            Statement::Select(sel) => {
-                let ctx = self.opt_context();
-                let graph = csq_opt::query::extract(&sel, &ctx)?;
-                let plan = csq_opt::optimize(&graph, &ctx)?;
-                lower::execute_threaded(self, &graph, &plan)
-            }
-        }
+        self.execute_statement(parse_statement(sql)?)
     }
 
     /// Execute a SELECT on the virtual-time engine, returning rows plus the
@@ -265,7 +291,7 @@ impl Database {
     }
 
     fn execute_nontext(&self, stmt: Statement) -> Result<QueryResult> {
-        match stmt {
+        let result = match stmt {
             Statement::CreateTable { name, columns } => {
                 let fields = columns
                     .into_iter()
@@ -273,7 +299,7 @@ impl Database {
                     .collect();
                 self.catalog
                     .register(Table::new(name, csq_common::Schema::new(fields))?)?;
-                Ok(QueryResult::empty())
+                QueryResult::empty()
             }
             Statement::Insert { table, rows } => {
                 let t = self.catalog.get(&table)?;
@@ -292,9 +318,94 @@ impl Database {
                 }
                 let n = out.len();
                 t.insert_all(out)?;
-                Ok(QueryResult::count(n))
+                QueryResult::count(n)
             }
             Statement::Select(_) => unreachable!("handled by execute_statement"),
+        };
+        // DDL and new rows both change what the optimizer would produce
+        // (schemas, cardinalities, distinct-fraction statistics).
+        self.bump_plan_epoch();
+        Ok(result)
+    }
+
+    // ---- prepared statements and the plan cache ---------------------------
+
+    /// Plan a SELECT through the plan cache: returns the (shared) planned
+    /// query plus whether it was served from the cache. Non-SELECT
+    /// statements cannot be prepared.
+    pub fn prepare(&self, sql: &str) -> Result<(Arc<PlannedQuery>, bool)> {
+        let epoch = self.plan_epoch();
+        if let Some(planned) = self.plan_cache.lookup(epoch, sql) {
+            return Ok((planned, true));
         }
+        match parse_statement(sql)? {
+            Statement::Select(sel) => Ok((self.plan_select(sql, &sel, epoch)?, false)),
+            _ => Err(CsqError::Plan(
+                "only SELECT statements can be prepared".into(),
+            )),
+        }
+    }
+
+    /// Optimize a parsed SELECT and publish it to the plan cache.
+    fn plan_select(
+        &self,
+        sql: &str,
+        sel: &csq_sql::SelectStmt,
+        epoch: u64,
+    ) -> Result<Arc<PlannedQuery>> {
+        let ctx = self.opt_context();
+        let graph = csq_opt::query::extract(sel, &ctx)?;
+        let plan = csq_opt::optimize(&graph, &ctx)?;
+        let planned = Arc::new(PlannedQuery {
+            sql: sql.to_string(),
+            epoch,
+            graph,
+            plan,
+        });
+        self.plan_cache.insert(planned.clone());
+        Ok(planned)
+    }
+
+    /// Execute a prepared plan on the threaded engine. When the database's
+    /// plan epoch moved since the plan was made (DDL, DML, UDF
+    /// re-registration, network change), the statement transparently
+    /// replans first. Returns the result, the plan to pin for the next
+    /// execution (same or replanned), and whether planning was skipped.
+    pub fn execute_planned(
+        &self,
+        planned: &Arc<PlannedQuery>,
+    ) -> Result<(QueryResult, Arc<PlannedQuery>, bool)> {
+        if planned.epoch == self.plan_epoch() {
+            let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+            return Ok((result, planned.clone(), true));
+        }
+        self.plan_cache.record_stale_replan();
+        let (fresh, cache_hit) = self.prepare(&planned.sql)?;
+        let result = lower::execute_threaded(self, &fresh.graph, &fresh.plan)?;
+        Ok((result, fresh, cache_hit))
+    }
+
+    /// Execute one statement, planning SELECTs through the plan cache (the
+    /// query service's entry point). Returns the result plus whether a
+    /// cached plan was reused. A cache hit skips parsing *and* optimizing.
+    pub fn execute_cached(&self, sql: &str) -> Result<(QueryResult, bool)> {
+        let epoch = self.plan_epoch();
+        if let Some(planned) = self.plan_cache.lookup(epoch, sql) {
+            let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+            return Ok((result, true));
+        }
+        match parse_statement(sql)? {
+            Statement::Select(sel) => {
+                let planned = self.plan_select(sql, &sel, epoch)?;
+                let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+                Ok((result, false))
+            }
+            other => Ok((self.execute_nontext(other)?, false)),
+        }
+    }
+
+    /// Plan-cache counters (hits/misses/stale replans/evictions).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 }

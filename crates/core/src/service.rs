@@ -1,0 +1,520 @@
+//! The socket-backed query service: many clients, one database.
+//!
+//! Architecture (DESIGN.md §8): an **accept loop** thread owns the TCP
+//! listener and admits connections under a bounded budget; each admitted
+//! connection becomes a **session job** scheduled onto a
+//! [`WorkerPool`](csq_exec::WorkerPool) — the pool's thread count is the
+//! service's execution concurrency, and admitted-but-unscheduled sessions
+//! wait in the pool's queue (that queue, capped by
+//! [`ServiceConfig::max_sessions`], *is* the admission queue; connections
+//! beyond it are refused with a `limit` error, which is the backpressure
+//! signal). Sessions speak the [`csq_client::qproto`] protocol over a
+//! framed [`TcpConn`], plan through the database's [`PlanCache`], and
+//! stream results in bounded chunks.
+//!
+//! **Error isolation.** A session can die three ways — malformed frame,
+//! mid-stream disconnect, or a query that fails (or panics) — and none of
+//! them may take the process, the worker, or any other session with it:
+//! query failures answer with a typed `Error` response and the session
+//! lives on; transport/protocol failures end only that session; panics are
+//! contained by the pool's per-job `catch_unwind` (and answered with an
+//! `exec` error when the wire still works).
+//!
+//! **Graceful shutdown.** [`ServiceHandle::shutdown`] stops the accept
+//! loop, then lets sessions drain: each session polls the shutdown flag on
+//! its idle tick, answers in-flight work, tells idle clients the server is
+//! going away, and exits; dropping the worker pool joins them all.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use csq_client::qproto::{QueryRequest, QueryResponse};
+use csq_common::{CsqError, Result, DEFAULT_BATCH_SIZE};
+use csq_exec::WorkerPool;
+use csq_net::tcp::{Frame, TcpConn};
+use csq_net::{NetStats, FRAME_HEADER_BYTES};
+
+use crate::plancache::PlannedQuery;
+use crate::{Database, QueryResult};
+
+/// Cap on prepared statements pinned by one session — each pins a full
+/// planned query, so an unbounded map would let a single admitted client
+/// grow server memory without ever tripping the frame-size cap.
+const MAX_PREPARED_PER_SESSION: usize = 256;
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Session worker threads. A session *holds* its worker for the whole
+    /// connection lifetime (including while idle), so size this for the
+    /// expected number of concurrent connections — admitted sessions
+    /// beyond it wait in the queue unserved until a connection closes,
+    /// with no greeting or timeout. The queue is therefore only useful
+    /// slack for short-lived connections.
+    pub workers: usize,
+    /// Cap on admitted sessions (executing + queued). Connections beyond
+    /// this are refused with a `limit` error instead of queueing unboundedly.
+    pub max_sessions: usize,
+    /// How often an idle session wakes to poll the shutdown flag.
+    pub idle_timeout: Duration,
+    /// Per-frame payload cap for incoming requests.
+    pub max_frame: usize,
+    /// Write stall budget: a client that stops *reading* its result stream
+    /// fails the session's sends after this long instead of pinning the
+    /// session worker forever (the write-side slowloris guard).
+    pub write_timeout: Duration,
+    /// Rows per streamed result chunk.
+    pub chunk_rows: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            max_sessions: 64,
+            idle_timeout: Duration::from_millis(100),
+            max_frame: csq_net::DEFAULT_MAX_FRAME,
+            write_timeout: Duration::from_secs(10),
+            chunk_rows: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// Monotonic service counters (all relaxed; read for tests and ops).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Connections admitted into a session.
+    pub accepted: AtomicU64,
+    /// Connections refused by the admission bound.
+    pub rejected: AtomicU64,
+    /// Sessions ended by a transport/protocol fault (truncated, oversized,
+    /// or undecodable frames).
+    pub protocol_errors: AtomicU64,
+    /// Statements that completed and streamed a full result.
+    pub queries_ok: AtomicU64,
+    /// Statements answered with an `Error` response.
+    pub queries_failed: AtomicU64,
+    /// Statements whose execution panicked (contained per session).
+    pub panics: AtomicU64,
+}
+
+impl ServiceStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running query service; dropping (or [`shutdown`](Self::shutdown))
+/// stops accepting and drains sessions.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool>>,
+    stats: Arc<ServiceStats>,
+    net: NetStats,
+}
+
+impl ServiceHandle {
+    /// The bound listen address (use with port 0 to discover the port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.stats
+    }
+
+    /// Server-side wire accounting across all sessions: sends recorded as
+    /// downlink, received requests as uplink, frame headers included.
+    pub fn net_stats(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// Stop accepting, tell idle sessions to finish, and join everything.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A wildcard
+        // bind (0.0.0.0 / ::) is not itself connectable everywhere, so dial
+        // the loopback of the same family instead.
+        let wake = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = match self.addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        match TcpStream::connect_timeout(&wake, Duration::from_millis(500)) {
+            Ok(_) => {
+                if let Some(h) = self.accept.take() {
+                    let _ = h.join();
+                }
+            }
+            Err(_) => {
+                // Could not reach our own listener (firewalled wildcard
+                // bind, interface gone). The accept thread will observe the
+                // flag on its next accept; detach it rather than hang the
+                // shutdown on a join that may never return.
+                self.accept.take();
+            }
+        }
+        // Dropping the last Arc on the pool drains queued sessions (each
+        // exits promptly on the shutdown flag) and joins the workers; the
+        // accept thread held the only other Arc (joined or detached above —
+        // a detached accept thread drops its Arc when it next wakes).
+        self.pool.take();
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.pool.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Start a query service for `db` on a loopback port chosen by the OS.
+pub fn start(db: Arc<Database>, config: ServiceConfig) -> Result<ServiceHandle> {
+    start_on(db, ("127.0.0.1", 0), config)
+}
+
+/// Start a query service for `db` on `addr`.
+pub fn start_on(
+    db: Arc<Database>,
+    addr: impl ToSocketAddrs,
+    config: ServiceConfig,
+) -> Result<ServiceHandle> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| CsqError::Net(format!("bind service: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CsqError::Net(format!("service local_addr: {e}")))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServiceStats::default());
+    let net = NetStats::new();
+    let pool = Arc::new(WorkerPool::new(config.workers.max(1)));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept = {
+        let shutdown = shutdown.clone();
+        let stats = stats.clone();
+        let net = net.clone();
+        let pool = pool.clone();
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name("csq-service-accept".into())
+            .spawn(move || {
+                accept_loop(listener, db, config, shutdown, stats, net, active, pool);
+            })
+            .map_err(|e| CsqError::Net(format!("spawn accept loop: {e}")))?
+    };
+
+    Ok(ServiceHandle {
+        addr: local,
+        shutdown,
+        accept: Some(accept),
+        pool: Some(pool),
+        stats,
+        net,
+    })
+}
+
+/// Decrement-on-drop guard for the admitted-session count; runs even when
+/// a session job unwinds.
+struct Admitted(Arc<AtomicUsize>);
+
+impl Drop for Admitted {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    db: Arc<Database>,
+    config: ServiceConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServiceStats>,
+    net: NetStats,
+    active: Arc<AtomicUsize>,
+    pool: Arc<WorkerPool>,
+) {
+    // The accept thread holds one Arc on the pool; the ServiceHandle holds
+    // the other. Shutdown joins this thread first, so the handle's drop of
+    // its Arc is what finally joins the workers.
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue; // Transient accept failure; keep serving.
+        };
+        let Ok(conn) = TcpConn::with_max_frame(stream, config.max_frame) else {
+            continue; // Peer vanished during setup.
+        };
+        // Admission: admitted = executing + queued sessions. Beyond the
+        // bound, refuse loudly (the client sees a `limit` error on its
+        // first response read) instead of queueing without bound.
+        if active.fetch_add(1, Ordering::SeqCst) >= config.max_sessions {
+            active.fetch_sub(1, Ordering::SeqCst);
+            ServiceStats::bump(&stats.rejected);
+            refuse(conn, net.clone(), config.max_sessions);
+            continue;
+        }
+        ServiceStats::bump(&stats.accepted);
+        let guard = Admitted(active.clone());
+        let db = db.clone();
+        let config = config.clone();
+        let shutdown = shutdown.clone();
+        let stats = stats.clone();
+        let net = net.clone();
+        pool.spawn(move || {
+            let _guard = guard;
+            run_session(&db, &conn, &config, &shutdown, &stats, &net);
+        });
+    }
+}
+
+/// Refuse an over-capacity connection with a typed `limit` error. Runs on
+/// a short-lived detached thread so the accept loop never blocks on a slow
+/// (or dead) client: it waits for the client's first request — answering
+/// before the client reads would race a TCP reset past the refusal frame —
+/// replies, then lingers briefly for the client's close.
+fn refuse(conn: TcpConn, net: NetStats, max_sessions: usize) {
+    let _ = std::thread::Builder::new()
+        .name("csq-service-refuse".into())
+        .spawn(move || {
+            conn.set_idle_timeout(Some(Duration::from_millis(200)));
+            let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+            match conn.recv() {
+                Ok(Frame::Payload(buf)) => {
+                    net.record_up(buf.len() + FRAME_HEADER_BYTES);
+                }
+                _ => return, // Client never spoke; just drop.
+            }
+            let refusal = QueryResponse::fatal_error(&CsqError::Limit(format!(
+                "server at capacity ({max_sessions} sessions admitted); retry later"
+            )));
+            if send_response(&conn, &net, &refusal) {
+                // Give the client a beat to read before the socket dies.
+                let _ = conn.recv();
+            }
+        });
+}
+
+/// Send one response frame, recording downlink bytes; `false` when the
+/// client is gone.
+fn send_response(conn: &TcpConn, net: &NetStats, resp: &QueryResponse) -> bool {
+    send_payload(conn, net, &resp.encode())
+}
+
+fn send_payload(conn: &TcpConn, net: &NetStats, payload: &[u8]) -> bool {
+    net.record_down(payload.len() + FRAME_HEADER_BYTES);
+    conn.send(payload).is_ok()
+}
+
+/// One client session: request loop over a framed connection.
+fn run_session(
+    db: &Database,
+    conn: &TcpConn,
+    config: &ServiceConfig,
+    shutdown: &AtomicBool,
+    stats: &ServiceStats,
+    net: &NetStats,
+) {
+    conn.set_idle_timeout(Some(config.idle_timeout));
+    if conn.set_write_timeout(Some(config.write_timeout)).is_err() {
+        return; // Peer already gone during session setup.
+    }
+    let mut prepared: HashMap<u32, Arc<PlannedQuery>> = HashMap::new();
+    let mut next_stmt: u32 = 1;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let bye = QueryResponse::fatal_error(&CsqError::Net("server shutting down".into()));
+            send_response(conn, net, &bye);
+            return;
+        }
+        let frame = match conn.recv() {
+            Ok(Frame::TimedOut) => continue,
+            Ok(Frame::Closed) => return,
+            Ok(Frame::Payload(buf)) => buf,
+            Err(e) => {
+                // Truncated/oversized frame or I/O fault: the stream can no
+                // longer be trusted — answer if possible, then end only
+                // this session.
+                ServiceStats::bump(&stats.protocol_errors);
+                send_response(conn, net, &QueryResponse::fatal_error(&e));
+                return;
+            }
+        };
+        net.record_up(frame.len() + FRAME_HEADER_BYTES);
+        let request = match QueryRequest::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // Garbage payload: the peer doesn't speak the protocol;
+                // report and close.
+                ServiceStats::bump(&stats.protocol_errors);
+                send_response(conn, net, &QueryResponse::fatal_error(&e));
+                return;
+            }
+        };
+        let alive = match request {
+            QueryRequest::Close => return,
+            QueryRequest::Query { sql } => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| db.execute_cached(&sql)));
+                answer_execution(conn, net, stats, config, outcome)
+            }
+            QueryRequest::Prepare { sql } => {
+                if prepared.len() >= MAX_PREPARED_PER_SESSION {
+                    ServiceStats::bump(&stats.queries_failed);
+                    let alive = send_response(
+                        conn,
+                        net,
+                        &QueryResponse::from_error(&CsqError::Limit(format!(
+                            "session holds {MAX_PREPARED_PER_SESSION} prepared statements; \
+                             release some with CloseStmt (or close the connection) before \
+                             preparing more"
+                        ))),
+                    );
+                    if !alive {
+                        return;
+                    }
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| db.prepare(&sql))) {
+                    Ok(Ok((plan, cache_hit))) => {
+                        let stmt = next_stmt;
+                        next_stmt += 1;
+                        prepared.insert(stmt, plan);
+                        send_response(
+                            conn,
+                            net,
+                            &QueryResponse::Prepared {
+                                stmt,
+                                plan_cache_hit: cache_hit,
+                            },
+                        )
+                    }
+                    Ok(Err(e)) => {
+                        ServiceStats::bump(&stats.queries_failed);
+                        send_response(conn, net, &QueryResponse::from_error(&e))
+                    }
+                    Err(_) => {
+                        ServiceStats::bump(&stats.panics);
+                        ServiceStats::bump(&stats.queries_failed);
+                        send_response(conn, net, &panic_response())
+                    }
+                }
+            }
+            QueryRequest::CloseStmt { stmt } => {
+                // Fire-and-forget by design: no reply, so a client can
+                // release pins without a round trip.
+                prepared.remove(&stmt);
+                true
+            }
+            QueryRequest::Execute { stmt } => match prepared.get(&stmt) {
+                None => {
+                    ServiceStats::bump(&stats.queries_failed);
+                    send_response(
+                        conn,
+                        net,
+                        &QueryResponse::from_error(&CsqError::Plan(format!(
+                            "unknown prepared statement {stmt}"
+                        ))),
+                    )
+                }
+                Some(plan) => {
+                    let plan = plan.clone();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| db.execute_planned(&plan)));
+                    let outcome = match outcome {
+                        Ok(Ok((result, fresh, reused))) => {
+                            // The plan may have been replanned under a new
+                            // epoch; keep the session's pin current.
+                            prepared.insert(stmt, fresh);
+                            Ok(Ok((result, reused)))
+                        }
+                        Ok(Err(e)) => Ok(Err(e)),
+                        Err(p) => Err(p),
+                    };
+                    answer_execution(conn, net, stats, config, outcome)
+                }
+            },
+        };
+        if !alive {
+            return; // Client disconnected mid-stream.
+        }
+    }
+}
+
+fn panic_response() -> QueryResponse {
+    QueryResponse::from_error(&CsqError::Exec(
+        "statement execution panicked (session preserved)".into(),
+    ))
+}
+
+type ExecutionOutcome =
+    std::result::Result<Result<(QueryResult, bool)>, Box<dyn std::any::Any + Send>>;
+
+/// Turn an execution outcome into wire traffic: a `Begin`/`Rows…`/`End`
+/// stream on success, a typed `Error` on failure or panic. Returns whether
+/// the connection is still usable.
+fn answer_execution(
+    conn: &TcpConn,
+    net: &NetStats,
+    stats: &ServiceStats,
+    config: &ServiceConfig,
+    outcome: ExecutionOutcome,
+) -> bool {
+    match outcome {
+        Err(_) => {
+            ServiceStats::bump(&stats.panics);
+            ServiceStats::bump(&stats.queries_failed);
+            send_response(conn, net, &panic_response())
+        }
+        Ok(Err(e)) => {
+            ServiceStats::bump(&stats.queries_failed);
+            send_response(conn, net, &QueryResponse::from_error(&e))
+        }
+        Ok(Ok((result, plan_cache_hit))) => {
+            let columns: Vec<String> = result
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.display_name())
+                .collect();
+            if !send_response(conn, net, &QueryResponse::Begin { columns }) {
+                return false;
+            }
+            let chunk = config.chunk_rows.max(1);
+            for rows in result.rows.chunks(chunk) {
+                if !send_payload(conn, net, &QueryResponse::encode_rows_chunk(rows)) {
+                    return false;
+                }
+            }
+            ServiceStats::bump(&stats.queries_ok);
+            send_response(
+                conn,
+                net,
+                &QueryResponse::End {
+                    rows: result.rows.len() as u64,
+                    affected: result.affected as u64,
+                    plan_cache_hit,
+                },
+            )
+        }
+    }
+}

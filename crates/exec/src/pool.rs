@@ -7,7 +7,15 @@
 //! lets workers drain what is already queued, and joins them — operators
 //! that own a pool therefore never leak threads, even on early drop
 //! (e.g. a `Limit` abandoning its input mid-stream).
+//!
+//! Workers survive panicking jobs: each job runs under `catch_unwind`, so a
+//! poisoned job costs only itself, never pool capacity. That matters for
+//! long-lived pools — the query service schedules whole client sessions as
+//! jobs, and one session blowing up must not shrink the server for every
+//! session after it. (Panic *reporting* stays the submitter's problem, as
+//! before: gather sides detect a lost result channel.)
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -32,7 +40,7 @@ impl WorkerPool {
                     .name(format!("csq-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            let _ = catch_unwind(AssertUnwindSafe(job));
                         }
                     })
                     .expect("failed to spawn worker thread")
@@ -140,7 +148,27 @@ mod tests {
             });
         }
         drop(pool);
-        // The surviving worker still drains the queue.
         assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_shrink_capacity() {
+        // With a single worker, losing the thread to a panic would deadlock
+        // (drop would join a dead worker with jobs still queued) or drop the
+        // remaining jobs; catch_unwind keeps the worker alive through all
+        // three panics.
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let d = done.clone();
+            pool.spawn(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} panics");
+                }
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 3);
     }
 }

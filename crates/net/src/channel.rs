@@ -75,12 +75,21 @@ struct Message {
     payload: Vec<u8>,
 }
 
+/// What actually carries a sender's messages: the in-memory channel (with
+/// optional wall-clock throttling) or a framed TCP connection.
+enum SendHalf {
+    Chan {
+        tx: Sender<Message>,
+        throttle: Option<Arc<Throttle>>,
+    },
+    Tcp(Arc<crate::tcp::TcpConn>),
+}
+
 /// Sending half of an endpoint.
 pub struct NetSender {
-    tx: Sender<Message>,
+    half: SendHalf,
     stats: NetStats,
     direction: Direction,
-    throttle: Option<Arc<Throttle>>,
     overhead: usize,
 }
 
@@ -92,39 +101,70 @@ impl NetSender {
             Direction::Down => self.stats.record_down(wire_bytes),
             Direction::Up => self.stats.record_up(wire_bytes),
         }
-        let deliver_at = self.throttle.as_ref().map(|t| t.admit(wire_bytes));
-        self.tx
-            .send(Message {
-                deliver_at,
-                payload,
-            })
-            .map_err(|_| CsqError::Net("peer endpoint closed".into()))
+        match &self.half {
+            SendHalf::Chan { tx, throttle } => {
+                let deliver_at = throttle.as_ref().map(|t| t.admit(wire_bytes));
+                tx.send(Message {
+                    deliver_at,
+                    payload,
+                })
+                .map_err(|_| CsqError::Net("peer endpoint closed".into()))
+            }
+            SendHalf::Tcp(conn) => conn.send(&payload),
+        }
     }
+}
+
+/// What a receiver drains: the in-memory channel or a framed TCP
+/// connection.
+enum RecvHalf {
+    Chan(Receiver<Message>),
+    Tcp(Arc<crate::tcp::TcpConn>),
 }
 
 /// Receiving half of an endpoint.
 pub struct NetReceiver {
-    rx: Receiver<Message>,
+    rx: RecvHalf,
 }
 
 impl NetReceiver {
     /// Receive the next message, blocking; `None` when the peer closed.
+    /// On a TCP endpoint any transport failure (truncated frame, reset)
+    /// also reads as `None` — the peer is gone either way; consumers that
+    /// need the distinction use [`crate::tcp::TcpConn`] directly.
     pub fn recv(&self) -> Option<Vec<u8>> {
-        let msg = self.rx.recv().ok()?;
-        if let Some(at) = msg.deliver_at {
-            let now = Instant::now();
-            if at > now {
-                std::thread::sleep(at - now);
+        match &self.rx {
+            RecvHalf::Chan(rx) => {
+                let msg = rx.recv().ok()?;
+                if let Some(at) = msg.deliver_at {
+                    let now = Instant::now();
+                    if at > now {
+                        std::thread::sleep(at - now);
+                    }
+                }
+                Some(msg.payload)
             }
+            RecvHalf::Tcp(conn) => match conn.recv() {
+                Ok(crate::tcp::Frame::Payload(p)) => Some(p),
+                _ => None,
+            },
         }
-        Some(msg.payload)
     }
 
     /// Non-blocking receive; `Ok(None)` when no message is ready,
-    /// `Err` when the peer closed.
+    /// `Err` when the peer closed. Only supported on in-memory endpoints
+    /// (no consumer polls a TCP endpoint).
     pub fn try_recv(&self) -> std::result::Result<Option<Vec<u8>>, CsqError> {
         use crossbeam::channel::TryRecvError;
-        match self.rx.try_recv() {
+        let rx = match &self.rx {
+            RecvHalf::Chan(rx) => rx,
+            RecvHalf::Tcp(_) => {
+                return Err(CsqError::Net(
+                    "try_recv is not supported on TCP endpoints".into(),
+                ))
+            }
+        };
+        match rx.try_recv() {
             Ok(msg) => {
                 if let Some(at) = msg.deliver_at {
                     let now = Instant::now();
@@ -162,6 +202,32 @@ impl Endpoint {
     pub fn split(self) -> (NetSender, NetReceiver) {
         (self.sender, self.receiver)
     }
+
+    /// Wrap one side of a framed TCP connection as an endpoint. `is_server`
+    /// picks the stats direction for sends (server sends flow down). The
+    /// real 4-byte frame header is charged as per-message overhead so byte
+    /// accounting matches what crosses the socket.
+    pub(crate) fn from_tcp(
+        conn: Arc<crate::tcp::TcpConn>,
+        is_server: bool,
+        stats: NetStats,
+    ) -> Endpoint {
+        Endpoint {
+            sender: NetSender {
+                half: SendHalf::Tcp(conn.clone()),
+                stats,
+                direction: if is_server {
+                    Direction::Down
+                } else {
+                    Direction::Up
+                },
+                overhead: crate::tcp::FRAME_HEADER_BYTES,
+            },
+            receiver: NetReceiver {
+                rx: RecvHalf::Tcp(conn),
+            },
+        }
+    }
 }
 
 fn build_pair(spec: Option<&NetworkSpec>) -> (Endpoint, Endpoint, NetStats) {
@@ -184,23 +250,31 @@ fn build_pair(spec: Option<&NetworkSpec>) -> (Endpoint, Endpoint, NetStats) {
     };
     let server = Endpoint {
         sender: NetSender {
-            tx: down_tx,
+            half: SendHalf::Chan {
+                tx: down_tx,
+                throttle: down_throttle,
+            },
             stats: stats.clone(),
             direction: Direction::Down,
-            throttle: down_throttle,
             overhead,
         },
-        receiver: NetReceiver { rx: up_rx },
+        receiver: NetReceiver {
+            rx: RecvHalf::Chan(up_rx),
+        },
     };
     let client = Endpoint {
         sender: NetSender {
-            tx: up_tx,
+            half: SendHalf::Chan {
+                tx: up_tx,
+                throttle: up_throttle,
+            },
             stats: stats.clone(),
             direction: Direction::Up,
-            throttle: up_throttle,
             overhead,
         },
-        receiver: NetReceiver { rx: down_rx },
+        receiver: NetReceiver {
+            rx: RecvHalf::Chan(down_rx),
+        },
     };
     (server, client, stats)
 }

@@ -16,6 +16,10 @@
 //! * [`channel`] — a real threaded in-memory duplex transport (crossbeam)
 //!   with byte accounting, used by the threaded execution engine; and a
 //!   throttled variant that enforces bandwidth in wall-clock time.
+//! * [`tcp`] — the same length-framed protocol over real sockets: a framed
+//!   [`TcpConn`] plus [`tcp_duplex`], a loopback pair that is drop-in
+//!   compatible with the in-memory duplex (the query service and its load
+//!   harness run on this).
 //!
 //! Timing experiments use the virtual-time model (deterministic, instant);
 //! the threaded engine uses `channel` and is checked row-for-row against it.
@@ -24,8 +28,10 @@ pub mod channel;
 pub mod link;
 pub mod spec;
 pub mod stats;
+pub mod tcp;
 
 pub use channel::{in_memory_duplex, throttled_duplex, Endpoint, NetReceiver, NetSender};
 pub use link::{Link, SimTime};
 pub use spec::NetworkSpec;
 pub use stats::NetStats;
+pub use tcp::{tcp_duplex, Frame, TcpConn, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES};

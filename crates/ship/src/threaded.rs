@@ -990,6 +990,79 @@ mod tests {
     }
 
     #[test]
+    fn semijoin_over_real_tcp_matches_in_memory() {
+        // The shipped plan must be transport-agnostic: running the same
+        // pipeline over a loopback socket pair yields the same rows, the
+        // same message counts, and byte counts that differ from the
+        // in-memory duplex by exactly the 4-byte frame header per message
+        // (NetStats charges what actually crossed the socket).
+        let data = rows(30, 6);
+        let run = |tcp: bool| {
+            let rt = runtime();
+            let (server, client, stats) = if tcp {
+                csq_net::tcp_duplex().unwrap()
+            } else {
+                let (s, c, st) = in_memory_duplex();
+                (s, c, st)
+            };
+            let handle = spawn_client(rt, client);
+            let mut spec = SemiJoinSpec::new(vec![analyze_app()], 5);
+            spec.batch_size = 4;
+            let input = Box::new(RowsOp::new(input_schema(), data.clone()));
+            let mut op = ThreadedSemiJoin::new(input, spec, server).unwrap();
+            let out = collect(&mut op).unwrap();
+            drop(op);
+            let _ = handle.join().unwrap();
+            (out, stats)
+        };
+        let (mem_rows, mem_stats) = run(false);
+        let (tcp_rows, tcp_stats) = run(true);
+        assert_eq!(tcp_rows, mem_rows);
+        assert_eq!(tcp_stats.down_messages(), mem_stats.down_messages());
+        assert_eq!(tcp_stats.up_messages(), mem_stats.up_messages());
+        let header = csq_net::FRAME_HEADER_BYTES as u64;
+        assert_eq!(
+            tcp_stats.down_bytes(),
+            mem_stats.down_bytes() + header * mem_stats.down_messages()
+        );
+        assert_eq!(
+            tcp_stats.up_bytes(),
+            mem_stats.up_bytes() + header * mem_stats.up_messages()
+        );
+    }
+
+    #[test]
+    fn client_join_over_real_tcp_matches_in_memory() {
+        let data = rows(40, 40);
+        let run = |tcp: bool| {
+            let rt = runtime();
+            let (server, client, _) = if tcp {
+                csq_net::tcp_duplex().unwrap()
+            } else {
+                let (s, c, st) = in_memory_duplex();
+                (s, c, st)
+            };
+            let handle = spawn_client(rt, client);
+            let keep = UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool));
+            let mut spec = ClientJoinSpec::new(vec![keep]);
+            spec.pushed_predicate = Some(PhysExpr::Binary {
+                left: Box::new(PhysExpr::Column(2)),
+                op: BinaryOp::Eq,
+                right: Box::new(PhysExpr::Literal(Value::Bool(true))),
+            });
+            spec.return_cols = Some(vec![0, 2]);
+            spec.batch_size = 8;
+            let input = Box::new(RowsOp::new(input_schema(), data.clone()));
+            let mut op = ThreadedClientJoin::new(input, spec, server).unwrap();
+            let out = collect(&mut op).unwrap();
+            drop(op);
+            let _ = handle.join().unwrap();
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn early_drop_of_receiver_shuts_pipeline_down() {
         // LIMIT-style early termination: dropping the operator must not hang.
         let (server, client, _) = in_memory_duplex();

@@ -1,0 +1,66 @@
+//! The query service end to end (DESIGN.md §8): start a server over real
+//! loopback TCP, query it from a single connection with a prepared
+//! statement, then from a bounded connection pool shared by threads.
+//!
+//! ```sh
+//! cargo run --example query_service
+//! ```
+
+use std::sync::Arc;
+
+use csq::{Database, NetworkSpec, ServiceConfig, Value};
+use csq_client::{ConnectionPool, ServiceConn};
+
+fn main() {
+    let db = Arc::new(Database::new(NetworkSpec::lan()));
+    db.execute("CREATE TABLE T (Id INT, Grp INT)").unwrap();
+    db.execute("INSERT INTO T VALUES (1, 0), (2, 1), (3, 0), (4, 1), (5, 0)")
+        .unwrap();
+
+    // Server: session-per-connection on a worker pool, bounded admission,
+    // graceful shutdown.
+    let server = csq::service::start(db.clone(), ServiceConfig::default()).unwrap();
+    println!("serving on {}", server.local_addr());
+
+    // One connection: ad-hoc queries and prepared statements.
+    let mut conn = ServiceConn::connect(server.local_addr()).unwrap();
+    let (stmt, _) = conn.prepare("SELECT T.Id FROM T T WHERE T.Id > 1").unwrap();
+    let first = conn.execute(stmt).unwrap();
+    let second = conn.execute(stmt).unwrap();
+    assert_eq!(first.rows.len(), 4);
+    assert!(second.plan_cache_hit, "repeat execution reuses the plan");
+    println!(
+        "prepared statement: {} rows, plan cached = {}",
+        second.rows.len(),
+        second.plan_cache_hit
+    );
+    conn.close();
+
+    // A bounded pool shared by many threads: 4 connections, 8 workers.
+    let pool = Arc::new(ConnectionPool::new(server.local_addr(), 4).unwrap());
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut conn = pool.get().unwrap();
+                let out = conn
+                    .query("SELECT T.Grp, count(*) FROM T T GROUP BY T.Grp")
+                    .unwrap();
+                assert_eq!(out.rows.len(), 2);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let out = pool
+        .get()
+        .unwrap()
+        .query("SELECT count(*) FROM T T")
+        .unwrap();
+    assert_eq!(out.rows[0].value(0), &Value::Int(5));
+    println!("pooled queries done; stats: {:?}", db.plan_cache_stats());
+
+    server.shutdown();
+    println!("server drained and stopped");
+}

@@ -1,0 +1,212 @@
+//! Differential oracle for the query service (DESIGN.md §8): random
+//! workloads served over **real TCP sockets** at 1/2/4/8 concurrent
+//! clients must be indistinguishable from the serial in-process engine —
+//! per query, the row multiset must match and failures must carry the same
+//! error kind. This is the acceptance gate for the transport + session
+//! layer: framing, session scheduling, plan-cache sharing, and error
+//! propagation all sit between the two sides being compared.
+//!
+//! Failing seeds persist under `proptest-regressions/` (vendored proptest
+//! shim) and committed seeds replay on every `cargo test`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use csq_client::synthetic::ObjectUdf;
+use csq_client::ServiceConn;
+use csq_common::{Blob, DataType, Value};
+use csq_core::{service, Database, NetworkSpec, ServiceConfig};
+use csq_storage::TableBuilder;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One generated table row: (group, value, name selector, blob seed).
+type RowSpec = (i64, i64, u8, u64);
+
+fn arb_row() -> impl Strategy<Value = RowSpec> {
+    (0i64..5, -20i64..20, any::<u8>(), any::<u64>())
+}
+
+/// One generated statement; a workload mixes well-formed and failing ones.
+#[derive(Debug, Clone)]
+enum QuerySpec {
+    /// Filter + projection.
+    Filter { lo: i64 },
+    /// Grouped aggregation, optionally with HAVING.
+    Agg { having: Option<i64> },
+    /// Client-site UDF application (exercises the shipping engine inside a
+    /// session).
+    Udf { lo: i64 },
+    /// Unknown column: fails at planning.
+    BadColumn,
+    /// Lexically broken SQL: fails at parse.
+    BadSyntax,
+}
+
+impl QuerySpec {
+    fn sql(&self) -> String {
+        match self {
+            QuerySpec::Filter { lo } => {
+                format!("SELECT T.Id, T.Name FROM T T WHERE T.Val > {lo}")
+            }
+            QuerySpec::Agg { having: None } => {
+                "SELECT T.Grp, count(*), sum(T.Val) FROM T T GROUP BY T.Grp".into()
+            }
+            QuerySpec::Agg { having: Some(h) } => format!(
+                "SELECT T.Grp, count(*), sum(T.Val) FROM T T GROUP BY T.Grp \
+                 HAVING count(*) > {h}"
+            ),
+            QuerySpec::Udf { lo } => {
+                format!("SELECT T.Id, Enrich(T.Obj) FROM T T WHERE T.Id > {lo}")
+            }
+            QuerySpec::BadColumn => "SELECT T.Nope FROM T T".into(),
+            QuerySpec::BadSyntax => "SELECT T.Id FROM T T WHERE".into(),
+        }
+    }
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    // The vendored shim's prop_oneof! is unweighted; the duplicated
+    // well-formed arms keep failing statements a minority of the mix.
+    prop_oneof![
+        (-25i64..25).prop_map(|lo| QuerySpec::Filter { lo }),
+        (-25i64..25).prop_map(|lo| QuerySpec::Filter { lo }),
+        prop_oneof![Just(None), (0i64..4).prop_map(Some)]
+            .prop_map(|having| QuerySpec::Agg { having }),
+        prop_oneof![Just(None), (0i64..4).prop_map(Some)]
+            .prop_map(|having| QuerySpec::Agg { having }),
+        (-5i64..30).prop_map(|lo| QuerySpec::Udf { lo }),
+        (-5i64..30).prop_map(|lo| QuerySpec::Udf { lo }),
+        Just(QuerySpec::BadColumn),
+        Just(QuerySpec::BadSyntax),
+    ]
+}
+
+fn build_db(rows: &[RowSpec]) -> Arc<Database> {
+    let db = Database::new(NetworkSpec::lan());
+    let names = ["alpha", "bee", "ccc", "delta"];
+    let mut b = TableBuilder::new("T")
+        .column("Id", DataType::Int)
+        .column("Grp", DataType::Int)
+        .column("Val", DataType::Int)
+        .column("Name", DataType::Str)
+        .column("Obj", DataType::Blob);
+    for (i, (grp, val, name, seed)) in rows.iter().enumerate() {
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::Int(*grp),
+            Value::Int(*val),
+            Value::from(names[(*name as usize) % names.len()]),
+            Value::Blob(Blob::synthetic(24, *seed)),
+        ]);
+    }
+    db.catalog().register(b.build().unwrap()).unwrap();
+    db.register_udf(Arc::new(ObjectUdf::sized("Enrich", 16)))
+        .unwrap();
+    Arc::new(db)
+}
+
+/// What one statement produced, normalized for comparison: the row
+/// multiset (display-rendered, sorted) or the error kind.
+type Outcome = std::result::Result<Vec<String>, &'static str>;
+
+fn normalize_rows(rows: &[csq_common::Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r}")).collect();
+    out.sort();
+    out
+}
+
+fn serial_outcome(db: &Database, sql: &str) -> Outcome {
+    match db.execute(sql) {
+        Ok(result) => Ok(normalize_rows(&result.rows)),
+        Err(e) => Err(e.kind()),
+    }
+}
+
+/// Run every query through the service at `clients` concurrent
+/// connections; outcomes come back indexed so each is compared against its
+/// serial twin.
+fn served_outcomes(
+    db: &Arc<Database>,
+    queries: &[String],
+    clients: usize,
+) -> Vec<(usize, Outcome)> {
+    let handle = service::start(
+        db.clone(),
+        ServiceConfig {
+            workers: clients.clamp(2, 4),
+            max_sessions: clients + 4, // never refuse: this suite tests results
+            idle_timeout: Duration::from_millis(20),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service must start");
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..clients)
+        .map(|k| {
+            let mine: Vec<(usize, String)> = queries
+                .iter()
+                .enumerate()
+                .skip(k)
+                .step_by(clients)
+                .map(|(i, q)| (i, q.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut conn = ServiceConn::connect(addr).expect("client must connect");
+                let mut out = Vec::with_capacity(mine.len());
+                for (i, sql) in mine {
+                    let outcome = match conn.query(&sql) {
+                        Ok(result) => Ok(normalize_rows(&result.rows)),
+                        Err(e) => Err(e.kind()),
+                    };
+                    assert!(
+                        !conn.is_broken(),
+                        "statement errors must not poison the session (query {i}: {sql})"
+                    );
+                    out.push((i, outcome));
+                }
+                conn.close();
+                out
+            })
+        })
+        .collect();
+
+    let mut all = Vec::with_capacity(queries.len());
+    for t in threads {
+        all.extend(t.join().expect("client thread must not panic"));
+    }
+    handle.shutdown();
+    all.sort_by_key(|(i, _)| *i);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn served_queries_match_serial_engine(
+        rows in prop::collection::vec(arb_row(), 0..80),
+        specs in prop::collection::vec(arb_query(), 1..14),
+    ) {
+        let db = build_db(&rows);
+        let queries: Vec<String> = specs.iter().map(QuerySpec::sql).collect();
+        let serial: Vec<Outcome> =
+            queries.iter().map(|q| serial_outcome(&db, q)).collect();
+
+        for clients in CLIENT_COUNTS {
+            for (i, served) in served_outcomes(&db, &queries, clients) {
+                prop_assert_eq!(
+                    &served,
+                    &serial[i],
+                    "clients = {}, query {} = {}",
+                    clients,
+                    i,
+                    &queries[i]
+                );
+            }
+        }
+    }
+}

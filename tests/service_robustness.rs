@@ -1,0 +1,596 @@
+//! Robustness suite for the socket-backed query service (DESIGN.md §8):
+//! protocol abuse (garbage/truncated/oversized frames), client disconnects
+//! mid-result-stream, server error propagation, admission backpressure,
+//! plan-cache invalidation on UDF re-registration, graceful shutdown, and a
+//! connection-storm soak. This file is the CI `service-soak` gate — it runs
+//! in release mode on every push so connection/disconnect races get real
+//! scheduler pressure.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csq_client::synthetic::ObjectUdf;
+use csq_client::{ConnectionPool, QueryResponse, ServiceConn};
+use csq_common::{Blob, DataType, Value};
+use csq_core::{service, Database, NetworkSpec, ServiceConfig, ServiceHandle};
+use csq_net::TcpConn;
+use csq_storage::TableBuilder;
+
+fn demo_db(rows: usize) -> Arc<Database> {
+    let db = Database::new(NetworkSpec::lan());
+    let mut b = TableBuilder::new("R")
+        .column("Id", DataType::Int)
+        .column("Grp", DataType::Int)
+        .column("Obj", DataType::Blob);
+    for i in 0..rows {
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::Int((i % 7) as i64),
+            Value::Blob(Blob::synthetic(40, i as u64)),
+        ]);
+    }
+    db.catalog().register(b.build().unwrap()).unwrap();
+    db.register_udf(Arc::new(ObjectUdf::sized("Enrich", 16)))
+        .unwrap();
+    Arc::new(db)
+}
+
+fn small_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        max_sessions: 8,
+        idle_timeout: Duration::from_millis(20),
+        ..ServiceConfig::default()
+    }
+}
+
+fn start(db: &Arc<Database>, config: ServiceConfig) -> ServiceHandle {
+    service::start(db.clone(), config).expect("service must start on loopback")
+}
+
+const COUNT_SQL: &str = "SELECT count(*) FROM R R";
+const FILTER_SQL: &str = "SELECT R.Id FROM R R WHERE R.Id > 10";
+
+/// Retry a connect+query until the server has capacity again (admission
+/// rejections surface as `limit` errors).
+fn query_with_retry(addr: SocketAddr, sql: &str, deadline: Duration) -> csq_client::RemoteResult {
+    let start = Instant::now();
+    loop {
+        let attempt = ServiceConn::connect(addr).and_then(|mut c| {
+            let out = c.query(sql);
+            c.close();
+            out
+        });
+        match attempt {
+            Ok(r) => return r,
+            Err(e) => {
+                assert!(
+                    start.elapsed() < deadline,
+                    "query did not succeed before deadline; last error: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+#[test]
+fn query_roundtrip_matches_in_process_engine() {
+    let db = demo_db(100);
+    let handle = start(&db, small_config());
+    let mut conn = ServiceConn::connect(handle.local_addr()).unwrap();
+
+    let served = conn.query(FILTER_SQL).unwrap();
+    let local = db.execute(FILTER_SQL).unwrap();
+    assert_eq!(served.rows, local.rows);
+    assert_eq!(
+        served.columns,
+        local
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.display_name())
+            .collect::<Vec<_>>()
+    );
+
+    // Second run of the same SQL is a plan-cache hit (no parse/optimize).
+    let again = conn.query(FILTER_SQL).unwrap();
+    assert!(again.plan_cache_hit, "repeat query must reuse the plan");
+    assert_eq!(again.rows, served.rows);
+
+    // Wire accounting is live on both sides of the socket.
+    assert!(conn.stats().up_bytes() > 0 && conn.stats().down_bytes() > 0);
+    assert!(handle.net_stats().up_bytes() > 0 && handle.net_stats().down_bytes() > 0);
+    conn.close();
+    handle.shutdown();
+}
+
+#[test]
+fn udf_query_over_sockets_matches_in_process_engine() {
+    // The full shipping pipeline (server → client-site UDF → server) runs
+    // inside a session; its results must come back unchanged over TCP.
+    let db = demo_db(60);
+    let handle = start(&db, small_config());
+    let sql = "SELECT R.Id, Enrich(R.Obj) FROM R R WHERE R.Id < 20";
+    let served = query_with_retry(handle.local_addr(), sql, Duration::from_secs(10));
+    let local = db.execute(sql).unwrap();
+    assert_eq!(served.rows, local.rows);
+    assert!(!served.rows.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn server_errors_propagate_with_kinds_and_session_survives() {
+    let db = demo_db(30);
+    let handle = start(&db, small_config());
+    let mut conn = ServiceConn::connect(handle.local_addr()).unwrap();
+
+    for (sql, expect_kind) in [
+        ("SELEC nope", "parse"),
+        ("SELECT M.Id FROM Missing M", "catalog"),
+        ("SELECT R.Id FROM R R GROUP BY", "parse"),
+    ] {
+        let remote = conn.query(sql).unwrap_err();
+        let local = db.execute(sql).unwrap_err();
+        assert_eq!(remote.kind(), local.kind(), "kind mismatch for {sql}");
+        assert_eq!(remote.kind(), expect_kind, "unexpected kind for {sql}");
+        assert!(
+            !conn.is_broken(),
+            "query errors must not poison the session"
+        );
+    }
+    // The same session keeps working after every failure.
+    let ok = conn.query(COUNT_SQL).unwrap();
+    assert_eq!(ok.rows[0].value(0), &Value::Int(30));
+    assert_eq!(handle.stats().queries_failed.load(Ordering::Relaxed), 3);
+    conn.close();
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_frame_gets_codec_error_and_other_sessions_continue() {
+    let db = demo_db(30);
+    let handle = start(&db, small_config());
+
+    let raw = TcpConn::connect(handle.local_addr()).unwrap();
+    raw.send(&[0x99, 0x42, 0x07]).unwrap();
+    let csq_net::Frame::Payload(resp) = raw.recv().unwrap() else {
+        panic!("expected an error response frame");
+    };
+    let QueryResponse::Error { kind, fatal, .. } = QueryResponse::decode(&resp).unwrap() else {
+        panic!("expected an Error response");
+    };
+    assert_eq!(kind, "codec");
+    assert!(fatal, "protocol faults close the session");
+
+    // The process and other sessions are unaffected.
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(30));
+    assert!(handle.stats().protocol_errors.load(Ordering::Relaxed) >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frame_only_kills_its_own_session() {
+    let db = demo_db(30);
+    let handle = start(&db, small_config());
+
+    {
+        let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[1, 2, 3]).unwrap();
+        // Die mid-frame.
+    }
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(30));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_refused_before_allocation() {
+    let db = demo_db(30);
+    let handle = start(
+        &db,
+        ServiceConfig {
+            max_frame: 4096,
+            ..small_config()
+        },
+    );
+
+    let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+    // Claim a 1 GiB frame; the server must refuse from the header alone.
+    raw.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    let reader = TcpConn::new(raw.try_clone().unwrap()).unwrap();
+    let csq_net::Frame::Payload(resp) = reader.recv().unwrap() else {
+        panic!("expected an error response frame");
+    };
+    let QueryResponse::Error {
+        kind,
+        message,
+        fatal,
+    } = QueryResponse::decode(&resp).unwrap()
+    else {
+        panic!("expected an Error response");
+    };
+    assert_eq!(kind, "codec");
+    assert!(fatal, "oversized frames close the session");
+    assert!(message.contains("exceeds"), "{message}");
+
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(30));
+    handle.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_result_stream_is_isolated() {
+    let db = demo_db(5_000);
+    let handle = start(
+        &db,
+        ServiceConfig {
+            chunk_rows: 64, // many frames per result: plenty of mid-stream window
+            ..small_config()
+        },
+    );
+
+    for _ in 0..3 {
+        let conn = TcpConn::connect(handle.local_addr()).unwrap();
+        conn.send(
+            &csq_client::QueryRequest::Query {
+                sql: "SELECT R.Id, R.Obj FROM R R".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Read just the Begin header, then vanish mid-stream.
+        let csq_net::Frame::Payload(_) = conn.recv().unwrap() else {
+            panic!("expected Begin frame");
+        };
+        conn.shutdown();
+        drop(conn);
+    }
+
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(5_000));
+    handle.shutdown();
+}
+
+#[test]
+fn admission_bound_rejects_with_limit_error_and_recovers() {
+    let db = demo_db(20);
+    let handle = start(
+        &db,
+        ServiceConfig {
+            workers: 1,
+            max_sessions: 2,
+            idle_timeout: Duration::from_millis(20),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Fill the admission budget with two idle sessions (the first is
+    // running on the lone worker, the second waits in the queue).
+    let mut held1 = ServiceConn::connect(handle.local_addr()).unwrap();
+    held1.query(COUNT_SQL).unwrap();
+    let held2 = ServiceConn::connect(handle.local_addr()).unwrap();
+    // Give the accept loop time to admit the second session.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().accepted.load(Ordering::Relaxed) < 2 {
+        assert!(Instant::now() < deadline, "second session never admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The third connection must be refused, loudly and typed.
+    let mut refused = ServiceConn::connect(handle.local_addr()).unwrap();
+    let err = refused.query(COUNT_SQL).unwrap_err();
+    assert_eq!(err.kind(), "limit");
+    assert!(err.message().contains("capacity"), "{err}");
+    assert!(
+        refused.is_broken(),
+        "a refused connection is closing server-side and must not be pooled/reused"
+    );
+    assert!(handle.stats().rejected.load(Ordering::Relaxed) >= 1);
+
+    // Freeing a session restores capacity.
+    held1.close();
+    held2.close();
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(20));
+    handle.shutdown();
+}
+
+#[test]
+fn plan_cache_invalidated_on_udf_reregistration() {
+    let db = demo_db(40);
+    let handle = start(&db, small_config());
+    let sql = "SELECT R.Id, Enrich(R.Obj) FROM R R WHERE R.Id < 8";
+    let mut conn = ServiceConn::connect(handle.local_addr()).unwrap();
+
+    let (stmt, first_hit) = conn.prepare(sql).unwrap();
+    assert!(!first_hit, "first prepare must plan");
+    let before = conn.execute(stmt).unwrap();
+    assert!(before.plan_cache_hit, "prepared execution reuses its plan");
+    for r in &before.rows {
+        assert_eq!(r.value(1).as_blob().unwrap().len(), 16);
+    }
+
+    // Roll out Enrich v2 (bigger results). The epoch bump must invalidate
+    // the pinned plan: the next execution replans and sees v2.
+    db.reregister_udf(Arc::new(ObjectUdf::sized("Enrich", 48)))
+        .unwrap();
+    let stale_before = db.plan_cache_stats().stale_replans;
+    let after = conn.execute(stmt).unwrap();
+    assert!(
+        !after.plan_cache_hit,
+        "stale plan must be replanned after UDF re-registration"
+    );
+    for r in &after.rows {
+        assert_eq!(r.value(1).as_blob().unwrap().len(), 48);
+    }
+    assert!(db.plan_cache_stats().stale_replans > stale_before);
+
+    // And the re-plan is itself cached again.
+    let third = conn.execute(stmt).unwrap();
+    assert!(third.plan_cache_hit);
+    conn.close();
+    handle.shutdown();
+}
+
+#[test]
+fn prepared_statements_per_session_are_bounded() {
+    // One session may pin at most a fixed number of prepared plans; past
+    // that, Prepare answers a survivable `limit` error instead of letting
+    // a leaky client grow server memory without bound.
+    let db = demo_db(10);
+    let handle = start(&db, small_config());
+    let mut conn = ServiceConn::connect(handle.local_addr()).unwrap();
+    let mut handles = Vec::new();
+    let mut cap_err = None;
+    for i in 0..2_000 {
+        // Distinct SQL per statement so each prepare really pins a plan.
+        match conn.prepare(&format!("SELECT R.Id FROM R R WHERE R.Id > {i}")) {
+            Ok((h, _)) => handles.push(h),
+            Err(e) => {
+                cap_err = Some(e);
+                break;
+            }
+        }
+    }
+    let err = cap_err.expect("the prepared-statement cap must trip");
+    assert_eq!(err.kind(), "limit");
+    assert!(
+        handles.len() >= 64,
+        "cap unexpectedly small: tripped at {}",
+        handles.len()
+    );
+    assert!(
+        !conn.is_broken(),
+        "hitting the prepare cap must not poison the session"
+    );
+    // The session still serves queries and existing prepared statements.
+    let ok = conn.query(COUNT_SQL).unwrap();
+    assert_eq!(ok.rows[0].value(0), &Value::Int(10));
+    let ok = conn.execute(handles[0]).unwrap();
+    assert_eq!(ok.rows.len(), 9);
+    // Releasing a pin (fire-and-forget CloseStmt) frees a slot: the next
+    // prepare succeeds again on the same session.
+    conn.close_statement(handles.pop().unwrap()).unwrap();
+    conn.prepare(COUNT_SQL)
+        .expect("a released slot must be reusable");
+    conn.close();
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_partial_frame_cannot_pin_a_worker() {
+    // A client that starts a frame and goes silent (socket held open) must
+    // be timed out by the stall detector — its worker frees up, other
+    // clients keep being served, and shutdown does not hang.
+    let db = demo_db(25);
+    let handle = start(
+        &db,
+        ServiceConfig {
+            workers: 1, // the session worker the slowloris would pin
+            max_sessions: 4,
+            idle_timeout: Duration::from_millis(30),
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut slow = TcpStream::connect(handle.local_addr()).unwrap();
+    slow.write_all(&128u32.to_le_bytes()).unwrap(); // frame never completed
+    slow.flush().unwrap();
+
+    // The lone worker must shake the stalled session off and serve others.
+    let ok = query_with_retry(handle.local_addr(), COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(ok.rows[0].value(0), &Value::Int(25));
+    assert!(handle.stats().protocol_errors.load(Ordering::Relaxed) >= 1);
+
+    let begun = Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown must not hang on a stalled session"
+    );
+    drop(slow);
+}
+
+#[test]
+fn client_that_stops_reading_cannot_pin_a_worker() {
+    // The write-side slowloris: request a result far larger than the
+    // loopback socket buffers, read nothing, and hold the socket open.
+    // The session's sends must trip the write timeout, freeing the worker
+    // for other clients and keeping shutdown prompt.
+    let db = {
+        let db = Database::new(NetworkSpec::lan());
+        let mut b = TableBuilder::new("R")
+            .column("Id", DataType::Int)
+            .column("Obj", DataType::Blob);
+        for i in 0..20_000 {
+            b = b.row(vec![
+                Value::Int(i as i64),
+                Value::Blob(Blob::synthetic(600, i as u64)),
+            ]);
+        }
+        db.catalog().register(b.build().unwrap()).unwrap();
+        Arc::new(db)
+    };
+    let handle = start(
+        &db,
+        ServiceConfig {
+            workers: 1, // the worker the unread stream would pin
+            max_sessions: 4,
+            idle_timeout: Duration::from_millis(30),
+            write_timeout: Duration::from_millis(200),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // ~12 MB result; we send the query and then never read a byte.
+    let greedy = TcpConn::connect(handle.local_addr()).unwrap();
+    greedy
+        .send(
+            &csq_client::QueryRequest::Query {
+                sql: "SELECT R.Id, R.Obj FROM R R".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+
+    let ok = query_with_retry(
+        handle.local_addr(),
+        "SELECT count(*) FROM R R",
+        Duration::from_secs(15),
+    );
+    assert_eq!(ok.rows[0].value(0), &Value::Int(20_000));
+
+    let begun = Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown must not hang on a write-stalled session"
+    );
+    drop(greedy);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let db = demo_db(20);
+    let handle = start(&db, small_config());
+    let addr = handle.local_addr();
+
+    let mut conn = ServiceConn::connect(addr).unwrap();
+    conn.query(COUNT_SQL).unwrap();
+
+    // Shutdown with an idle session open: it must drain promptly (the
+    // session notices on its idle tick) rather than hang the join.
+    let begun = Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown must not hang on idle sessions"
+    );
+
+    // The idle session was told the server is going away (or the socket
+    // closed under it); either way the next use fails.
+    assert!(conn.query(COUNT_SQL).is_err());
+    // And nothing is listening anymore.
+    let post = ServiceConn::connect(addr).and_then(|mut c| c.query(COUNT_SQL));
+    assert!(post.is_err(), "listener must be closed after shutdown");
+}
+
+#[test]
+fn connection_pool_shares_few_connections_among_many_threads() {
+    let db = demo_db(50);
+    let handle = start(&db, small_config());
+    let pool = Arc::new(ConnectionPool::new(handle.local_addr(), 2).unwrap());
+
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let mut conn = pool.get().unwrap();
+                    let out = conn.query(COUNT_SQL).unwrap();
+                    assert_eq!(out.rows[0].value(0), &Value::Int(50));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // At most two sessions ever existed for 60 queries.
+    assert!(handle.stats().accepted.load(Ordering::Relaxed) <= 2);
+    handle.shutdown();
+}
+
+#[test]
+fn connection_storm_soak() {
+    // The soak: many short-lived clients, some hostile, hammering a small
+    // service. Every well-formed query must either succeed or be refused
+    // with a typed `limit` error; the server must stay serviceable and
+    // shut down cleanly afterwards.
+    let db = demo_db(200);
+    let handle = start(
+        &db,
+        ServiceConfig {
+            workers: 4,
+            max_sessions: 12,
+            idle_timeout: Duration::from_millis(20),
+            ..ServiceConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut refused = 0u64;
+                for i in 0..25 {
+                    if (t + i) % 5 == 0 {
+                        // Hostile client: garbage or a mid-frame hangup.
+                        if let Ok(mut raw) = TcpStream::connect(addr) {
+                            if i % 2 == 0 {
+                                let _ = raw.write_all(&9u32.to_le_bytes());
+                                let _ = raw.write_all(&[0xAB; 9]);
+                            } else {
+                                let _ = raw.write_all(&64u32.to_le_bytes());
+                                let _ = raw.write_all(&[0xCD; 5]);
+                            }
+                        }
+                        continue;
+                    }
+                    let outcome = ServiceConn::connect(addr).and_then(|mut c| {
+                        let sql = if i % 3 == 0 { COUNT_SQL } else { FILTER_SQL };
+                        let out = c.query(sql);
+                        c.close();
+                        out
+                    });
+                    match outcome {
+                        Ok(_) => ok += 1,
+                        Err(e) if e.kind() == "limit" => refused += 1,
+                        Err(e) => panic!("storm query failed unexpectedly: {e}"),
+                    }
+                }
+                (ok, refused)
+            })
+        })
+        .collect();
+
+    let mut total_ok = 0;
+    for t in threads {
+        let (ok, _refused) = t.join().unwrap();
+        total_ok += ok;
+    }
+    assert!(total_ok > 0, "the storm must land some queries");
+    // The server is still healthy after the storm.
+    let after = query_with_retry(addr, COUNT_SQL, Duration::from_secs(10));
+    assert_eq!(after.rows[0].value(0), &Value::Int(200));
+    assert!(handle.stats().queries_ok.load(Ordering::Relaxed) >= total_ok);
+    handle.shutdown();
+}
