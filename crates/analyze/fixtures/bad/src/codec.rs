@@ -1,0 +1,32 @@
+//! Seeded wire-capacity violations (linter input only, never compiled).
+
+pub fn decode_inline(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
+    // seeded: wire-capacity (inline take_u32 feeds with_capacity)
+    let mut v = Vec::with_capacity(take_u32(buf)? as usize);
+    fill(&mut v, buf)?;
+    Ok(v)
+}
+
+pub fn decode_bound(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
+    let n = take_u32(buf)? as usize;
+    // seeded: wire-capacity (unguarded binding feeds with_capacity)
+    let mut v = Vec::with_capacity(n);
+    fill(&mut v, buf)?;
+    Ok(v)
+}
+
+pub fn decode_guarded(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
+    // clean: take_count validates the count against remaining bytes first
+    let n = take_count(buf, 1)?;
+    let mut v = Vec::with_capacity(n);
+    fill(&mut v, buf)?;
+    Ok(v)
+}
+
+pub fn decode_clamped(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
+    // clean: the wire value is clamped before allocation
+    let n = (take_u32(buf)? as usize).min(MAX_FRAME);
+    let mut v = Vec::with_capacity(n);
+    fill(&mut v, buf)?;
+    Ok(v)
+}

@@ -1,0 +1,45 @@
+//! Seeded violations for the analyzer's regression tests. This file is
+//! never compiled — it is linter input only (the real workspace run
+//! excludes `crates/analyze/fixtures` via the root analyze.toml).
+
+use std::sync::Mutex; // seeded: no-raw-sync
+
+pub fn handler(input: Option<u32>) -> u32 {
+    let v = input.unwrap(); // seeded: no-panic-path (.unwrap)
+    let w = input.expect("present"); // seeded: no-panic-path (.expect)
+    if v == 0 {
+        panic!("zero"); // seeded: no-panic-path (panic!)
+    }
+    v + w
+}
+
+pub fn not_yet() {
+    todo!() // seeded: no-panic-path (todo!)
+}
+
+pub fn raw_view(bytes: &[u8]) -> &str {
+    unsafe { std::str::from_utf8_unchecked(bytes) } // seeded: safety-comment
+}
+
+pub fn justified_view(bytes: &[u8]) -> &str {
+    // SAFETY: callers validated UTF-8 at construction; fixture shows the
+    // rule accepting a properly documented block.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+pub fn suppressed(input: Option<u32>) -> u32 {
+    input.expect("allowlisted: length checked two lines above")
+}
+
+// Strings and comments must stay invisible to the lexer:
+// .unwrap() panic!("in a comment")
+pub const DOC: &str = "call .unwrap() and panic!(\"in a string\") freely here";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: inside #[cfg(test)]
+    }
+}

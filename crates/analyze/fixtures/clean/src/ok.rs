@@ -1,0 +1,20 @@
+//! A file with zero violations: errors are returned, unsafe is justified,
+//! sync goes through the vendored shims, capacities are guarded.
+
+use parking_lot::Mutex;
+
+pub fn handler(input: Option<u32>) -> Result<u32, Error> {
+    input.ok_or(Error::Missing)
+}
+
+pub fn view(bytes: &[u8]) -> &str {
+    // SAFETY: every constructor validated the bytes as UTF-8.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+pub fn decode(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
+    let n = take_count(buf, 1)?;
+    let mut v = Vec::with_capacity(n);
+    fill(&mut v, buf)?;
+    Ok(v)
+}

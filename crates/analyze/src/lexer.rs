@@ -1,0 +1,322 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for invariant
+//! linting: identifiers and punctuation with line numbers, with string
+//! literals (including raw/byte strings), char literals, lifetimes,
+//! numbers, and comments stripped so rule matching never fires on text
+//! inside a literal or a comment. Comment *contents* are not discarded
+//! entirely: lines whose comments contain `SAFETY:` are recorded for the
+//! unsafe-block rule.
+
+/// One significant token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    /// 1-based lines on which a comment containing `SAFETY:` appears (the
+    /// comment's starting line for multi-line block comments).
+    pub safety_comment_lines: Vec<u32>,
+}
+
+/// Tokenize `src`. Unterminated literals/comments are tolerated (the rest
+/// of the file is simply consumed): the linter must never panic on weird
+/// but compiling — or even non-compiling — input.
+pub fn lex(src: &str) -> LexOut {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = LexOut::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Advance over `n` chars starting at `i`, counting newlines.
+    fn bump(b: &[char], i: &mut usize, line: &mut u32, n: usize) {
+        for _ in 0..n {
+            if *i < b.len() {
+                if b[*i] == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(&b, &mut i, &mut line, 1);
+            continue;
+        }
+        // Line comment (//, ///, //!).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let mut text = String::new();
+            while i < b.len() && b[i] != '\n' {
+                text.push(b[i]);
+                bump(&b, &mut i, &mut line, 1);
+            }
+            if text.contains("SAFETY:") {
+                out.safety_comment_lines.push(start_line);
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump(&b, &mut i, &mut line, 2);
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump(&b, &mut i, &mut line, 2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    bump(&b, &mut i, &mut line, 1);
+                }
+            }
+            if text.contains("SAFETY:") {
+                out.safety_comment_lines.push(start_line);
+            }
+            continue;
+        }
+        // Identifier (possibly a raw/byte string prefix).
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut ident = String::new();
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                ident.push(b[i]);
+                bump(&b, &mut i, &mut line, 1);
+            }
+            // r"..." / b"..." / br#"..."# style literal prefixes.
+            let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+            if is_str_prefix && (b.get(i) == Some(&'"') || b.get(i) == Some(&'#')) {
+                let raw = ident.contains('r');
+                // Count leading hashes of a raw string.
+                let mut hashes = 0usize;
+                while raw && b.get(i) == Some(&'#') {
+                    hashes += 1;
+                    bump(&b, &mut i, &mut line, 1);
+                }
+                if b.get(i) == Some(&'"') {
+                    bump(&b, &mut i, &mut line, 1); // opening quote
+                    consume_string(&b, &mut i, &mut line, raw, hashes);
+                    continue;
+                }
+                // `r#ident` raw identifier: emit the identifier that follows.
+                if hashes == 1 && raw {
+                    continue; // next loop iteration lexes the identifier
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(ident),
+                line: start_line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            bump(&b, &mut i, &mut line, 1);
+            consume_string(&b, &mut i, &mut line, false, 0);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(&n1) = b.get(i + 1) {
+                if n1 == '\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    bump(&b, &mut i, &mut line, 2);
+                    while i < b.len() && b[i] != '\'' {
+                        bump(&b, &mut i, &mut line, 1);
+                    }
+                    bump(&b, &mut i, &mut line, 1);
+                    continue;
+                }
+                if b.get(i + 2) == Some(&'\'') {
+                    // 'x' char literal.
+                    bump(&b, &mut i, &mut line, 3);
+                    continue;
+                }
+            }
+            // Lifetime: consume the quote and trailing identifier.
+            bump(&b, &mut i, &mut line, 1);
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump(&b, &mut i, &mut line, 1);
+            }
+            continue;
+        }
+        // Number (skipped entirely; suffixes ride along).
+        if c.is_ascii_digit() {
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump(&b, &mut i, &mut line, 1);
+            }
+            // Fractional part — but not `1..2` range syntax.
+            if b.get(i) == Some(&'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                bump(&b, &mut i, &mut line, 1);
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump(&b, &mut i, &mut line, 1);
+                }
+            }
+            continue;
+        }
+        // Anything else: single punctuation character.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        bump(&b, &mut i, &mut line, 1);
+    }
+    out
+}
+
+/// Consume a (raw) string body starting just after the opening quote.
+fn consume_string(b: &[char], i: &mut usize, line: &mut u32, raw: bool, hashes: usize) {
+    while *i < b.len() {
+        let c = b[*i];
+        if !raw && c == '\\' {
+            if b[*i] == '\n' {
+                *line += 1;
+            }
+            *i += 1;
+            if *i < b.len() {
+                if b[*i] == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            // A raw string only closes when followed by its hash count.
+            let closes = (0..hashes).all(|k| b.get(*i + 1 + k) == Some(&'#'));
+            if closes {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            // panic!("in comment") and .unwrap()
+            /* block .expect( */
+            let s = "panic!(\"in string\") .unwrap()";
+            let r = r#"raw .unwrap() "quoted" panic!"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let ids = idents("let c = 'x'; let nl = '\\n'; after('q')");
+        assert_eq!(
+            ids,
+            vec!["let", "c", "let", "nl", "after"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn safety_comment_lines_are_recorded() {
+        let src = "line1();\n// SAFETY: fine\nunsafe { x() }\n";
+        let out = lex(src);
+        assert_eq!(out.safety_comment_lines, vec![2]);
+        let unsafe_tok = out
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("unsafe"))
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"line\nline\nline\";\ntarget();\n";
+        let out = lex(src);
+        let t = out
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("target"))
+            .expect("target token");
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn double_colon_arrives_as_two_puncts() {
+        let out = lex("std::sync::Mutex");
+        let shape: Vec<String> = out
+            .tokens
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                Tok::Punct(c) => c.to_string(),
+            })
+            .collect();
+        assert_eq!(shape, vec!["std", ":", ":", "sync", ":", ":", "Mutex"]);
+    }
+}

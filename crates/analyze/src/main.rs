@@ -1,0 +1,91 @@
+//! CLI for the invariant linter. Exit codes: 0 = clean, 1 = violations or
+//! stale allowlist entries, 2 = usage/config/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("analyze.toml"));
+
+    let cfg = match csq_analyze::load_config(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("csq-analyze: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match csq_analyze::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("csq-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        if !v.excerpt.is_empty() {
+            println!("    {}", v.excerpt);
+        }
+    }
+    for &idx in &report.stale_allows {
+        let a = &cfg.allow[idx];
+        println!(
+            "analyze.toml: stale [[allow]] entry #{} ({} in {}, pattern \"{}\"): it no \
+             longer matches anything — delete it so the burn-down list stays honest",
+            idx + 1,
+            a.rule,
+            a.file,
+            a.pattern
+        );
+    }
+    println!(
+        "csq-analyze: {} files scanned, {} violations, {} allowlisted, {} stale allowlist \
+         entries",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        report.stale_allows.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("csq-analyze: {msg}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: csq-analyze [--root <workspace-root>] [--config <analyze.toml>]\n\
+         \n\
+         Walks crates/, src/, vendor/ and tests/ under the root and enforces the\n\
+         concurrency-correctness invariants described in DESIGN.md §9.\n\
+         Exit codes: 0 clean, 1 violations or stale allowlist entries, 2 errors."
+    );
+}

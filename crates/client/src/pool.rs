@@ -319,7 +319,9 @@ impl DerefMut for PooledConn<'_> {
 
 impl Drop for PooledConn<'_> {
     fn drop(&mut self) {
-        let mut conn = self.conn.take().expect("pooled connection taken");
+        let Some(mut conn) = self.conn.take() else {
+            return; // already returned (cannot happen today, but stay quiet)
+        };
         // Prepared handles die with the checkout, so their server-side
         // pins must too — otherwise a recycled connection accumulates
         // pins until the per-session cap refuses every future prepare.

@@ -202,16 +202,20 @@ impl ClientHandle {
     }
 }
 
-/// Run the client event loop over `endpoint` in a new thread.
+/// Run the client event loop over `endpoint` in a new thread. Fails only
+/// when the OS refuses to spawn the thread (resource exhaustion).
 ///
 /// Protocol: the server first sends [`Request::Install`], then any number of
 /// [`Request::Batch`] (each answered by exactly one [`Response::Batch`] or
 /// [`Response::Error`]), then [`Request::Finish`] (or just closes).
-pub fn spawn_client(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> JoinHandle<Result<()>> {
+pub fn spawn_client(
+    runtime: Arc<ClientRuntime>,
+    endpoint: Endpoint,
+) -> Result<JoinHandle<Result<()>>> {
     std::thread::Builder::new()
         .name("csq-client".into())
         .spawn(move || client_loop(runtime, endpoint))
-        .expect("failed to spawn client thread")
+        .map_err(|e| CsqError::Client(format!("failed to spawn client thread: {e}")))
 }
 
 fn client_loop(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> Result<()> {
@@ -425,7 +429,7 @@ mod tests {
     #[test]
     fn client_loop_end_to_end() {
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
 
         server.send(Request::Install(csj_task()).encode()).unwrap();
         let rows: Vec<Row> = (0..50).map(record).collect();
@@ -445,7 +449,7 @@ mod tests {
     #[test]
     fn client_loop_reports_batch_before_install() {
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         server.send(Request::Batch(vec![]).encode()).unwrap();
         let resp = Response::decode(&server.recv().unwrap()).unwrap();
         assert!(matches!(resp, Response::Error(_)));
@@ -459,7 +463,7 @@ mod tests {
         // Register a UDF that always fails by type-erroring on its input.
         rt.register(Arc::new(ObjectUdf::sized("f", 8))).unwrap();
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(Arc::new(rt), client);
+        let handle = spawn_client(Arc::new(rt), client).unwrap();
         server
             .send(
                 Request::Install(ClientTask {

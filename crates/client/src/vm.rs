@@ -356,7 +356,12 @@ pub fn assemble(src: &str) -> Result<Program> {
     let mut instrs = Vec::with_capacity(lines.len());
     for (idx, (lineno, line)) in lines.iter().enumerate() {
         let mut parts = line.split_whitespace();
-        let op = parts.next().unwrap().to_ascii_lowercase();
+        // Pass 1 dropped blank lines, so an instruction is never empty; the
+        // error arm keeps that invariant local instead of panicking on it.
+        let op = parts
+            .next()
+            .ok_or_else(|| CsqError::Client(format!("line {lineno}: empty instruction")))?
+            .to_ascii_lowercase();
         let arg = parts.next();
         let err = |msg: &str| CsqError::Client(format!("line {lineno}: {msg}"));
         fn need(a: Option<&str>, lineno: usize) -> Result<&str> {

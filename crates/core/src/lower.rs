@@ -256,7 +256,7 @@ fn build_threaded(
             let (server_end, client_end, _stats) = in_memory_duplex();
             // Client thread per client-site operator; detached — it exits
             // when the operator closes the connection.
-            let _client = spawn_client(db.client_runtime().clone(), client_end);
+            let _client = spawn_client(db.client_runtime().clone(), client_end)?;
             match strategy {
                 UdfStrategy::SemiJoin { .. } => {
                     let spec = SemiJoinSpec::new(vec![app], DEFAULT_CONCURRENCY);

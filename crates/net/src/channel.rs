@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use csq_common::{CsqError, Result};
 
@@ -31,13 +32,7 @@ struct Throttle {
     bandwidth: f64,
     latency: Duration,
     /// When the (serial) transmitter is next free.
-    next_free: parking_lot_like_mutex::Mutex<Instant>,
-}
-
-/// A tiny private mutex module so this crate keeps a single lock dependency
-/// surface (crossbeam is already here; std Mutex suffices for the throttle).
-mod parking_lot_like_mutex {
-    pub use std::sync::Mutex;
+    next_free: Mutex<Instant>,
 }
 
 impl Throttle {
@@ -45,7 +40,7 @@ impl Throttle {
         Throttle {
             bandwidth,
             latency,
-            next_free: parking_lot_like_mutex::Mutex::new(Instant::now()),
+            next_free: Mutex::new(Instant::now()),
         }
     }
 
@@ -55,7 +50,7 @@ impl Throttle {
         let tx = Duration::from_secs_f64(size as f64 / self.bandwidth);
         let deliver_at;
         {
-            let mut free = self.next_free.lock().expect("throttle lock poisoned");
+            let mut free = self.next_free.lock();
             let start = (*free).max(Instant::now());
             let tx_done = start + tx;
             *free = tx_done;

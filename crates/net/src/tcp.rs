@@ -21,8 +21,10 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use csq_common::{CsqError, Result};
 
@@ -104,10 +106,7 @@ impl TcpConn {
     /// *stops making progress* mid-read — a slowloris peer that opens a
     /// frame and goes silent cannot pin the receiving thread.
     pub fn set_idle_timeout(&self, timeout: Option<Duration>) {
-        *self
-            .idle_timeout
-            .lock()
-            .expect("idle_timeout lock poisoned") = timeout;
+        *self.idle_timeout.lock() = timeout;
     }
 
     /// Arm (or disarm) a write timeout on the sending half. While armed,
@@ -118,7 +117,6 @@ impl TcpConn {
     pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<()> {
         self.writer
             .lock()
-            .expect("writer lock poisoned")
             .set_write_timeout(timeout)
             .map_err(|e| io_net("set_write_timeout", e))
     }
@@ -142,7 +140,7 @@ impl TcpConn {
                 self.max_frame
             )));
         }
-        let mut w = self.writer.lock().expect("writer lock poisoned");
+        let mut w = self.writer.lock();
         let header = (payload.len() as u32).to_le_bytes();
         w.write_all(&header)
             .and_then(|()| w.write_all(payload))
@@ -164,11 +162,8 @@ impl TcpConn {
     /// timeout (a slowloris peer must not pin the reader forever), or an
     /// I/O failure.
     pub fn recv(&self) -> Result<Frame> {
-        let mut r = self.reader.lock().expect("reader lock poisoned");
-        let timeout = *self
-            .idle_timeout
-            .lock()
-            .expect("idle_timeout lock poisoned");
+        let mut r = self.reader.lock();
+        let timeout = *self.idle_timeout.lock();
         // Apply the configured timeout unconditionally (a previous recv may
         // have left a different value on the socket).
         r.get_ref()
@@ -229,11 +224,7 @@ impl TcpConn {
 
     /// Best-effort shutdown of both directions (unblocks a peer's recv).
     pub fn shutdown(&self) {
-        let _ = self
-            .writer
-            .lock()
-            .expect("writer lock poisoned")
-            .shutdown(Shutdown::Both);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
     }
 }
 
@@ -372,7 +363,7 @@ mod tests {
         server.set_idle_timeout(Some(Duration::from_millis(30)));
         // Hand-craft the stall: the client writes only a frame header.
         {
-            let mut raw = client.writer.lock().unwrap();
+            let mut raw = client.writer.lock();
             raw.write_all(&64u32.to_le_bytes()).unwrap();
             raw.flush().unwrap();
         }

@@ -121,7 +121,13 @@ impl<T> WireRelay<T> {
             }
         }
         let (tx, rx) = bounded(1);
-        self.pool.as_ref().unwrap().spawn(move || {
+        // Re-borrow after forward_one released the &mut borrow; the pool
+        // cannot have vanished (depth proved it exists), but a false return
+        // simply abandons the stream like any other sender failure.
+        let Some(pool) = self.pool.as_ref() else {
+            return false;
+        };
+        pool.spawn(move || {
             let _ = tx.send(encode());
         });
         self.inflight.push_back((rx, payload));
@@ -204,7 +210,7 @@ impl ThreadedSemiJoin {
                     input, task, arg_cols, batch_size, sorted, dop, net_tx, buffer_tx,
                 )
             })
-            .expect("failed to spawn semi-join sender");
+            .map_err(|e| CsqError::Exec(format!("failed to spawn semi-join sender: {e}")))?;
         Ok(ThreadedSemiJoin {
             schema,
             buffer_rx,
@@ -452,7 +458,7 @@ impl ThreadedClientJoin {
             .spawn(move || {
                 client_join_sender(input, task, batch_size, sort_cols, dop, net_tx, tickets_tx)
             })
-            .expect("failed to spawn client-join sender");
+            .map_err(|e| CsqError::Exec(format!("failed to spawn client-join sender: {e}")))?;
         Ok(ThreadedClientJoin {
             schema,
             tickets_rx,
@@ -695,7 +701,9 @@ impl Operator for NaiveRemoteUdf {
                                 rows.len()
                             )));
                         }
-                        rows.pop().unwrap()
+                        rows.pop().ok_or_else(|| {
+                            CsqError::Exec("naive execution returned an empty batch".into())
+                        })?
                     }
                     Response::Error(msg) => {
                         return Err(CsqError::Client(format!("client-site failure: {msg}")))
@@ -754,7 +762,7 @@ mod tests {
 
     fn run_semijoin(spec: SemiJoinSpec, data: Vec<Row>) -> Result<Vec<Row>> {
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), data));
         let mut op = ThreadedSemiJoin::new(input, spec, server)?;
         let out = collect(&mut op);
@@ -777,7 +785,7 @@ mod tests {
     fn semijoin_deduplicates_arguments() {
         let rt = runtime();
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(rt.clone(), client);
+        let handle = spawn_client(rt.clone(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), rows(30, 3)));
         let mut op =
             ThreadedSemiJoin::new(input, SemiJoinSpec::new(vec![analyze_app()], 4), server)
@@ -810,7 +818,7 @@ mod tests {
     fn semijoin_batched_messages() {
         let rt = runtime();
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(rt, client);
+        let handle = spawn_client(rt, client).unwrap();
         let mut spec = SemiJoinSpec::new(vec![analyze_app()], 8);
         spec.batch_size = 4;
         let input = Box::new(RowsOp::new(input_schema(), rows(16, 16)));
@@ -837,7 +845,7 @@ mod tests {
         let (serial_rows, serial_stats) = {
             let rt = runtime();
             let (server, client, stats) = in_memory_duplex();
-            let handle = spawn_client(rt, client);
+            let handle = spawn_client(rt, client).unwrap();
             let mut spec = SemiJoinSpec::new(vec![analyze_app()], 6);
             spec.batch_size = 3;
             let input = Box::new(RowsOp::new(input_schema(), data.clone()));
@@ -849,7 +857,7 @@ mod tests {
         };
         let rt = runtime();
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(rt, client);
+        let handle = spawn_client(rt, client).unwrap();
         let mut spec = SemiJoinSpec::new(vec![analyze_app()], 6);
         spec.batch_size = 3;
         spec.dop = 3;
@@ -870,7 +878,7 @@ mod tests {
         let run = |dop: usize| {
             let rt = runtime();
             let (server, client, stats) = in_memory_duplex();
-            let handle = spawn_client(rt, client);
+            let handle = spawn_client(rt, client).unwrap();
             let mut spec = ClientJoinSpec::new(vec![analyze_app()]);
             spec.batch_size = 4;
             spec.dop = dop;
@@ -888,7 +896,7 @@ mod tests {
     fn client_join_filters_at_client() {
         let rt = runtime();
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(rt, client);
+        let handle = spawn_client(rt, client).unwrap();
         let keep = UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool));
         let mut spec = ClientJoinSpec::new(vec![keep]);
         spec.pushed_predicate = Some(PhysExpr::Binary {
@@ -913,7 +921,7 @@ mod tests {
     fn client_join_ships_duplicates_but_caches_invocations() {
         let rt = runtime();
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(rt.clone(), client);
+        let handle = spawn_client(rt.clone(), client).unwrap();
         let mut spec = ClientJoinSpec::new(vec![analyze_app()]);
         spec.sort_on_args = true;
         spec.client_cache = true;
@@ -935,7 +943,7 @@ mod tests {
     fn naive_blocking_roundtrips() {
         let rt = runtime();
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(rt.clone(), client);
+        let handle = spawn_client(rt.clone(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), rows(12, 4)));
         let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, true).unwrap();
         let out = collect(&mut op).unwrap();
@@ -952,7 +960,7 @@ mod tests {
     fn naive_without_cache_reinvokes() {
         let rt = runtime();
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(rt.clone(), client);
+        let handle = spawn_client(rt.clone(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), rows(12, 4)));
         let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, false).unwrap();
         let out = collect(&mut op).unwrap();
@@ -968,7 +976,7 @@ mod tests {
         let sj = run_semijoin(SemiJoinSpec::new(vec![analyze_app()], 6), data.clone()).unwrap();
 
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), data.clone()));
         let mut op =
             ThreadedClientJoin::new(input, ClientJoinSpec::new(vec![analyze_app()]), server)
@@ -978,7 +986,7 @@ mod tests {
         let _ = handle.join().unwrap();
 
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), data));
         let mut op = NaiveRemoteUdf::new(input, vec![analyze_app()], server, true).unwrap();
         let naive = collect(&mut op).unwrap();
@@ -1005,7 +1013,7 @@ mod tests {
                 let (s, c, st) = in_memory_duplex();
                 (s, c, st)
             };
-            let handle = spawn_client(rt, client);
+            let handle = spawn_client(rt, client).unwrap();
             let mut spec = SemiJoinSpec::new(vec![analyze_app()], 5);
             spec.batch_size = 4;
             let input = Box::new(RowsOp::new(input_schema(), data.clone()));
@@ -1042,7 +1050,7 @@ mod tests {
                 let (s, c, st) = in_memory_duplex();
                 (s, c, st)
             };
-            let handle = spawn_client(rt, client);
+            let handle = spawn_client(rt, client).unwrap();
             let keep = UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool));
             let mut spec = ClientJoinSpec::new(vec![keep]);
             spec.pushed_predicate = Some(PhysExpr::Binary {
@@ -1066,7 +1074,7 @@ mod tests {
     fn early_drop_of_receiver_shuts_pipeline_down() {
         // LIMIT-style early termination: dropping the operator must not hang.
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(input_schema(), rows(50, 50)));
         let mut op =
             ThreadedSemiJoin::new(input, SemiJoinSpec::new(vec![analyze_app()], 2), server)
@@ -1081,7 +1089,7 @@ mod tests {
     fn grouped_udfs_ship_argument_union_once() {
         let rt = runtime();
         let (server, client, _) = in_memory_duplex();
-        let handle = spawn_client(rt.clone(), client);
+        let handle = spawn_client(rt.clone(), client).unwrap();
         let apps = vec![
             analyze_app(),
             UdfApplication::new("Keep", vec![1], Field::new("keep", DataType::Bool)),

@@ -52,7 +52,7 @@ fn analyze() -> UdfApplication {
 /// down_msgs, up_msgs).
 fn threaded_sj(spec: SemiJoinSpec, data: Vec<Row>) -> (Vec<Row>, u64, u64, u64, u64) {
     let (server, client, stats) = in_memory_duplex();
-    let handle = spawn_client(runtime(), client);
+    let handle = spawn_client(runtime(), client).unwrap();
     let input = Box::new(RowsOp::new(schema(), data));
     let mut op = ThreadedSemiJoin::new(input, spec, server).unwrap();
     let out = collect(&mut op).unwrap();
@@ -111,7 +111,7 @@ fn client_join_bytes_match_between_backends() {
         spec.return_cols = Some(vec![0, 3]);
 
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(runtime(), client);
+        let handle = spawn_client(runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(schema(), data.clone()));
         let mut op = ThreadedClientJoin::new(input, spec.clone(), server).unwrap();
         let t_rows = collect(&mut op).unwrap();
@@ -132,7 +132,7 @@ fn client_join_bytes_match_between_backends() {
 fn naive_bytes_match_between_backends() {
     let data = rows(20, 6, 80);
     let (server, client, stats) = in_memory_duplex();
-    let handle = spawn_client(runtime(), client);
+    let handle = spawn_client(runtime(), client).unwrap();
     let input = Box::new(RowsOp::new(schema(), data.clone()));
     let mut op = NaiveRemoteUdf::new(input, vec![analyze()], server, true).unwrap();
     let t_rows = collect(&mut op).unwrap();

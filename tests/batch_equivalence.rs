@@ -290,7 +290,7 @@ proptest! {
         spec.sorted = sorted;
 
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(ship_runtime(), client);
+        let handle = spawn_client(ship_runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(ship_schema(), data.clone()));
         let mut op = ThreadedSemiJoin::new(input, spec.clone(), server).unwrap();
         let t_rows = csq_exec::collect(&mut op).unwrap();
@@ -317,7 +317,7 @@ proptest! {
         spec.batch_size = batch;
 
         let (server, client, stats) = in_memory_duplex();
-        let handle = spawn_client(ship_runtime(), client);
+        let handle = spawn_client(ship_runtime(), client).unwrap();
         let input = Box::new(RowsOp::new(ship_schema(), data.clone()));
         let mut op = ThreadedClientJoin::new(input, spec.clone(), server).unwrap();
         let t_rows = csq_exec::collect(&mut op).unwrap();

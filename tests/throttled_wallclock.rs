@@ -37,7 +37,7 @@ fn app() -> UdfApplication {
 /// Run the threaded semi-join over a throttled link, returning wall seconds.
 fn timed_run(net: &NetworkSpec, k: usize, n: usize) -> f64 {
     let (server, client, _) = throttled_duplex(net);
-    let handle = spawn_client(runtime(), client);
+    let handle = spawn_client(runtime(), client).unwrap();
     let input = Box::new(RowsOp::new(schema(), rows(n)));
     let mut op = ThreadedSemiJoin::new(input, SemiJoinSpec::new(vec![app()], k), server).unwrap();
     let start = Instant::now();

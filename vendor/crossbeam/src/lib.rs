@@ -12,6 +12,14 @@
 //! mutex-plus-condvars queue (not a wrapper over `std::sync::mpsc`, whose
 //! single-consumer receiver would have to hold a lock across blocking
 //! receives — deadlocking a producer that consumes opportunistically).
+//!
+//! Building with `RUSTFLAGS="--cfg lockcheck"` arms a blocked-forever
+//! watchdog on every blocking channel wait (recv with no message, send
+//! against a full or rendezvous channel): a wait that exceeds the
+//! configured threshold panics with the channel's sender/receiver/queue
+//! state instead of hanging the process — the PR 3 producer/consumer
+//! deadlock class surfaces as a loud test failure rather than a CI
+//! timeout. See [`channel::set_watchdog_timeout`].
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -19,6 +27,47 @@ pub mod channel {
     use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
     pub use std::sync::mpsc::{RecvError, TryRecvError};
+
+    /// Blocked-wait watchdog state (lockcheck builds only).
+    #[cfg(lockcheck)]
+    mod watchdog {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::Duration;
+
+        /// Threshold in ms; 0 = not yet initialized from the environment.
+        static TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+        /// Generous default: long enough that a legitimately idle worker
+        /// parked on an empty queue for a whole test never trips it, short
+        /// enough to beat any CI job timeout.
+        const DEFAULT_MS: u64 = 120_000;
+
+        pub(super) fn timeout() -> Duration {
+            let v = TIMEOUT_MS.load(Ordering::Relaxed);
+            if v != 0 {
+                return Duration::from_millis(v);
+            }
+            let ms = std::env::var("CSQ_LOCKCHECK_CHANNEL_TIMEOUT_MS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .unwrap_or(DEFAULT_MS);
+            TIMEOUT_MS.store(ms, Ordering::Relaxed);
+            Duration::from_millis(ms)
+        }
+
+        pub(super) fn set(d: Duration) {
+            TIMEOUT_MS.store((d.as_millis() as u64).max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Override the blocked-wait watchdog threshold (lockcheck builds
+    /// only). Also settable via `CSQ_LOCKCHECK_CHANNEL_TIMEOUT_MS` before
+    /// the first blocking channel operation; default 120 s.
+    #[cfg(lockcheck)]
+    pub fn set_watchdog_timeout(d: std::time::Duration) {
+        watchdog::set(d);
+    }
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -50,14 +99,44 @@ pub mod channel {
         }
     }
 
+    /// Block on `cv` until notified. `what` names the waiting operation
+    /// for the lockcheck watchdog's report; it is unused in normal builds,
+    /// where this is a plain (possibly forever) condvar wait.
+    #[cfg_attr(not(lockcheck), allow(unused_variables))]
     fn wait<'a, T>(
         cv: &Condvar,
         guard: MutexGuard<'a, Inner<T>>,
         shared: &'a Shared<T>,
+        what: &'static str,
     ) -> MutexGuard<'a, Inner<T>> {
-        match cv.wait(guard) {
-            Ok(g) => g,
-            Err(_) => shared.lock(),
+        #[cfg(not(lockcheck))]
+        {
+            match cv.wait(guard) {
+                Ok(g) => g,
+                Err(_) => shared.lock(),
+            }
+        }
+        #[cfg(lockcheck)]
+        {
+            let dur = watchdog::timeout();
+            match cv.wait_timeout(guard, dur) {
+                Ok((g, timed_out)) => {
+                    if timed_out.timed_out() {
+                        let msg = format!(
+                            "lockcheck: channel {what} blocked for over {dur:?} \
+                             (senders alive: {}, receivers alive: {}, queued: {}) — \
+                             potential channel deadlock or lost wakeup",
+                            g.senders,
+                            g.receivers,
+                            g.queue.len()
+                        );
+                        drop(g);
+                        panic!("{msg}");
+                    }
+                    g
+                }
+                Err(_) => shared.lock(),
+            }
         }
     }
 
@@ -83,7 +162,12 @@ pub mod channel {
                 match g.cap {
                     Some(cap) if g.queue.len() >= cap.max(1) => {
                         g.waiting_send += 1;
-                        g = wait(&self.shared.not_full, g, &self.shared);
+                        g = wait(
+                            &self.shared.not_full,
+                            g,
+                            &self.shared,
+                            "send (backpressure)",
+                        );
                         g.waiting_send -= 1;
                     }
                     _ => break,
@@ -100,7 +184,12 @@ pub mod channel {
                 // disconnected std rendezvous send that already paired).
                 while !g.queue.is_empty() && g.receivers > 0 {
                     g.waiting_send += 1;
-                    g = wait(&self.shared.not_full, g, &self.shared);
+                    g = wait(
+                        &self.shared.not_full,
+                        g,
+                        &self.shared,
+                        "send (rendezvous handoff)",
+                    );
                     g.waiting_send -= 1;
                 }
                 // Pass the baton: the receiver's single pop-side notify may
@@ -164,7 +253,7 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 g.waiting_recv += 1;
-                g = wait(&self.shared.not_empty, g, &self.shared);
+                g = wait(&self.shared.not_empty, g, &self.shared, "recv");
                 g.waiting_recv -= 1;
             }
         }
@@ -390,5 +479,119 @@ mod tests {
         }
         drop(tx);
         assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    // Edge cases exposed by the PR 3 producer/consumer deadlock in the old
+    // std::mpsc wrapper: every disconnect path must *wake* the blocked
+    // side promptly, not strand it. The CI `lockcheck` job reruns these
+    // with the blocked-wait watchdog armed, so a reintroduced lost wakeup
+    // fails loudly either way.
+
+    #[test]
+    fn all_senders_dropped_wakes_blocked_recv() {
+        let (tx, rx) = unbounded::<u32>();
+        let waiter = std::thread::spawn(move || rx.recv());
+        // Let the receiver actually park on the empty queue first.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(super::channel::RecvError));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "disconnect must wake the parked receiver, not strand it"
+        );
+    }
+
+    #[test]
+    fn all_receivers_dropped_wakes_blocked_send() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        // This send parks on the full channel.
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(rx);
+        let res = sender.join().unwrap();
+        assert_eq!(
+            res.unwrap_err().0,
+            2,
+            "blocked send must error, returning the value"
+        );
+    }
+
+    #[test]
+    fn receiver_drop_mid_rendezvous_releases_the_sender() {
+        // A rendezvous sender in its handoff phase (message pushed, waiting
+        // for the take) must be released when every receiver disappears;
+        // the unpaired message is lost, matching a disconnected std
+        // rendezvous send that already paired.
+        let (tx, rx) = bounded::<u32>(0);
+        let sender = std::thread::spawn(move || tx.send(7));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(rx);
+        assert!(sender.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn clone_then_drop_races_neither_lose_nor_duplicate() {
+        // 4 sender clones and 3 receiver clones all racing sends, receives,
+        // and their own drops: exactly-once delivery must hold and every
+        // receiver must see the disconnect once the last sender is gone.
+        let (tx, rx) = unbounded::<u32>();
+        let senders: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..250 {
+                        tx.send(i * 1000 + j).unwrap();
+                    }
+                    // tx dropped here — each clone disconnects at its own time.
+                })
+            })
+            .collect();
+        drop(tx);
+        let receivers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for s in senders {
+            s.join().unwrap();
+        }
+        let mut all: Vec<u32> = Vec::new();
+        for r in receivers {
+            all.extend(r.join().unwrap());
+        }
+        all.sort_unstable();
+        let mut expect: Vec<u32> = (0..4)
+            .flat_map(|i| (0..250).map(move |j| i * 1000 + j))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(
+            all, expect,
+            "every message delivered to exactly one receiver"
+        );
+    }
+
+    #[test]
+    fn late_receiver_clone_of_dropped_original_still_drains() {
+        // Cloning a receiver, dropping the original, then draining through
+        // the clone: the receiver count must track clones, not the original.
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx2.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        assert!(rx2.recv().is_err());
     }
 }

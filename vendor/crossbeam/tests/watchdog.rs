@@ -1,0 +1,74 @@
+//! Regression tests for the blocked-channel watchdog. Compiled only under
+//! `RUSTFLAGS="--cfg lockcheck"` (the CI `lockcheck` job). Kept in their
+//! own integration-test binary so the tiny watchdog threshold set here
+//! cannot leak into the shim's ordinary unit tests (integration tests run
+//! as separate processes).
+#![cfg(lockcheck)]
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, set_watchdog_timeout, unbounded};
+
+fn panic_message_of(f: impl FnOnce() + Send + 'static) -> Option<String> {
+    let payload = std::thread::spawn(f).join().err()?;
+    Some(match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => p
+            .downcast::<&'static str>()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "<non-string panic payload>".into()),
+    })
+}
+
+#[test]
+fn blocked_forever_recv_trips_the_watchdog() {
+    set_watchdog_timeout(Duration::from_millis(80));
+    let (tx, rx) = unbounded::<u32>();
+    let started = Instant::now();
+    // The sender stays alive but never sends: without the watchdog this
+    // recv blocks forever (the shape of the PR 3 deadlock).
+    let msg = panic_message_of(move || {
+        let _ = rx.recv();
+    })
+    .expect("watchdog must panic a recv that can never complete");
+    drop(tx);
+    assert!(msg.contains("lockcheck: channel recv blocked"), "{msg}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog must fire near its threshold, not hang"
+    );
+}
+
+#[test]
+fn blocked_forever_send_trips_the_watchdog() {
+    set_watchdog_timeout(Duration::from_millis(80));
+    let (tx, rx) = bounded::<u32>(1);
+    tx.send(1).expect("first send fills the buffer");
+    // The receiver stays alive but never drains: the second send blocks on
+    // backpressure forever.
+    let msg = panic_message_of(move || {
+        let _ = tx.send(2);
+    })
+    .expect("watchdog must panic a send that can never complete");
+    drop(rx);
+    assert!(msg.contains("lockcheck: channel send"), "{msg}");
+}
+
+#[test]
+fn watchdog_tolerates_slow_but_live_channels() {
+    set_watchdog_timeout(Duration::from_millis(80));
+    // Each message arrives within the threshold, so the watchdog must stay
+    // quiet even though the total wait far exceeds it: every notification
+    // starts a fresh blocking episode.
+    let (tx, rx) = unbounded::<u32>();
+    let producer = std::thread::spawn(move || {
+        for i in 0..6 {
+            std::thread::sleep(Duration::from_millis(40));
+            tx.send(i).unwrap();
+        }
+    });
+    for i in 0..6 {
+        assert_eq!(rx.recv(), Ok(i));
+    }
+    producer.join().unwrap();
+}

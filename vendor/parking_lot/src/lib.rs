@@ -5,14 +5,29 @@
 //! (`RwLock`/`Mutex` with panic-free, non-`Result` guards) on top of
 //! `std::sync`. Poisoning is deliberately ignored — `parking_lot` locks do
 //! not poison, and callers here rely on that.
+//!
+//! Because every non-vendor crate is required (and statically checked, by
+//! `csq-analyze`) to lock through this shim rather than `std::sync`, it is
+//! also the one choke point where the whole workspace's lock behaviour can
+//! be instrumented. Building with `RUSTFLAGS="--cfg lockcheck"` turns on
+//! runtime lock-order deadlock detection: every acquisition feeds a global
+//! lock-order graph and the first AB/BA inversion panics with both
+//! acquisition sites — see the `lockcheck` module — without any API change
+//! (guards stay `Deref` wrappers either way).
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+#[cfg(lockcheck)]
+mod lockcheck;
 
 /// A reader-writer lock with the `parking_lot` calling convention:
 /// `read()`/`write()` return guards directly instead of `Result`s.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(lockcheck)]
+    id: lockcheck::LockId,
     inner: sync::RwLock<T>,
 }
 
@@ -20,6 +35,8 @@ impl<T> RwLock<T> {
     /// Create a new lock wrapping `value`.
     pub fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(lockcheck)]
+            id: lockcheck::LockId::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -35,18 +52,42 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
+        #[cfg(lockcheck)]
+        let held = lockcheck::acquire(
+            self.id.get(),
+            "RwLock (read)",
+            std::panic::Location::caller(),
+        );
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            inner,
+            #[cfg(lockcheck)]
+            _held: held,
         }
     }
 
     /// Acquire an exclusive write guard.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
+        #[cfg(lockcheck)]
+        let held = lockcheck::acquire(
+            self.id.get(),
+            "RwLock (write)",
+            std::panic::Location::caller(),
+        );
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            inner,
+            #[cfg(lockcheck)]
+            _held: held,
         }
     }
 
@@ -68,10 +109,58 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Shared read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(lockcheck)]
+    _held: lockcheck::Held,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(lockcheck)]
+    _held: lockcheck::Held,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
 /// A mutex with the `parking_lot` calling convention: `lock()` returns the
 /// guard directly.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(lockcheck)]
+    id: lockcheck::LockId,
     inner: sync::Mutex<T>,
 }
 
@@ -79,6 +168,8 @@ impl<T> Mutex<T> {
     /// Create a new mutex wrapping `value`.
     pub fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(lockcheck)]
+            id: lockcheck::LockId::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -94,10 +185,18 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        #[cfg(lockcheck)]
+        let held = lockcheck::acquire(self.id.get(), "Mutex", std::panic::Location::caller());
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            inner,
+            #[cfg(lockcheck)]
+            _held: held,
         }
     }
 
@@ -119,6 +218,32 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(lockcheck)]
+    _held: lockcheck::Held,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +261,20 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let m = Mutex::new(0);
+        for _ in 0..3 {
+            *m.lock() += 1;
+        }
+        assert_eq!(m.into_inner(), 3);
+        let l = RwLock::new(0);
+        {
+            let _a = l.read();
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 1);
     }
 }

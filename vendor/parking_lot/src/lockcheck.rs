@@ -1,0 +1,212 @@
+//! Runtime lock-order deadlock detection (compiled under `--cfg lockcheck`).
+//!
+//! Every `Mutex`/`RwLock` in this shim gets a lazily-assigned id; each
+//! acquisition records, for every lock already held by the thread, a
+//! directed edge `held → acquiring` (with both acquisition sites) into one
+//! process-global order graph. Before the edge is inserted the graph is
+//! searched for a path `acquiring →* held`: finding one means two threads
+//! can take the same pair of locks in opposite orders — a potential
+//! deadlock, reported by panicking with the acquisition sites of both
+//! conflicting edges *on the first inverted acquisition*, whether or not
+//! the schedules ever actually collide (à la TSan's lock-order inversion
+//! reports). Recursive acquisition of the same lock (including
+//! read-after-read of an `RwLock`, which `std` does not guarantee to be
+//! reentrant) panics immediately.
+//!
+//! The detector is intent-based: a lock is pushed onto the thread's held
+//! stack *before* the underlying `std` lock is taken, so an AB/BA pair that
+//! really interleaves panics in one thread instead of deadlocking both.
+//!
+//! The graph only grows (edges are never removed when locks are dropped);
+//! ids are per-instance, so two instances of the same type never alias.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Lazily-assigned unique lock id. `0` means "not yet assigned", so the
+/// containing lock can still `#[derive(Default)]`-construct cheaply.
+pub(crate) struct LockId(AtomicU64);
+
+impl LockId {
+    pub(crate) const fn new() -> LockId {
+        LockId(AtomicU64::new(0))
+    }
+
+    /// The id, assigning one on first use.
+    pub(crate) fn get(&self) -> u64 {
+        let v = self.0.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            // Another thread assigned concurrently; use its id.
+            Err(existing) => existing,
+        }
+    }
+}
+
+impl Default for LockId {
+    fn default() -> LockId {
+        LockId::new()
+    }
+}
+
+/// One first-observed ordering edge `from → to`: the site that held `from`
+/// and the site that acquired `to` while holding it.
+#[derive(Clone, Copy)]
+struct Edge {
+    hold_site: &'static Location<'static>,
+    acq_site: &'static Location<'static>,
+    kind: &'static str,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `edges[a][b]` exists when some thread acquired `b` while holding `a`.
+    edges: HashMap<u64, HashMap<u64, Edge>>,
+}
+
+impl Graph {
+    /// Is `to` reachable from `from`? Returns the first and last edges of
+    /// one such path (equal for a direct edge) for the report.
+    fn find_path(&self, from: u64, to: u64) -> Option<(Edge, Edge)> {
+        // Iterative DFS; `prev` remembers each node's discovery edge so the
+        // path endpoints can be reconstructed.
+        let mut prev: HashMap<u64, (u64, Edge)> = HashMap::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            let Some(next) = self.edges.get(&n) else {
+                continue;
+            };
+            for (&m, &e) in next {
+                if m == from || prev.contains_key(&m) {
+                    continue;
+                }
+                prev.insert(m, (n, e));
+                if m == to {
+                    let last = e;
+                    // Walk back to the edge leaving `from`.
+                    let mut cur = m;
+                    let mut first = e;
+                    while let Some(&(p, pe)) = prev.get(&cur) {
+                        first = pe;
+                        cur = p;
+                        if cur == from {
+                            break;
+                        }
+                    }
+                    return Some((first, last));
+                }
+                stack.push(m);
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+thread_local! {
+    /// Locks this thread currently holds (or is blocked acquiring), oldest
+    /// first: id plus acquisition site.
+    static HELD: RefCell<Vec<(u64, &'static Location<'static>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Token representing one held lock; dropping it (from the guard) pops the
+/// thread's held stack.
+pub(crate) struct Held {
+    id: u64,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            // Guards can be dropped out of acquisition order; pop the most
+            // recent entry for this id.
+            if let Some(i) = held.iter().rposition(|&(id, _)| id == self.id) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// Record the intent to acquire lock `id` (a `kind` lock) at `site`,
+/// checking the order graph first. Panics on recursion or on the first
+/// lock-order inversion. Call *before* blocking on the underlying lock.
+pub(crate) fn acquire(id: u64, kind: &'static str, site: &'static Location<'static>) -> Held {
+    let held_snapshot: Vec<(u64, &'static Location<'static>)> = HELD.with(|h| h.borrow().clone());
+
+    if let Some(&(_, prev_site)) = held_snapshot.iter().find(|&&(hid, _)| hid == id) {
+        panic!(
+            "lockcheck: recursive acquisition of the same {kind}: first taken at \
+             {prev_site}, reacquired at {site} on the same thread (std::sync does \
+             not support reentrant locking)"
+        );
+    }
+
+    if !held_snapshot.is_empty() {
+        // Collect the report outside the panic so the graph mutex guard is
+        // released before unwinding.
+        let mut report: Option<String> = None;
+        {
+            let mut g = match graph().lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            for &(hid, hsite) in &held_snapshot {
+                let known = g
+                    .edges
+                    .get(&hid)
+                    .map_or(false, |next| next.contains_key(&id));
+                if !known {
+                    if let Some((first, last)) = g.find_path(id, hid) {
+                        report = Some(format!(
+                            "lockcheck: potential deadlock (lock-order inversion)\n  \
+                             this thread: holds lock #{hid} (acquired at {hsite}) and \
+                             is acquiring {kind} #{id} at {site}\n  \
+                             conflicting order previously established: held #{id} at \
+                             {} while acquiring a {} at {}{}",
+                            first.hold_site,
+                            last.kind,
+                            last.acq_site,
+                            if first.acq_site as *const _ == last.acq_site as *const _ {
+                                String::new()
+                            } else {
+                                format!(" (via intermediate acquisition at {})", first.acq_site)
+                            },
+                        ));
+                        break;
+                    }
+                    g.edges.entry(hid).or_default().insert(
+                        id,
+                        Edge {
+                            hold_site: hsite,
+                            acq_site: site,
+                            kind,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(msg) = report {
+            panic!("{msg}");
+        }
+    }
+
+    HELD.with(|h| h.borrow_mut().push((id, site)));
+    Held { id }
+}

@@ -1,0 +1,138 @@
+//! Regression tests for the lock-order deadlock detector. Compiled only
+//! under `RUSTFLAGS="--cfg lockcheck"` (the CI `lockcheck` job); the
+//! detector itself is absent from normal builds.
+#![cfg(lockcheck)]
+
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Mutex, RwLock};
+
+/// Run `f` on a fresh thread and return its panic message, or `None` if it
+/// completed without panicking.
+fn panic_message_of(f: impl FnOnce() + Send + 'static) -> Option<String> {
+    let payload = thread::spawn(f).join().err()?;
+    Some(match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => p
+            .downcast::<&'static str>()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "<non-string panic payload>".into()),
+    })
+}
+
+#[test]
+fn ab_ba_inversion_is_detected() {
+    // Deliberate AB/BA: establish A→B on one thread, then acquire B→A on
+    // another. The schedules never actually collide (the acquisitions are
+    // sequential), but the detector must still fire on the first inverted
+    // acquisition and name both sites.
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let msg = panic_message_of(move || {
+        let _gb = b.lock();
+        let _ga = a.lock(); // inversion: A-after-B vs the recorded B-after-A
+    })
+    .expect("detector must panic on the AB/BA inversion");
+    assert!(
+        msg.contains("lock-order inversion"),
+        "unexpected panic message: {msg}"
+    );
+    assert!(
+        msg.contains("tests/lockcheck.rs"),
+        "message must carry both acquisition sites: {msg}"
+    );
+}
+
+#[test]
+fn consistent_order_is_clean() {
+    // Same pair taken in the same order from two threads: no cycle, no
+    // panic — the detector only objects to *inverted* orders.
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    assert!(panic_message_of(move || {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    })
+    .is_none());
+}
+
+#[test]
+fn transitive_cycle_is_detected() {
+    // A→B and B→C recorded; C→A closes a three-lock cycle that no single
+    // pair exhibits.
+    let a = Arc::new(Mutex::new(()));
+    let b = Arc::new(Mutex::new(()));
+    let c = Arc::new(Mutex::new(()));
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    let msg = panic_message_of(move || {
+        let _gc = c.lock();
+        let _ga = a.lock();
+    })
+    .expect("detector must panic on the transitive cycle");
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+}
+
+#[test]
+fn recursive_acquisition_panics() {
+    let m = Arc::new(Mutex::new(0u32));
+    let msg = panic_message_of(move || {
+        let _g1 = m.lock();
+        let _g2 = m.lock(); // would deadlock for real without the detector
+    })
+    .expect("detector must panic on recursive locking");
+    assert!(msg.contains("recursive acquisition"), "{msg}");
+}
+
+#[test]
+fn rwlock_inversion_is_detected() {
+    // Read and write acquisitions participate in the same order graph.
+    let l = Arc::new(RwLock::new(0u32));
+    let m = Arc::new(Mutex::new(0u32));
+    {
+        let _gl = l.read();
+        let _gm = m.lock();
+    }
+    let msg = panic_message_of(move || {
+        let _gm = m.lock();
+        let _gl = l.write();
+    })
+    .expect("detector must panic on the RwLock/Mutex inversion");
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+}
+
+#[test]
+fn unrelated_locks_never_interfere() {
+    // Fresh lock instances get fresh ids: heavy disjoint lock traffic on
+    // many threads builds no spurious cycles.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            thread::spawn(|| {
+                let a = Mutex::new(0u32);
+                let b = Mutex::new(0u32);
+                for _ in 0..100 {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("disjoint lock order must not panic");
+    }
+}
