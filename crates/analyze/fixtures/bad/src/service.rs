@@ -21,6 +21,10 @@ pub fn raw_view(bytes: &[u8]) -> &str {
     unsafe { std::str::from_utf8_unchecked(bytes) } // seeded: safety-comment
 }
 
+pub fn wait_a_bit() {
+    std::thread::sleep(Duration::from_millis(100)); // seeded: no-bare-sleep
+}
+
 pub fn justified_view(bytes: &[u8]) -> &str {
     // SAFETY: callers validated UTF-8 at construction; fixture shows the
     // rule accepting a properly documented block.

@@ -18,3 +18,9 @@ pub fn decode(buf: &mut Cursor) -> Result<Vec<u8>, Error> {
     fill(&mut v, buf)?;
     Ok(v)
 }
+
+pub fn retry_wait(backoff: &Backoff, attempt: u32) -> bool {
+    // Deadline-aware waiting through the sanctioned helper, not a bare
+    // thread::sleep (which no-bare-sleep would flag).
+    backoff.sleep(attempt, None)
+}

@@ -26,6 +26,12 @@ const WALK_ROOTS: [&str; 4] = ["crates", "src", "vendor", "tests"];
 /// skip files living under them (the safety-comment rule still applies).
 const TEST_DIR_MARKERS: [&str; 4] = ["tests", "benches", "examples", "fixtures"];
 
+/// The one sanctioned sleep site on the service paths: the seeded,
+/// deadline-aware backoff helper. Structurally exempt from `no-bare-sleep`
+/// (not allowlisted — the helper is permanent, and the allowlist is a
+/// burn-down list).
+const SANCTIONED_SLEEP: &str = "crates/client/src/backoff.rs";
+
 /// Outcome of an analyzer run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -68,10 +74,13 @@ pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
             continue;
         }
         let src = fs::read_to_string(abs)?;
+        let service =
+            cfg.service_paths.iter().any(|p| path_matches(&rel, p)) && !is_test_path(&rel);
         let scope = Scope {
-            service: cfg.service_paths.iter().any(|p| path_matches(&rel, p)) && !is_test_path(&rel),
+            service,
             codec: cfg.codec_paths.iter().any(|p| path_matches(&rel, p)) && !is_test_path(&rel),
             sync: !rel.starts_with("vendor/") && !is_test_path(&rel),
+            sleep: service && rel != SANCTIONED_SLEEP,
         };
         report.files_scanned += 1;
         let lexed = lexer::lex(&src);

@@ -29,6 +29,9 @@ pub struct Scope {
     /// `no-raw-sync` applies (all production code outside `vendor/` — the
     /// shims themselves are the one place raw `std::sync` belongs).
     pub sync: bool,
+    /// `no-bare-sleep` applies (service-path code minus the sanctioned
+    /// backoff helper, which is the one place a service-path sleep belongs).
+    pub sleep: bool,
 }
 
 /// Panicking constructs banned on service paths: methods called as
@@ -83,6 +86,30 @@ pub fn check_file(path: &str, src: &str, lexed: &LexOut, scope: Scope) -> Vec<Vi
                     path: path.to_string(),
                     line: t.line,
                     message: format!("{id}! on a service path; return a CsqError instead"),
+                    excerpt: excerpt(t.line),
+                });
+            }
+        }
+
+        // Rule: no-bare-sleep. `thread::sleep` (or `std::thread::sleep`, or
+        // a `use` that imports it) on a service path pins a worker thread
+        // for a hard-coded interval: it ignores deadlines, shutdown flags,
+        // and cancellation. Waits belong on the deadline-aware choke points
+        // (`Backoff::sleep`, `recv_timeout`, the connection idle timeout).
+        if scope.sleep && !exempt[i] && id == "sleep" {
+            let via_thread_path = i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].ident() == Some("thread");
+            if via_thread_path {
+                out.push(Violation {
+                    rule: "no-bare-sleep",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: "bare thread::sleep on a service path pins a worker for a fixed \
+                              interval, ignoring deadlines and cancellation; wait through \
+                              Backoff::sleep / recv_timeout / an idle timeout instead"
+                        .to_string(),
                     excerpt: excerpt(t.line),
                 });
             }
@@ -375,11 +402,13 @@ mod tests {
         service: true,
         codec: false,
         sync: true,
+        sleep: true,
     };
     const CODEC: Scope = Scope {
         service: false,
         codec: true,
         sync: false,
+        sleep: false,
     };
 
     #[test]
@@ -470,6 +499,41 @@ mod tests {
         let v = run("use std::sync::mpsc::channel;", SERVICE);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("mpsc"));
+    }
+
+    #[test]
+    fn bare_sleep_is_flagged_in_both_spellings() {
+        let v = run(
+            "fn f() { std::thread::sleep(D); }\nfn g() { thread::sleep(D); }",
+            SERVICE,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "no-bare-sleep"));
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn sleep_import_is_flagged() {
+        let v = run("use std::thread::sleep;", SERVICE);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-bare-sleep");
+    }
+
+    #[test]
+    fn other_sleeps_are_not_flagged() {
+        // A method or free fn named `sleep` that is not thread::sleep —
+        // e.g. the sanctioned Backoff::sleep — is fine.
+        let v = run(
+            "fn f(b: &Backoff) { b.sleep(0, None); Backoff::sleep(b, 0, None); }",
+            SERVICE,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sleep_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { std::thread::sleep(D); }\n}";
+        assert!(run(src, SERVICE).is_empty());
     }
 
     #[test]

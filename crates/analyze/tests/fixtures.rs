@@ -29,6 +29,7 @@ fn bad_tree_reports_every_seeded_violation() {
     assert_eq!(count("no-panic-path"), 4, "{:#?}", report.violations);
     assert_eq!(count("no-raw-sync"), 1, "{:#?}", report.violations);
     assert_eq!(count("safety-comment"), 1, "{:#?}", report.violations);
+    assert_eq!(count("no-bare-sleep"), 1, "{:#?}", report.violations);
     // codec.rs seeds: inline shape + bound shape (guarded/clamped stay clean).
     assert_eq!(count("wire-capacity"), 2, "{:#?}", report.violations);
 }

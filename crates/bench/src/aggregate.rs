@@ -189,7 +189,7 @@ pub fn run_all(quick: bool) -> Vec<AggregateEntry> {
                     workers,
                     morsel_rows: 4096,
                     ordered: false,
-                    window: 0,
+                    ..ParallelOpts::default()
                 };
                 let start = Instant::now();
                 let mut agg = Exchange::hash_aggregate(scan, vec![0], agg_specs(), &opts);

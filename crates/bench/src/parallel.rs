@@ -160,7 +160,7 @@ fn opts(workers: usize, ordered: bool) -> ParallelOpts {
         workers,
         morsel_rows: BENCH_MORSEL_ROWS,
         ordered,
-        window: 0,
+        ..ParallelOpts::default()
     }
 }
 

@@ -1,0 +1,125 @@
+//! Seeded, deadline-bounded exponential backoff for client retries.
+//!
+//! This is the **sanctioned sleep site** for the client/service path: the
+//! `no-bare-sleep` lint (csq-analyze) forbids ad-hoc `std::thread::sleep`
+//! calls in service-path crates precisely so that every retry wait in the
+//! system flows through this helper, where it is (a) capped, (b) jittered
+//! deterministically from a committed seed, and (c) bounded by the caller's
+//! remaining deadline budget.
+//!
+//! The schedule is classic capped exponential with equal-jitter: attempt
+//! `n` draws uniformly from `[d/2, d)` where `d = min(cap, base · 2^n)`.
+//! Jitter is derived from SplitMix64 seeded with `seed ⊕ mix(attempt)`, so
+//! the full schedule is a pure function of `(seed, attempt)` — two clients
+//! with different seeds decorrelate, while a test replaying a seed observes
+//! the exact same waits.
+
+use std::time::Duration;
+
+use csq_common::Deadline;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Deterministic capped-exponential backoff policy.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+impl Default for Backoff {
+    /// 10ms base, 1s cap, fixed seed — sensible for LAN service retries.
+    fn default() -> Backoff {
+        Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 0x5EED)
+    }
+}
+
+impl Backoff {
+    /// A policy waiting `base · 2^attempt` (capped at `cap`, equal-jittered)
+    /// before retry number `attempt`. `seed` makes the jitter deterministic.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let cap = cap.max(base);
+        Backoff { base, cap, seed }
+    }
+
+    /// The configured cap — no [`delay`](Backoff::delay) ever exceeds it.
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    /// The jittered wait before retry `attempt` (0-based). Pure in
+    /// `(seed, attempt)`: calling twice returns the same duration.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        // 2^attempt, saturating well past any realistic cap.
+        let factor = 1u32 << attempt.min(20);
+        let envelope = self.base.checked_mul(factor).unwrap_or(self.cap);
+        let envelope = envelope.min(self.cap);
+        let floor = envelope / 2;
+        // Decorrelate attempts under one seed without sequential state, so
+        // delay(n) is addressable directly (no need to replay 0..n).
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let span = (envelope - floor).as_nanos() as f64;
+        floor + Duration::from_nanos((rng.gen_f64() * span) as u64)
+    }
+
+    /// Sleep before retry `attempt`, bounded by the caller's deadline.
+    ///
+    /// Returns `false` **without sleeping** when the wait would consume the
+    /// entire remaining budget — a retry that wakes up already expired is
+    /// wasted work, so the caller should give up and surface its last error
+    /// instead. With no deadline it always sleeps and returns `true`.
+    pub fn sleep(&self, attempt: u32, deadline: Option<&Deadline>) -> bool {
+        let d = self.delay(attempt);
+        if let Some(dl) = deadline {
+            if d >= dl.remaining() {
+                return false;
+            }
+        }
+        std::thread::sleep(d);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_deterministic_per_seed_and_attempt() {
+        let a = Backoff::new(Duration::from_millis(5), Duration::from_secs(2), 7);
+        let b = Backoff::new(Duration::from_millis(5), Duration::from_secs(2), 7);
+        for n in 0..12 {
+            assert_eq!(a.delay(n), b.delay(n));
+        }
+        let c = Backoff::new(Duration::from_millis(5), Duration::from_secs(2), 8);
+        assert!(
+            (0..12).any(|n| a.delay(n) != c.delay(n)),
+            "different seeds should decorrelate"
+        );
+    }
+
+    #[test]
+    fn delay_never_exceeds_cap() {
+        let p = Backoff::new(Duration::from_millis(10), Duration::from_millis(250), 42);
+        for n in 0..64 {
+            assert!(p.delay(n) <= p.cap(), "attempt {n} exceeded the cap");
+        }
+    }
+
+    #[test]
+    fn sleep_refuses_to_burn_the_whole_budget() {
+        let p = Backoff::new(Duration::from_secs(1), Duration::from_secs(1), 1);
+        let dl = Deadline::from_timeout(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        assert!(!p.sleep(0, Some(&dl)), "1s wait vs 5ms budget must refuse");
+        assert!(t0.elapsed() < Duration::from_millis(100), "must not sleep");
+    }
+
+    #[test]
+    fn sleep_without_deadline_waits_and_returns_true() {
+        let p = Backoff::new(Duration::from_millis(1), Duration::from_millis(2), 3);
+        assert!(p.sleep(0, None));
+    }
+}

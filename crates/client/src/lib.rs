@@ -28,6 +28,7 @@
 //!   server, a single framed [`ServiceConn`], and a bounded blocking
 //!   [`ConnectionPool`] with prepared-statement support.
 
+pub mod backoff;
 pub mod pool;
 pub mod protocol;
 pub mod qproto;
@@ -36,8 +37,12 @@ pub mod service;
 pub mod synthetic;
 pub mod vm;
 
-pub use pool::{ConnectionPool, PooledConn, RemoteResult, ServiceConn, StatementHandle};
+pub use backoff::Backoff;
+pub use pool::{
+    ConnectionPool, PooledConn, RemoteResult, RetryPolicy, ServiceConn, SessionTicket,
+    StatementHandle,
+};
 pub use protocol::{ClientTask, Request, Response, TaskMode, UdfStep};
 pub use qproto::{QueryRequest, QueryResponse};
 pub use runtime::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
-pub use service::{spawn_client, ClientHandle};
+pub use service::{spawn_client, spawn_client_with_token, ClientHandle};

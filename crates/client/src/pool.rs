@@ -12,12 +12,14 @@
 use std::net::ToSocketAddrs;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
-use csq_common::{CsqError, Result, Row};
+use csq_common::{CsqError, Deadline, Result, Row};
 use csq_net::{Frame, NetStats, TcpConn};
 
+use crate::backoff::Backoff;
 use crate::qproto::{QueryRequest, QueryResponse};
 
 /// A complete result fetched through the service.
@@ -39,6 +41,19 @@ pub struct StatementHandle {
     id: u32,
 }
 
+/// A session's out-of-band cancellation credentials, as returned by
+/// [`ServiceConn::session_info`]. Present the pair on a *different*
+/// connection via [`ServiceConn::cancel_query`] to kill whatever query the
+/// session is running; the secret `key` stops other clients from guessing
+/// session ids and cancelling queries that are not theirs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Per-session cancellation secret.
+    pub key: u64,
+}
+
 /// One framed connection to a query service.
 pub struct ServiceConn {
     conn: TcpConn,
@@ -51,6 +66,16 @@ pub struct ServiceConn {
     /// pool releases them when a checkout ends (handles are lost on drop,
     /// so an unreleased pin could never be used again anyway).
     open_stmts: Vec<u32>,
+    /// The server's explicit retryability verdict from the most recent
+    /// wire `Error` frame, if the last request failed with one. `None`
+    /// after a success or a transport-level failure (for those, classify
+    /// via [`CsqError::retryable`] instead).
+    last_retryable: Option<bool>,
+    /// Result rows received during the most recent result stream. The
+    /// retry layer replays a failed query only when this is zero — once
+    /// any row was delivered, a replay could double-observe side effects
+    /// or silently re-read a prefix.
+    last_rows_received: u64,
 }
 
 impl ServiceConn {
@@ -61,6 +86,8 @@ impl ServiceConn {
             stats: NetStats::new(),
             broken: false,
             open_stmts: Vec::new(),
+            last_retryable: None,
+            last_rows_received: 0,
         })
     }
 
@@ -73,6 +100,34 @@ impl ServiceConn {
     /// True when a transport/protocol failure poisoned this connection.
     pub fn is_broken(&self) -> bool {
         self.broken
+    }
+
+    /// The server's retryability verdict for the last request, when it
+    /// failed with a wire `Error` frame; `None` otherwise (success, or a
+    /// transport failure — classify those with [`CsqError::retryable`]).
+    pub fn last_error_retryable(&self) -> Option<bool> {
+        self.last_retryable
+    }
+
+    /// Rows received during the most recent result stream (reset per
+    /// query/execute). Zero means a failed request is safe to replay.
+    pub fn rows_received(&self) -> u64 {
+        self.last_rows_received
+    }
+
+    /// Record a wire `Error` frame: remember the server's retryability
+    /// verdict, poison the connection if the server said fatal (it closes
+    /// the socket after a fatal reply), and produce the typed error.
+    fn wire_error(
+        &mut self,
+        kind: &str,
+        message: String,
+        fatal: bool,
+        retryable: bool,
+    ) -> CsqError {
+        self.broken |= fatal;
+        self.last_retryable = Some(retryable);
+        CsqError::from_kind(kind, message)
     }
 
     fn send(&mut self, req: &QueryRequest) -> Result<()> {
@@ -100,8 +155,15 @@ impl ServiceConn {
                 Err(CsqError::Net("server closed the connection".into()))
             }
             Ok(Frame::TimedOut) => {
+                // Only possible while a response deadline is armed: the
+                // server blew the budget (or this session is parked in the
+                // service's admission queue and never started). Broken
+                // either way — a late response frame would desync the
+                // stream.
                 self.broken = true;
-                Err(CsqError::Net("unexpected idle timeout on client".into()))
+                Err(CsqError::Timeout(
+                    "no response within the query deadline".into(),
+                ))
             }
             Err(e) => {
                 self.broken = true;
@@ -112,18 +174,20 @@ impl ServiceConn {
 
     /// Drain one result stream (after `Query`/`Execute` was sent).
     fn read_result(&mut self) -> Result<RemoteResult> {
+        self.last_retryable = None;
+        self.last_rows_received = 0;
         let columns = match self.recv()? {
             QueryResponse::Begin { columns } => columns,
             QueryResponse::Error {
                 kind,
                 message,
                 fatal,
+                retryable,
             } => {
                 // A fatal error (admission refusal, server shutdown) means
                 // the server closes this connection after replying — it
                 // must not go back into a pool.
-                self.broken |= fatal;
-                return Err(CsqError::from_kind(&kind, message));
+                return Err(self.wire_error(&kind, message, fatal, retryable));
             }
             other => {
                 self.broken = true;
@@ -135,7 +199,10 @@ impl ServiceConn {
         let mut rows = Vec::new();
         loop {
             match self.recv()? {
-                QueryResponse::Rows(chunk) => rows.extend(chunk),
+                QueryResponse::Rows(chunk) => {
+                    self.last_rows_received += chunk.len() as u64;
+                    rows.extend(chunk);
+                }
                 QueryResponse::End {
                     rows: n,
                     affected,
@@ -159,9 +226,9 @@ impl ServiceConn {
                     kind,
                     message,
                     fatal,
+                    retryable,
                 } => {
-                    self.broken |= fatal;
-                    return Err(CsqError::from_kind(&kind, message));
+                    return Err(self.wire_error(&kind, message, fatal, retryable));
                 }
                 other => {
                     self.broken = true;
@@ -175,13 +242,51 @@ impl ServiceConn {
 
     /// Execute one SQL statement, collecting the full result.
     pub fn query(&mut self, sql: &str) -> Result<RemoteResult> {
-        self.send(&QueryRequest::Query { sql: sql.into() })?;
-        self.read_result()
+        self.query_deadline(sql, 0)
+    }
+
+    /// Execute one SQL statement under a deadline of `deadline_ms`
+    /// milliseconds (0 = none). The deadline is enforced twice: the server
+    /// kills the statement cooperatively at its next cancellation
+    /// checkpoint, and the client arms a response timeout as a backstop —
+    /// so even a server that never starts the statement (e.g. the session
+    /// is parked in the admission queue) surfaces a typed `timeout` here
+    /// instead of blocking forever.
+    pub fn query_deadline(&mut self, sql: &str, deadline_ms: u64) -> Result<RemoteResult> {
+        self.send(&QueryRequest::Query {
+            sql: sql.into(),
+            deadline_ms,
+        })?;
+        self.read_result_within(deadline_ms)
+    }
+
+    /// Extra slack on the client-side response timeout beyond the server's
+    /// deadline: covers scheduling jitter plus the error frame's travel
+    /// time, so the server's *typed* answer wins the race when both sides
+    /// enforce the same budget.
+    const RESPONSE_GRACE: Duration = Duration::from_millis(500);
+
+    /// [`read_result`](Self::read_result) with a client-side backstop: when
+    /// a deadline is set, the connection's idle timeout is armed for the
+    /// duration of the result stream so the wait is bounded even if the
+    /// server never starts the statement. `deadline_ms == 0` reads
+    /// unbounded, matching [`query`](Self::query).
+    fn read_result_within(&mut self, deadline_ms: u64) -> Result<RemoteResult> {
+        if deadline_ms == 0 {
+            return self.read_result();
+        }
+        self.conn.set_idle_timeout(Some(
+            Duration::from_millis(deadline_ms) + Self::RESPONSE_GRACE,
+        ));
+        let result = self.read_result();
+        self.conn.set_idle_timeout(None);
+        result
     }
 
     /// Prepare a SELECT for repeated execution on this session. Returns the
     /// handle plus whether the server's plan cache already had the plan.
     pub fn prepare(&mut self, sql: &str) -> Result<(StatementHandle, bool)> {
+        self.last_retryable = None;
         self.send(&QueryRequest::Prepare { sql: sql.into() })?;
         match self.recv()? {
             QueryResponse::Prepared {
@@ -195,10 +300,8 @@ impl ServiceConn {
                 kind,
                 message,
                 fatal,
-            } => {
-                self.broken |= fatal;
-                Err(CsqError::from_kind(&kind, message))
-            }
+                retryable,
+            } => Err(self.wire_error(&kind, message, fatal, retryable)),
             other => {
                 self.broken = true;
                 Err(CsqError::Net(format!(
@@ -210,8 +313,56 @@ impl ServiceConn {
 
     /// Execute a prepared statement.
     pub fn execute(&mut self, stmt: StatementHandle) -> Result<RemoteResult> {
-        self.send(&QueryRequest::Execute { stmt: stmt.id })?;
-        self.read_result()
+        self.execute_deadline(stmt, 0)
+    }
+
+    /// Execute a prepared statement under a deadline of `deadline_ms`
+    /// milliseconds (0 = none), enforced both server-side (cooperative
+    /// kill) and client-side (bounded response wait).
+    pub fn execute_deadline(
+        &mut self,
+        stmt: StatementHandle,
+        deadline_ms: u64,
+    ) -> Result<RemoteResult> {
+        self.send(&QueryRequest::Execute {
+            stmt: stmt.id,
+            deadline_ms,
+        })?;
+        self.read_result_within(deadline_ms)
+    }
+
+    /// Fetch this session's out-of-band cancellation credentials. Hand the
+    /// ticket to [`ServiceConn::cancel_query`] on a *different* connection
+    /// to cancel whatever this session is running.
+    pub fn session_info(&mut self) -> Result<SessionTicket> {
+        self.last_retryable = None;
+        self.send(&QueryRequest::SessionInfo)?;
+        match self.recv()? {
+            QueryResponse::Session { id, key } => Ok(SessionTicket { session: id, key }),
+            QueryResponse::Error {
+                kind,
+                message,
+                fatal,
+                retryable,
+            } => Err(self.wire_error(&kind, message, fatal, retryable)),
+            other => {
+                self.broken = true;
+                Err(CsqError::Net(format!(
+                    "protocol violation: expected Session, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Ask the server to cancel the query running on another session
+    /// (fire-and-forget, like Postgres' out-of-band cancel: no reply, and
+    /// a wrong ticket is silently ignored). The *target* observes the
+    /// cancellation as a typed `cancelled` error on its own connection.
+    pub fn cancel_query(&mut self, ticket: SessionTicket) -> Result<()> {
+        self.send(&QueryRequest::CancelQuery {
+            session: ticket.session,
+            key: ticket.key,
+        })
     }
 
     /// Release a prepared statement's server-side pin (fire-and-forget —
@@ -239,17 +390,51 @@ impl ServiceConn {
     }
 }
 
+/// How long [`ConnectionPool::get`] waits for a free slot before giving up
+/// with a typed `timeout` error. Generous — it exists so a wedged or
+/// saturated pool turns into a diagnosable error instead of a parked thread
+/// forever; latency-sensitive callers pass their own budget via
+/// [`ConnectionPool::get_within`].
+pub const DEFAULT_CHECKOUT_WAIT: Duration = Duration::from_secs(30);
+
+/// Retry policy for [`ConnectionPool::query_with_retry`]: how many attempts,
+/// how to wait between them, and the overall wall-clock budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (min 1).
+    pub max_attempts: u32,
+    /// Seeded backoff schedule between attempts.
+    pub backoff: Backoff,
+    /// Overall budget across *all* attempts (checkout, wire time, and
+    /// backoff waits). Also forwarded to the server as each attempt's
+    /// query deadline, so a straggler attempt is killed server-side
+    /// rather than dragging past the client's own budget. `None` = no
+    /// deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Backoff::default(),
+            deadline: None,
+        }
+    }
+}
+
 /// A bounded pool of service connections shared by many threads.
 ///
 /// Connections are created lazily up to `max`; [`get`](ConnectionPool::get)
-/// blocks when all are checked out (the client-side face of the server's
-/// admission backpressure). Internally the pool is a channel of `max`
-/// slots — an empty slot means "you may dial", a full one carries an idle
-/// connection; the channel's blocking recv is the wait queue.
+/// waits (bounded) when all are checked out — the client-side face of the
+/// server's admission backpressure. Internally the pool is a channel of
+/// `max` slots — an empty slot means "you may dial", a full one carries an
+/// idle connection; the channel's recv is the wait queue.
 pub struct ConnectionPool {
     addr: std::net::SocketAddr,
     slots_tx: Sender<Option<ServiceConn>>,
     slots_rx: Receiver<Option<ServiceConn>>,
+    checkout_wait: Duration,
 }
 
 impl ConnectionPool {
@@ -269,16 +454,38 @@ impl ConnectionPool {
             addr,
             slots_tx,
             slots_rx,
+            checkout_wait: DEFAULT_CHECKOUT_WAIT,
         })
     }
 
+    /// Override the default checkout wait used by [`get`](ConnectionPool::get).
+    pub fn with_checkout_wait(mut self, wait: Duration) -> ConnectionPool {
+        self.checkout_wait = wait;
+        self
+    }
+
     /// Check out a connection, dialing a fresh one if this slot has none.
-    /// Blocks while all `max` connections are in use.
+    /// Waits up to the pool's checkout wait (default
+    /// [`DEFAULT_CHECKOUT_WAIT`]) while all `max` connections are in use,
+    /// then fails with a typed `timeout` error instead of blocking forever.
     pub fn get(&self) -> Result<PooledConn<'_>> {
-        let slot = self
-            .slots_rx
-            .recv()
-            .map_err(|_| CsqError::Net("connection pool closed".into()))?;
+        self.get_within(self.checkout_wait)
+    }
+
+    /// Check out a connection, waiting at most `wait` for a free slot.
+    /// Fails with a typed `timeout` error once the budget is spent.
+    pub fn get_within(&self, wait: Duration) -> Result<PooledConn<'_>> {
+        let slot = match self.slots_rx.recv_timeout(wait) {
+            Ok(slot) => slot,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(CsqError::Timeout(format!(
+                    "connection pool checkout timed out after {wait:?} (all connections busy)"
+                )));
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(CsqError::Net("connection pool closed".into()));
+            }
+        };
         let conn = match slot {
             Some(conn) => conn,
             None => match ServiceConn::connect(self.addr) {
@@ -294,6 +501,76 @@ impl ConnectionPool {
             pool: self,
             conn: Some(conn),
         })
+    }
+
+    /// Execute `sql` with automatic retry under `policy`.
+    ///
+    /// An attempt is retried only when **all** of these hold:
+    /// * the failure is retryable — the server's explicit wire verdict
+    ///   when an `Error` frame arrived, otherwise the client-side
+    ///   [`CsqError::retryable`] classification (net/codec/timeout);
+    /// * **zero result rows** were received by the failed attempt, so a
+    ///   replay cannot double-observe a partially-delivered stream;
+    /// * attempts and wall-clock budget remain, and the next backoff wait
+    ///   fits inside the remaining budget.
+    ///
+    /// The remaining budget is also forwarded as each attempt's server-side
+    /// query deadline, so no attempt outlives the caller's patience.
+    pub fn query_with_retry(&self, sql: &str, policy: &RetryPolicy) -> Result<RemoteResult> {
+        let deadline = policy.deadline.map(Deadline::from_timeout);
+        let attempts = policy.max_attempts.max(1);
+        let mut last_err: Option<CsqError> = None;
+        for attempt in 0..attempts {
+            if let Some(dl) = &deadline {
+                if dl.expired() {
+                    return Err(last_err.unwrap_or_else(|| {
+                        CsqError::Timeout("retry budget exhausted before any attempt".into())
+                    }));
+                }
+            }
+            let checkout = match &deadline {
+                Some(dl) => self.get_within(dl.remaining().min(self.checkout_wait)),
+                None => self.get(),
+            };
+            let mut conn = match checkout {
+                Ok(conn) => conn,
+                Err(e) => {
+                    let give_up = !e.retryable()
+                        || attempt + 1 == attempts
+                        || !policy.backoff.sleep(attempt, deadline.as_ref());
+                    if give_up {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            // Forward the remaining budget as the server-side deadline
+            // (clamped up to 1ms so "almost spent" still reads as a bound).
+            let deadline_ms = match &deadline {
+                Some(dl) => (dl.remaining().as_millis() as u64).max(1),
+                None => 0,
+            };
+            match conn.query_deadline(sql, deadline_ms) {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    let retryable = conn.last_error_retryable().unwrap_or_else(|| e.retryable());
+                    let replay_safe = conn.rows_received() == 0;
+                    drop(conn); // return (or discard) the slot before sleeping
+                    let give_up = !retryable
+                        || !replay_safe
+                        || attempt + 1 == attempts
+                        || !policy.backoff.sleep(attempt, deadline.as_ref());
+                    if give_up {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        // Unreachable: the loop always returns on its last attempt.
+        Err(last_err
+            .unwrap_or_else(|| CsqError::Exec("retry loop ended without an attempt".into())))
     }
 }
 

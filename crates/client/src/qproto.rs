@@ -27,6 +27,10 @@ pub enum QueryRequest {
     Query {
         /// SQL text.
         sql: String,
+        /// Per-query deadline budget in milliseconds; `0` means no
+        /// deadline. The server enforces it cooperatively and answers a
+        /// typed `timeout` error once it expires.
+        deadline_ms: u64,
     },
     /// Parse/optimize only; the plan is pinned to this session under the
     /// returned statement id.
@@ -38,6 +42,8 @@ pub enum QueryRequest {
     Execute {
         /// Session-local statement id from [`QueryResponse::Prepared`].
         stmt: u32,
+        /// Per-query deadline budget in milliseconds; `0` = none.
+        deadline_ms: u64,
     },
     /// Unpin a prepared statement (fire-and-forget: the server sends no
     /// reply; TCP ordering guarantees it is processed before any later
@@ -49,6 +55,23 @@ pub enum QueryRequest {
     },
     /// Graceful session end.
     Close,
+    /// Ask for this session's identity (id plus cancel key) so another
+    /// connection can target it with `CancelQuery`. Answered with
+    /// [`QueryResponse::Session`].
+    SessionInfo,
+    /// Kill the query currently running on session `session` (the
+    /// Postgres-style out-of-band cancel: a busy session cannot read its
+    /// own socket mid-query, so the cancel arrives on a *different*
+    /// connection). Fire-and-forget — no reply on this connection; the
+    /// target session's own connection observes a typed `cancelled` error.
+    /// `key` must match the secret returned by `SessionInfo`, so a
+    /// stranger guessing session ids cannot kill other users' queries.
+    CancelQuery {
+        /// Target session id.
+        session: u64,
+        /// That session's cancel key.
+        key: u64,
+    },
 }
 
 /// Server → client messages.
@@ -82,6 +105,12 @@ pub enum QueryResponse {
         message: String,
         /// True when the server closes the connection after this reply.
         fatal: bool,
+        /// The server's verdict on whether retrying (with backoff, possibly
+        /// on a fresh connection) can succeed. Usually
+        /// [`CsqError::retryable`] of the underlying error, but the server
+        /// may override — e.g. a load-shed refusal keeps kind `limit` yet
+        /// is retryable once pressure clears.
+        retryable: bool,
     },
     /// Answer to `Prepare`.
     Prepared {
@@ -89,6 +118,14 @@ pub enum QueryResponse {
         stmt: u32,
         /// Whether the plan came from the server's plan cache.
         plan_cache_hit: bool,
+    },
+    /// Answer to `SessionInfo`: this session's identity for out-of-band
+    /// cancellation.
+    Session {
+        /// Server-assigned session id.
+        id: u64,
+        /// Secret cancel key for this session.
+        key: u64,
     },
 }
 
@@ -99,6 +136,7 @@ impl QueryResponse {
             kind: e.kind().to_string(),
             message: e.message().to_string(),
             fatal: false,
+            retryable: e.retryable(),
         }
     }
 
@@ -109,6 +147,20 @@ impl QueryResponse {
             kind: e.kind().to_string(),
             message: e.message().to_string(),
             fatal: true,
+            retryable: e.retryable(),
+        }
+    }
+
+    /// A fatal error the server nonetheless invites the client to retry
+    /// (on a fresh connection, after backoff): the load-shed / admission
+    /// refusal. Overrides the default classification, which would call a
+    /// `limit` error permanent.
+    pub fn retryable_refusal(e: &CsqError) -> QueryResponse {
+        QueryResponse::Error {
+            kind: e.kind().to_string(),
+            message: e.message().to_string(),
+            fatal: true,
+            retryable: true,
         }
     }
 }
@@ -118,12 +170,15 @@ const REQ_PREPARE: u8 = 2;
 const REQ_EXECUTE: u8 = 3;
 const REQ_CLOSE: u8 = 4;
 const REQ_CLOSE_STMT: u8 = 5;
+const REQ_SESSION_INFO: u8 = 6;
+const REQ_CANCEL_QUERY: u8 = 7;
 
 const RESP_BEGIN: u8 = 1;
 const RESP_ROWS: u8 = 2;
 const RESP_END: u8 = 3;
 const RESP_ERROR: u8 = 4;
 const RESP_PREPARED: u8 = 5;
+const RESP_SESSION: u8 = 6;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -134,38 +189,55 @@ impl QueryRequest {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            QueryRequest::Query { sql } => {
+            QueryRequest::Query { sql, deadline_ms } => {
                 out.push(REQ_QUERY);
                 put_str(&mut out, sql);
+                put_u64(&mut out, *deadline_ms);
             }
             QueryRequest::Prepare { sql } => {
                 out.push(REQ_PREPARE);
                 put_str(&mut out, sql);
             }
-            QueryRequest::Execute { stmt } => {
+            QueryRequest::Execute { stmt, deadline_ms } => {
                 out.push(REQ_EXECUTE);
                 put_u32(&mut out, *stmt);
+                put_u64(&mut out, *deadline_ms);
             }
             QueryRequest::CloseStmt { stmt } => {
                 out.push(REQ_CLOSE_STMT);
                 put_u32(&mut out, *stmt);
             }
             QueryRequest::Close => out.push(REQ_CLOSE),
+            QueryRequest::SessionInfo => out.push(REQ_SESSION_INFO),
+            QueryRequest::CancelQuery { session, key } => {
+                out.push(REQ_CANCEL_QUERY);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *key);
+            }
         }
         out
     }
 
     fn decode_with(d: &mut Decoder<'_>) -> Result<QueryRequest> {
         let req = match d.take_u8()? {
-            REQ_QUERY => QueryRequest::Query { sql: take_str(d)? },
+            REQ_QUERY => QueryRequest::Query {
+                sql: take_str(d)?,
+                deadline_ms: d.take_u64()?,
+            },
             REQ_PREPARE => QueryRequest::Prepare { sql: take_str(d)? },
             REQ_EXECUTE => QueryRequest::Execute {
                 stmt: d.take_u32()?,
+                deadline_ms: d.take_u64()?,
             },
             REQ_CLOSE_STMT => QueryRequest::CloseStmt {
                 stmt: d.take_u32()?,
             },
             REQ_CLOSE => QueryRequest::Close,
+            REQ_SESSION_INFO => QueryRequest::SessionInfo,
+            REQ_CANCEL_QUERY => QueryRequest::CancelQuery {
+                session: d.take_u64()?,
+                key: d.take_u64()?,
+            },
             other => return Err(CsqError::Codec(format!("bad query request tag {other}"))),
         };
         if !d.is_exhausted() {
@@ -210,11 +282,13 @@ impl QueryResponse {
                 kind,
                 message,
                 fatal,
+                retryable,
             } => {
                 out.push(RESP_ERROR);
                 put_str(&mut out, kind);
                 put_str(&mut out, message);
                 put_bool(&mut out, *fatal);
+                put_bool(&mut out, *retryable);
             }
             QueryResponse::Prepared {
                 stmt,
@@ -223,6 +297,11 @@ impl QueryResponse {
                 out.push(RESP_PREPARED);
                 put_u32(&mut out, *stmt);
                 put_bool(&mut out, *plan_cache_hit);
+            }
+            QueryResponse::Session { id, key } => {
+                out.push(RESP_SESSION);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *key);
             }
         }
         out
@@ -265,10 +344,15 @@ impl QueryResponse {
                 kind: take_str(d)?,
                 message: take_str(d)?,
                 fatal: take_bool(d)?,
+                retryable: take_bool(d)?,
             },
             RESP_PREPARED => QueryResponse::Prepared {
                 stmt: d.take_u32()?,
                 plan_cache_hit: take_bool(d)?,
+            },
+            RESP_SESSION => QueryResponse::Session {
+                id: d.take_u64()?,
+                key: d.take_u64()?,
             },
             other => return Err(CsqError::Codec(format!("bad query response tag {other}"))),
         };
@@ -303,11 +387,24 @@ mod tests {
         let reqs = [
             QueryRequest::Query {
                 sql: "SELECT R.Id FROM R R".into(),
+                deadline_ms: 0,
+            },
+            QueryRequest::Query {
+                sql: "SELECT R.Id FROM R R".into(),
+                deadline_ms: 2_500,
             },
             QueryRequest::Prepare { sql: "".into() },
-            QueryRequest::Execute { stmt: 42 },
+            QueryRequest::Execute {
+                stmt: 42,
+                deadline_ms: 125,
+            },
             QueryRequest::CloseStmt { stmt: 42 },
             QueryRequest::Close,
+            QueryRequest::SessionInfo,
+            QueryRequest::CancelQuery {
+                session: u64::MAX,
+                key: 0x1234_5678_9abc_def0,
+            },
         ];
         for r in reqs {
             assert_eq!(QueryRequest::decode(&r.encode()).unwrap(), r);
@@ -333,10 +430,21 @@ mod tests {
                 kind: "parse".into(),
                 message: "unexpected token".into(),
                 fatal: false,
+                retryable: false,
+            },
+            QueryResponse::Error {
+                kind: "timeout".into(),
+                message: "query deadline exceeded".into(),
+                fatal: false,
+                retryable: true,
             },
             QueryResponse::Prepared {
                 stmt: 7,
                 plan_cache_hit: false,
+            },
+            QueryResponse::Session {
+                id: 3,
+                key: u64::MAX,
             },
         ];
         for r in resps {
@@ -376,15 +484,45 @@ mod tests {
             kind,
             message,
             fatal,
+            retryable,
         } = resp
         else {
             panic!("expected error response");
         };
         assert!(!fatal);
+        assert!(!retryable, "catalog errors are permanent");
         assert_eq!(CsqError::from_kind(&kind, message), e);
         assert!(matches!(
             QueryResponse::fatal_error(&e),
             QueryResponse::Error { fatal: true, .. }
+        ));
+    }
+
+    #[test]
+    fn retryable_flag_tracks_error_classification() {
+        assert!(matches!(
+            QueryResponse::from_error(&CsqError::Timeout("m".into())),
+            QueryResponse::Error {
+                retryable: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            QueryResponse::from_error(&CsqError::Cancelled("m".into())),
+            QueryResponse::Error {
+                retryable: false,
+                ..
+            }
+        ));
+        // The shed refusal: kind limit, yet explicitly retryable + fatal.
+        let shed = QueryResponse::retryable_refusal(&CsqError::Limit("server saturated".into()));
+        assert!(matches!(
+            shed,
+            QueryResponse::Error {
+                retryable: true,
+                fatal: true,
+                ..
+            }
         ));
     }
 }

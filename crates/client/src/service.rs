@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use csq_common::{CsqError, Result, Row, Value};
+use csq_common::{CancelToken, CsqError, Result, Row, Value};
 use csq_net::Endpoint;
 
 use crate::protocol::{ClientTask, Request, Response};
@@ -212,15 +212,31 @@ pub fn spawn_client(
     runtime: Arc<ClientRuntime>,
     endpoint: Endpoint,
 ) -> Result<JoinHandle<Result<()>>> {
+    spawn_client_with_token(runtime, endpoint, CancelToken::new())
+}
+
+/// Like [`spawn_client`], but the event loop polls `token` before every
+/// batch: once the query is cancelled or over deadline, queued batches are
+/// not processed — the loop exits as if the server had closed the
+/// connection (the server side already has its own typed error; the
+/// client's job is just to stop burning CPU promptly).
+pub fn spawn_client_with_token(
+    runtime: Arc<ClientRuntime>,
+    endpoint: Endpoint,
+    token: CancelToken,
+) -> Result<JoinHandle<Result<()>>> {
     std::thread::Builder::new()
         .name("csq-client".into())
-        .spawn(move || client_loop(runtime, endpoint))
+        .spawn(move || client_loop(runtime, endpoint, token))
         .map_err(|e| CsqError::Client(format!("failed to spawn client thread: {e}")))
 }
 
-fn client_loop(runtime: Arc<ClientRuntime>, endpoint: Endpoint) -> Result<()> {
+fn client_loop(runtime: Arc<ClientRuntime>, endpoint: Endpoint, token: CancelToken) -> Result<()> {
     let mut executor: Option<TaskExecutor> = None;
     while let Some(buf) = endpoint.recv() {
+        if token.should_stop() {
+            return Ok(());
+        }
         // Zero-copy: batch argument payloads stay views of the message.
         let buf = Arc::new(buf);
         match Request::decode_shared(&buf)? {

@@ -20,9 +20,15 @@
 
 use std::collections::HashMap;
 
-use csq_common::{Blob, CsqError, DataType, Result, Value};
+use csq_common::{Blob, CancelToken, CsqError, DataType, Result, Value};
 
 use crate::runtime::{ScalarUdf, UdfCost, UdfSignature};
+
+/// Instructions executed between cancellation checkpoints. A power of two
+/// so the checkpoint test compiles to a mask; small enough that even a
+/// fuel-raised program observes a kill within microseconds, large enough
+/// that the atomic load never shows up in profiles.
+const CANCEL_CHECK_INTERVAL: u64 = 4096;
 
 /// VM instructions.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,8 +154,35 @@ pub fn execute_with_stack(
     limits: VmLimits,
     stack: &mut Vec<Value>,
 ) -> Result<Value> {
+    execute_inner(program, args, limits, None, stack)
+}
+
+/// Like [`execute_with_stack`], but additionally polls `token` every
+/// [`CANCEL_CHECK_INTERVAL`] instructions: a tripped token terminates the
+/// program mid-flight with a typed `Cancelled`/`Timeout` error. This is
+/// the fuel-checkpoint granularity of DESIGN.md §10 — fuel bounds how much
+/// a program can *ever* run, the token bounds how long it keeps running
+/// once nobody wants the answer.
+pub fn execute_cancellable(
+    program: &Program,
+    args: &[Value],
+    limits: VmLimits,
+    token: &CancelToken,
+    stack: &mut Vec<Value>,
+) -> Result<Value> {
+    execute_inner(program, args, limits, Some(token), stack)
+}
+
+fn execute_inner(
+    program: &Program,
+    args: &[Value],
+    limits: VmLimits,
+    token: Option<&CancelToken>,
+    stack: &mut Vec<Value>,
+) -> Result<Value> {
     stack.clear();
     let mut fuel = limits.fuel;
+    let mut steps: u64 = 0;
     let mut allocated = 0usize;
     let mut pc: usize = 0;
     let instrs = &program.instrs;
@@ -188,6 +221,12 @@ pub fn execute_with_stack(
 
     while pc < instrs.len() {
         burn!(1);
+        steps += 1;
+        if steps.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+            if let Some(t) = token {
+                t.check()?;
+            }
+        }
         match &instrs[pc] {
             Instr::PushInt(i) => push!(Value::Int(*i)),
             Instr::PushFloat(f) => push!(Value::Float(*f)),
@@ -430,6 +469,7 @@ pub struct VmUdf {
     program: Program,
     limits: VmLimits,
     cost: UdfCost,
+    token: Option<CancelToken>,
 }
 
 impl VmUdf {
@@ -445,6 +485,7 @@ impl VmUdf {
             program,
             limits: VmLimits::default(),
             cost: UdfCost::default(),
+            token: None,
         }
     }
 
@@ -457,6 +498,14 @@ impl VmUdf {
     /// Attach a CPU cost model (builder style).
     pub fn with_cost(mut self, cost: UdfCost) -> VmUdf {
         self.cost = cost;
+        self
+    }
+
+    /// Bind a cancellation token (builder style): every invocation then
+    /// runs through [`execute_cancellable`] and dies mid-program when the
+    /// token trips, instead of running its full fuel budget down.
+    pub fn with_token(mut self, token: CancelToken) -> VmUdf {
+        self.token = Some(token);
         self
     }
 
@@ -479,7 +528,14 @@ impl ScalarUdf for VmUdf {
     }
 
     fn invoke(&self, args: &[Value]) -> Result<Value> {
-        let out = execute(&self.program, args, self.limits)?;
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let out = execute_inner(
+            &self.program,
+            args,
+            self.limits,
+            self.token.as_ref(),
+            &mut stack,
+        )?;
         self.check_return(&out)?;
         Ok(out)
     }
@@ -491,7 +547,13 @@ impl ScalarUdf for VmUdf {
         let mut stack: Vec<Value> = Vec::with_capacity(16);
         let mut out = Vec::with_capacity(batch.len());
         for args in batch {
-            let v = execute_with_stack(&self.program, args, self.limits, &mut stack)?;
+            let v = execute_inner(
+                &self.program,
+                args,
+                self.limits,
+                self.token.as_ref(),
+                &mut stack,
+            )?;
             self.check_return(&v)?;
             out.push(v);
         }
@@ -561,6 +623,52 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), "limit");
+    }
+
+    #[test]
+    fn tripped_token_kills_a_fuel_raised_loop() {
+        // With fuel effectively unbounded, only the cancellation checkpoint
+        // can stop this loop — and it must report the typed error.
+        let src = "start:\njump start";
+        let p = assemble(src).unwrap();
+        let limits = VmLimits {
+            fuel: u64::MAX,
+            ..VmLimits::default()
+        };
+        let mut stack = Vec::new();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = execute_cancellable(&p, &[], limits, &cancelled, &mut stack).unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = execute_cancellable(&p, &[], limits, &expired, &mut stack).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+    }
+
+    #[test]
+    fn live_token_does_not_perturb_results() {
+        let token = CancelToken::new();
+        let p = assemble("push_int 2\npush_int 3\nmul\nret").unwrap();
+        let mut stack = Vec::new();
+        assert_eq!(
+            execute_cancellable(&p, &[], VmLimits::default(), &token, &mut stack).unwrap(),
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn vm_udf_with_token_dies_mid_program() {
+        let src = "start:\njump start";
+        let p = assemble(src).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let udf = VmUdf::new("spin", vec![], DataType::Int, p)
+            .with_limits(VmLimits {
+                fuel: u64::MAX,
+                ..VmLimits::default()
+            })
+            .with_token(token);
+        assert_eq!(udf.invoke(&[]).unwrap_err().kind(), "cancelled");
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum CsqError {
     Net(String),
     /// Malformed bytes while decoding the wire format.
     Codec(String),
+    /// The query's deadline elapsed before it finished.
+    Timeout(String),
+    /// The query was cancelled by an explicit request.
+    Cancelled(String),
 }
 
 impl CsqError {
@@ -44,7 +48,25 @@ impl CsqError {
             CsqError::Limit(_) => "limit",
             CsqError::Net(_) => "net",
             CsqError::Codec(_) => "codec",
+            CsqError::Timeout(_) => "timeout",
+            CsqError::Cancelled(_) => "cancelled",
         }
+    }
+
+    /// Default client-side classification: is retrying this error (on a
+    /// fresh connection, with backoff) likely to succeed? Transport and
+    /// decode failures are transient by default, as are deadline expiries
+    /// (the caller may retry with a fresh deadline). Semantic errors —
+    /// parse/plan/type/catalog/exec/client/limit — would fail identically
+    /// on retry, and an explicit cancellation must not resurrect the query.
+    /// The wire `Error` frame carries the *server's* classification, which
+    /// overrides this default (e.g. admission refusal keeps kind `limit`
+    /// but is marked retryable).
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            CsqError::Net(_) | CsqError::Codec(_) | CsqError::Timeout(_)
+        )
     }
 
     /// Rebuild an error from a `kind()` tag plus message — the inverse used
@@ -63,6 +85,8 @@ impl CsqError {
             "limit" => CsqError::Limit(m),
             "net" => CsqError::Net(m),
             "codec" => CsqError::Codec(m),
+            "timeout" => CsqError::Timeout(m),
+            "cancelled" => CsqError::Cancelled(m),
             other => CsqError::Net(format!("unknown remote error kind '{other}': {m}")),
         }
     }
@@ -78,7 +102,9 @@ impl CsqError {
             | CsqError::Client(m)
             | CsqError::Limit(m)
             | CsqError::Net(m)
-            | CsqError::Codec(m) => m,
+            | CsqError::Codec(m)
+            | CsqError::Timeout(m)
+            | CsqError::Cancelled(m) => m,
         }
     }
 }
@@ -115,6 +141,8 @@ mod tests {
             CsqError::Limit("m".into()),
             CsqError::Net("m".into()),
             CsqError::Codec("m".into()),
+            CsqError::Timeout("m".into()),
+            CsqError::Cancelled("m".into()),
         ];
         for e in errs {
             assert_eq!(CsqError::from_kind(e.kind(), e.message()), e);
@@ -134,8 +162,21 @@ mod tests {
             CsqError::Limit(String::new()),
             CsqError::Net(String::new()),
             CsqError::Codec(String::new()),
+            CsqError::Timeout(String::new()),
+            CsqError::Cancelled(String::new()),
         ];
         let kinds: std::collections::HashSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(CsqError::Net("m".into()).retryable());
+        assert!(CsqError::Codec("m".into()).retryable());
+        assert!(CsqError::Timeout("m".into()).retryable());
+        assert!(!CsqError::Cancelled("m".into()).retryable());
+        assert!(!CsqError::Parse("m".into()).retryable());
+        assert!(!CsqError::Exec("m".into()).retryable());
+        assert!(!CsqError::Limit("m".into()).retryable());
     }
 }

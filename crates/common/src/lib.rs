@@ -13,6 +13,7 @@
 //! first-class concept here: see [`Value::wire_size`] and [`Row::wire_size`].
 
 pub mod batch;
+pub mod cancel;
 pub mod codec;
 pub mod error;
 pub mod row;
@@ -20,6 +21,7 @@ pub mod schema;
 pub mod value;
 
 pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
+pub use cancel::{CancelToken, Deadline};
 pub use error::{CsqError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema};

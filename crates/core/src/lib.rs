@@ -53,7 +53,8 @@ use csq_sql::{parse_statement, Statement};
 pub use csq_client::synthetic;
 pub use csq_client::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
 pub use csq_common::{
-    Blob, CsqError, DataType, Field, Result, Row, RowBatch, Schema, Str, Value, DEFAULT_BATCH_SIZE,
+    Blob, CancelToken, CsqError, DataType, Deadline, Field, Result, Row, RowBatch, Schema, Str,
+    Value, DEFAULT_BATCH_SIZE,
 };
 pub use csq_exec::{AggSpec, HashAggregate};
 pub use csq_expr::AggFunc;
@@ -375,13 +376,24 @@ impl Database {
         &self,
         planned: &Arc<PlannedQuery>,
     ) -> Result<(QueryResult, Arc<PlannedQuery>, bool)> {
+        self.execute_planned_with(planned, &CancelToken::new())
+    }
+
+    /// [`execute_planned`](Self::execute_planned) under a cancellation
+    /// token: deadline expiry or an explicit `cancel()` aborts execution at
+    /// the next batch boundary with a typed `timeout`/`cancelled` error.
+    pub fn execute_planned_with(
+        &self,
+        planned: &Arc<PlannedQuery>,
+        token: &CancelToken,
+    ) -> Result<(QueryResult, Arc<PlannedQuery>, bool)> {
         if planned.epoch == self.plan_epoch() {
-            let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+            let result = lower::execute_threaded_with(self, &planned.graph, &planned.plan, token)?;
             return Ok((result, planned.clone(), true));
         }
         self.plan_cache.record_stale_replan();
         let (fresh, cache_hit) = self.prepare(&planned.sql)?;
-        let result = lower::execute_threaded(self, &fresh.graph, &fresh.plan)?;
+        let result = lower::execute_threaded_with(self, &fresh.graph, &fresh.plan, token)?;
         Ok((result, fresh, cache_hit))
     }
 
@@ -389,15 +401,26 @@ impl Database {
     /// query service's entry point). Returns the result plus whether a
     /// cached plan was reused. A cache hit skips parsing *and* optimizing.
     pub fn execute_cached(&self, sql: &str) -> Result<(QueryResult, bool)> {
+        self.execute_cached_with(sql, &CancelToken::new())
+    }
+
+    /// [`execute_cached`](Self::execute_cached) under a cancellation token
+    /// (the query service's entry point for deadline-carrying statements).
+    pub fn execute_cached_with(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+    ) -> Result<(QueryResult, bool)> {
         let epoch = self.plan_epoch();
         if let Some(planned) = self.plan_cache.lookup(epoch, sql) {
-            let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+            let result = lower::execute_threaded_with(self, &planned.graph, &planned.plan, token)?;
             return Ok((result, true));
         }
         match parse_statement(sql)? {
             Statement::Select(sel) => {
                 let planned = self.plan_select(sql, &sel, epoch)?;
-                let result = lower::execute_threaded(self, &planned.graph, &planned.plan)?;
+                let result =
+                    lower::execute_threaded_with(self, &planned.graph, &planned.plan, token)?;
                 Ok((result, false))
             }
             other => Ok((self.execute_nontext(other)?, false)),

@@ -17,10 +17,10 @@
 //! as their plain counterparts and the savings show up in the optimizer's
 //! estimates and the cost-model benches.
 
-use csq_client::spawn_client;
-use csq_common::{codec, CsqError, Field, Result, Row, Schema};
+use csq_client::spawn_client_with_token;
+use csq_common::{codec, CancelToken, CsqError, Field, Result, Row, Schema};
 use csq_exec::{
-    collect, AggSpec, Filter, HashAggregate, MemScan, NestedLoopJoin, Operator, RowsOp,
+    collect, AggSpec, CancelCheck, Filter, HashAggregate, MemScan, NestedLoopJoin, Operator, RowsOp,
 };
 use csq_expr::{analysis, bind, PhysExpr};
 use csq_net::in_memory_duplex;
@@ -185,6 +185,7 @@ fn build_threaded(
     db: &Database,
     graph: &QueryGraph,
     node: &PlanNode,
+    token: &CancelToken,
 ) -> Result<Box<dyn Operator + Send>> {
     match node {
         PlanNode::Scan { unit } => {
@@ -192,24 +193,30 @@ fn build_threaded(
                 return Err(CsqError::Plan("scan of non-relation unit".into()));
             };
             let t = db.catalog().get(table)?;
-            Ok(Box::new(MemScan::new(&t, alias)))
+            // The scan is where a long plan spends its pull loop, so the
+            // cancellation checkpoint lives right above every leaf: each
+            // batch boundary observes the token.
+            Ok(Box::new(CancelCheck::new(
+                Box::new(MemScan::new(&t, alias)),
+                token.clone(),
+            )))
         }
         PlanNode::Join { left, right } => {
-            let l = build_threaded(db, graph, left)?;
-            let r = build_threaded(db, graph, right)?;
+            let l = build_threaded(db, graph, left, token)?;
+            let r = build_threaded(db, graph, right, token)?;
             Ok(Box::new(NestedLoopJoin::new(l, r, None)))
         }
         PlanNode::Filter { input, preds } => {
-            let child = build_threaded(db, graph, input)?;
+            let child = build_threaded(db, graph, input, token)?;
             let pred = bind_preds(graph, preds, child.schema())?
                 .ok_or_else(|| CsqError::Plan("empty filter".into()))?;
             Ok(Box::new(Filter::new(child, pred)))
         }
-        PlanNode::ReturnToServer { input } => build_threaded(db, graph, input),
+        PlanNode::ReturnToServer { input } => build_threaded(db, graph, input, token),
         PlanNode::Aggregate {
             input, placement, ..
         } => {
-            let child = build_threaded(db, graph, input)?;
+            let child = build_threaded(db, graph, input, token)?;
             let spec = graph
                 .aggregate
                 .as_ref()
@@ -239,7 +246,7 @@ fn build_threaded(
             pushed_preds,
             ..
         } => {
-            let child = build_threaded(db, graph, input)?;
+            let child = build_threaded(db, graph, input, token)?;
             match bind_preds(graph, pushed_preds, child.schema())? {
                 Some(pred) => Ok(Box::new(Filter::new(child, pred))),
                 None => Ok(child),
@@ -250,13 +257,15 @@ fn build_threaded(
             unit,
             strategy,
         } => {
-            let child = build_threaded(db, graph, input)?;
+            let child = build_threaded(db, graph, input, token)?;
             let schema = child.schema().clone();
             let app = udf_application(graph, *unit, &schema)?;
             let (server_end, client_end, _stats) = in_memory_duplex();
             // Client thread per client-site operator; detached — it exits
-            // when the operator closes the connection.
-            let _client = spawn_client(db.client_runtime().clone(), client_end)?;
+            // when the operator closes the connection *or* the query's
+            // cancel token trips (checked at every received batch).
+            let _client =
+                spawn_client_with_token(db.client_runtime().clone(), client_end, token.clone())?;
             match strategy {
                 UdfStrategy::SemiJoin { .. } => {
                     let spec = SemiJoinSpec::new(vec![app], DEFAULT_CONCURRENCY);
@@ -303,10 +312,26 @@ pub fn execute_threaded(
     graph: &QueryGraph,
     plan: &csq_opt::OptimizedPlan,
 ) -> Result<QueryResult> {
-    let mut op = build_threaded(db, graph, &plan.root)?;
-    let rows = collect(op.as_mut())?;
+    execute_threaded_with(db, graph, plan, &CancelToken::new())
+}
+
+/// Execute an optimized SELECT on the threaded engine under a cancellation
+/// token (deadline expiry or an explicit `cancel()` surfaces as a typed
+/// `timeout`/`cancelled` error at the next operator batch boundary).
+pub fn execute_threaded_with(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &csq_opt::OptimizedPlan,
+    token: &CancelToken,
+) -> Result<QueryResult> {
+    let op = build_threaded(db, graph, &plan.root, token)?;
+    // A second checkpoint above the root catches plans whose leaves run
+    // inside feeder threads (exchange, shipping operators).
+    let mut op = CancelCheck::new(op, token.clone());
+    let rows = collect(&mut op)?;
     let schema = op.schema().clone();
     drop(op);
+    token.check()?;
     project_output(graph, &schema, rows)
 }
 

@@ -34,10 +34,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use csq_client::qproto::{QueryRequest, QueryResponse};
-use csq_common::{CsqError, Result, DEFAULT_BATCH_SIZE};
+use csq_common::{CancelToken, CsqError, Result, DEFAULT_BATCH_SIZE};
 use csq_exec::WorkerPool;
 use csq_net::tcp::{Frame, TcpConn};
 use csq_net::{NetStats, FRAME_HEADER_BYTES};
+use parking_lot::Mutex;
 
 use crate::plancache::PlannedQuery;
 use crate::{Database, QueryResult};
@@ -70,6 +71,13 @@ pub struct ServiceConfig {
     pub write_timeout: Duration,
     /// Rows per streamed result chunk.
     pub chunk_rows: usize,
+    /// Load-shedding knob: when more than this many admitted sessions are
+    /// *waiting* for a worker (admitted − workers), new connections are
+    /// refused with a **retryable** `limit` error instead of queueing.
+    /// Unlike the hard `max_sessions` refusal, a shed tells a well-behaved
+    /// client "back off and retry" while the queue drains. Default:
+    /// `usize::MAX` (never shed).
+    pub shed_queue_depth: usize,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +89,7 @@ impl Default for ServiceConfig {
             max_frame: csq_net::DEFAULT_MAX_FRAME,
             write_timeout: Duration::from_secs(10),
             chunk_rows: DEFAULT_BATCH_SIZE,
+            shed_queue_depth: usize::MAX,
         }
     }
 }
@@ -101,11 +110,77 @@ pub struct ServiceStats {
     pub queries_failed: AtomicU64,
     /// Statements whose execution panicked (contained per session).
     pub panics: AtomicU64,
+    /// Statements killed by their own deadline (typed `timeout` answer).
+    pub timed_out: AtomicU64,
+    /// Statements killed by an out-of-band `CancelQuery` (typed
+    /// `cancelled` answer).
+    pub cancelled: AtomicU64,
+    /// Connections refused by queue-depth load shedding (retryable
+    /// `limit` answer; disjoint from `rejected`, the hard admission bound).
+    pub shed: AtomicU64,
 }
 
 impl ServiceStats {
     fn bump(field: &AtomicU64) {
         field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A live session's out-of-band cancellation state.
+struct CancelSlot {
+    /// Per-session secret; a `CancelQuery` must present it, so knowing (or
+    /// guessing) a session id alone cannot kill someone else's query.
+    key: u64,
+    /// The cancel token of the statement this session is currently
+    /// executing, if any.
+    running: Option<CancelToken>,
+}
+
+/// Session id → cancellation state for every live session, shared by the
+/// accept loop and all session workers (any session may cancel any other,
+/// provided it presents the right key — the Postgres out-of-band model,
+/// minus the extra listener).
+type CancelRegistry = Arc<Mutex<HashMap<u64, CancelSlot>>>;
+
+/// Removes a session's registry entry when the session ends, however it
+/// ends (return, disconnect, or panic unwind).
+struct Registered {
+    registry: CancelRegistry,
+    id: u64,
+}
+
+impl Drop for Registered {
+    fn drop(&mut self) {
+        self.registry.lock().remove(&self.id);
+    }
+}
+
+/// SplitMix64 finalizer — cheap whitening for session keys.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A per-session cancellation secret: unpredictable enough that a client
+/// cannot cancel sessions it never spoke to (this is an isolation nicety,
+/// not a cryptographic boundary — the service trusts its network).
+fn session_key(session_id: u64) -> u64 {
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    mix64(session_id ^ clock.rotate_left(17))
+}
+
+/// The cancel token for a statement carrying `deadline_ms` (0 = no
+/// deadline, cancellable only).
+fn statement_token(deadline_ms: u64) -> CancelToken {
+    if deadline_ms > 0 {
+        CancelToken::with_timeout(Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
     }
 }
 
@@ -256,6 +331,8 @@ fn accept_loop(
     // The accept thread holds one Arc on the pool; the ServiceHandle holds
     // the other. Shutdown joins this thread first, so the handle's drop of
     // its Arc is what finally joins the workers.
+    let registry: CancelRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let next_session = AtomicU64::new(1);
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -267,12 +344,33 @@ fn accept_loop(
             continue; // Peer vanished during setup.
         };
         // Admission: admitted = executing + queued sessions. Beyond the
-        // bound, refuse loudly (the client sees a `limit` error on its
-        // first response read) instead of queueing without bound.
-        if active.fetch_add(1, Ordering::SeqCst) >= config.max_sessions {
+        // hard bound, refuse loudly (the client sees a fatal `limit` error
+        // on its first response read) instead of queueing without bound.
+        let admitted = active.fetch_add(1, Ordering::SeqCst);
+        if admitted >= config.max_sessions {
             active.fetch_sub(1, Ordering::SeqCst);
             ServiceStats::bump(&stats.rejected);
-            refuse(conn, net.clone(), config.max_sessions);
+            let refusal = QueryResponse::fatal_error(&CsqError::Limit(format!(
+                "server at capacity ({} sessions admitted); retry later",
+                config.max_sessions
+            )));
+            refuse(conn, net.clone(), refusal);
+            continue;
+        }
+        // Load shedding: before the hard bound, refuse *retryably* once
+        // too many admitted sessions are already waiting for a worker —
+        // a shed client backs off and retries instead of parking in a
+        // queue that grows its latency unboundedly. A connection that
+        // would get a worker immediately (admitted < workers) never sheds.
+        let workers = config.workers.max(1);
+        if admitted >= workers && admitted - workers >= config.shed_queue_depth {
+            let queued = admitted - workers;
+            active.fetch_sub(1, Ordering::SeqCst);
+            ServiceStats::bump(&stats.shed);
+            let refusal = QueryResponse::retryable_refusal(&CsqError::Limit(format!(
+                "server overloaded ({queued} sessions queued); retry with backoff"
+            )));
+            refuse(conn, net.clone(), refusal);
             continue;
         }
         ServiceStats::bump(&stats.accepted);
@@ -282,19 +380,23 @@ fn accept_loop(
         let shutdown = shutdown.clone();
         let stats = stats.clone();
         let net = net.clone();
+        let registry = registry.clone();
+        let session_id = next_session.fetch_add(1, Ordering::Relaxed);
         pool.spawn(move || {
             let _guard = guard;
-            run_session(&db, &conn, &config, &shutdown, &stats, &net);
+            run_session(
+                &db, &conn, &config, &shutdown, &stats, &net, &registry, session_id,
+            );
         });
     }
 }
 
-/// Refuse an over-capacity connection with a typed `limit` error. Runs on
-/// a short-lived detached thread so the accept loop never blocks on a slow
+/// Refuse a connection with a pre-built error response. Runs on a
+/// short-lived detached thread so the accept loop never blocks on a slow
 /// (or dead) client: it waits for the client's first request — answering
 /// before the client reads would race a TCP reset past the refusal frame —
 /// replies, then lingers briefly for the client's close.
-fn refuse(conn: TcpConn, net: NetStats, max_sessions: usize) {
+fn refuse(conn: TcpConn, net: NetStats, refusal: QueryResponse) {
     let _ = std::thread::Builder::new()
         .name("csq-service-refuse".into())
         .spawn(move || {
@@ -306,9 +408,6 @@ fn refuse(conn: TcpConn, net: NetStats, max_sessions: usize) {
                 }
                 _ => return, // Client never spoke; just drop.
             }
-            let refusal = QueryResponse::fatal_error(&CsqError::Limit(format!(
-                "server at capacity ({max_sessions} sessions admitted); retry later"
-            )));
             if send_response(&conn, &net, &refusal) {
                 // Give the client a beat to read before the socket dies.
                 let _ = conn.recv();
@@ -327,7 +426,16 @@ fn send_payload(conn: &TcpConn, net: &NetStats, payload: &[u8]) -> bool {
     conn.send(payload).is_ok()
 }
 
+/// Park `token` in the session's registry slot while a statement runs (so
+/// an out-of-band `CancelQuery` can reach it), or clear it (`None`).
+fn set_running(registry: &CancelRegistry, session_id: u64, token: Option<CancelToken>) {
+    if let Some(slot) = registry.lock().get_mut(&session_id) {
+        slot.running = token;
+    }
+}
+
 /// One client session: request loop over a framed connection.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     db: &Database,
     conn: &TcpConn,
@@ -335,11 +443,25 @@ fn run_session(
     shutdown: &AtomicBool,
     stats: &ServiceStats,
     net: &NetStats,
+    registry: &CancelRegistry,
+    session_id: u64,
 ) {
     conn.set_idle_timeout(Some(config.idle_timeout));
     if conn.set_write_timeout(Some(config.write_timeout)).is_err() {
         return; // Peer already gone during session setup.
     }
+    let session_key = session_key(session_id);
+    registry.lock().insert(
+        session_id,
+        CancelSlot {
+            key: session_key,
+            running: None,
+        },
+    );
+    let _registered = Registered {
+        registry: registry.clone(),
+        id: session_id,
+    };
     let mut prepared: HashMap<u32, Arc<PlannedQuery>> = HashMap::new();
     let mut next_stmt: u32 = 1;
     loop {
@@ -374,9 +496,34 @@ fn run_session(
         };
         let alive = match request {
             QueryRequest::Close => return,
-            QueryRequest::Query { sql } => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| db.execute_cached(&sql)));
+            QueryRequest::Query { sql, deadline_ms } => {
+                let token = statement_token(deadline_ms);
+                set_running(registry, session_id, Some(token.clone()));
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| db.execute_cached_with(&sql, &token)));
+                set_running(registry, session_id, None);
                 answer_execution(conn, net, stats, config, outcome)
+            }
+            QueryRequest::SessionInfo => send_response(
+                conn,
+                net,
+                &QueryResponse::Session {
+                    id: session_id,
+                    key: session_key,
+                },
+            ),
+            QueryRequest::CancelQuery { session, key } => {
+                // Fire-and-forget by design (like CloseStmt): no reply, a
+                // wrong ticket is silently ignored — answering differently
+                // would leak which session ids are live.
+                if let Some(slot) = registry.lock().get(&session) {
+                    if slot.key == key {
+                        if let Some(token) = &slot.running {
+                            token.cancel();
+                        }
+                    }
+                }
+                true
             }
             QueryRequest::Prepare { sql } => {
                 if prepared.len() >= MAX_PREPARED_PER_SESSION {
@@ -426,7 +573,7 @@ fn run_session(
                 prepared.remove(&stmt);
                 true
             }
-            QueryRequest::Execute { stmt } => match prepared.get(&stmt) {
+            QueryRequest::Execute { stmt, deadline_ms } => match prepared.get(&stmt) {
                 None => {
                     ServiceStats::bump(&stats.queries_failed);
                     send_response(
@@ -439,7 +586,11 @@ fn run_session(
                 }
                 Some(plan) => {
                     let plan = plan.clone();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| db.execute_planned(&plan)));
+                    let token = statement_token(deadline_ms);
+                    set_running(registry, session_id, Some(token.clone()));
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| db.execute_planned_with(&plan, &token)));
+                    set_running(registry, session_id, None);
                     let outcome = match outcome {
                         Ok(Ok((result, fresh, reused))) => {
                             // The plan may have been replanned under a new
@@ -486,6 +637,11 @@ fn answer_execution(
             send_response(conn, net, &panic_response())
         }
         Ok(Err(e)) => {
+            match &e {
+                CsqError::Timeout(_) => ServiceStats::bump(&stats.timed_out),
+                CsqError::Cancelled(_) => ServiceStats::bump(&stats.cancelled),
+                _ => {}
+            }
             ServiceStats::bump(&stats.queries_failed);
             send_response(conn, net, &QueryResponse::from_error(&e))
         }

@@ -146,6 +146,7 @@ impl Exchange {
         let feeder = {
             let out_tx = out_tx.clone();
             let feeder_ok = feeder_ok.clone();
+            let token = opts.token.clone();
             let mut input = input;
             std::thread::Builder::new()
                 .name("csq-exchange-feeder".into())
@@ -153,6 +154,13 @@ impl Exchange {
                     let key = route_key.as_deref();
                     let mut bufs: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
                     loop {
+                        // The feeder is the exchange's serialized stage, so
+                        // one checkpoint per input batch bounds how long a
+                        // cancelled repartition keeps routing rows.
+                        if let Err(e) = token.check() {
+                            let _ = out_tx.send(ExMsg::Err(e));
+                            return;
+                        }
                         match input.next_batch() {
                             Ok(Some(batch)) => {
                                 for row in batch.into_rows() {
@@ -380,7 +388,7 @@ mod tests {
             workers,
             morsel_rows: 8,
             ordered: false,
-            window: 0,
+            ..ParallelOpts::default()
         }
     }
 
@@ -472,6 +480,23 @@ mod tests {
         let bad = Box::new(crate::Sort::new(scan, vec![0]));
         let mut d = Exchange::distinct_on(bad, vec![0], &opts(2));
         assert!(collect(&mut d).is_err());
+        assert!(d.next_batch().unwrap().is_none(), "failed, not wedged");
+        d.join_feeder();
+    }
+
+    #[test]
+    fn tripped_token_poisons_the_exchange_with_typed_error() {
+        use csq_common::CancelToken;
+        let rows: Vec<Row> = (0..400)
+            .map(|i| Row::new(vec![Value::Int(i % 23), Value::Int(i)]))
+            .collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let scan = Box::new(RowsOp::new(two_int_schema("k", "seq"), rows));
+        let o = opts(2).with_token(token);
+        let mut d = Exchange::distinct_on(scan, vec![0], &o);
+        let err = collect(&mut d).unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
         assert!(d.next_batch().unwrap().is_none(), "failed, not wedged");
         d.join_feeder();
     }

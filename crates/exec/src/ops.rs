@@ -69,6 +69,47 @@ pub fn collect(op: &mut dyn Operator) -> Result<Vec<Row>> {
     Ok(out)
 }
 
+/// Cooperative-cancellation checkpoint: forwards its input unchanged but
+/// consults a [`CancelToken`] once per pulled batch, surfacing a typed
+/// `Cancelled`/`Timeout` error the moment the token trips. Lowering inserts
+/// one of these above every source (and the plan root), so a pull anywhere
+/// in the tree observes cancellation within one batch of work — the
+/// granularity DESIGN.md §10 promises. Zero-cost when the token never
+/// fires: one relaxed atomic load per ~1024 rows.
+pub struct CancelCheck {
+    inner: Box<dyn Operator + Send>,
+    token: csq_common::CancelToken,
+}
+
+impl CancelCheck {
+    /// Wrap `inner`, checking `token` at every batch boundary.
+    pub fn new(inner: Box<dyn Operator + Send>, token: csq_common::CancelToken) -> CancelCheck {
+        CancelCheck { inner, token }
+    }
+}
+
+impl Operator for CancelCheck {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.token.should_stop() {
+            self.token.check()?;
+        }
+        self.inner.next()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        self.token.check()?;
+        self.inner.next_batch()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
+}
+
 /// Carry buffer behind the row-compat [`Operator::next`] of batch-native
 /// operators: holds the remainder of the last produced batch.
 #[derive(Default)]

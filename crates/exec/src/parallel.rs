@@ -30,7 +30,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use csq_common::{CsqError, Field, Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
+use csq_common::{CancelToken, CsqError, Field, Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
 use csq_expr::PhysExpr;
 
 use crate::ops::{
@@ -54,6 +54,10 @@ pub struct ParallelOpts {
     /// Max morsels workers may run ahead of the consumer (`0` → `8 ×`
     /// workers). Bounds the reorder buffer.
     pub window: usize,
+    /// Cooperative cancellation: the dispenser consults this token before
+    /// every morsel pull and surfaces a typed `Cancelled`/`Timeout` error
+    /// through the ordered gather. The default token never fires.
+    pub token: CancelToken,
 }
 
 impl Default for ParallelOpts {
@@ -63,6 +67,7 @@ impl Default for ParallelOpts {
             morsel_rows: 0,
             ordered: true,
             window: 0,
+            token: CancelToken::new(),
         }
     }
 }
@@ -79,6 +84,12 @@ impl ParallelOpts {
     /// Builder-style: disable order preservation.
     pub fn unordered(mut self) -> ParallelOpts {
         self.ordered = false;
+        self
+    }
+
+    /// Builder-style: attach a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> ParallelOpts {
+        self.token = token;
         self
     }
 
@@ -293,6 +304,7 @@ struct Dispenser {
     morsel_rows: usize,
     gate: Arc<Gate>,
     failed: bool,
+    token: CancelToken,
 }
 
 impl Dispenser {
@@ -305,6 +317,15 @@ impl Dispenser {
     fn next_morsel(&mut self) -> Result<Option<(u64, RowBatch)>> {
         if self.failed {
             return Ok(None);
+        }
+        // Cancellation checkpoint: every worker passes through here once
+        // per morsel, so a tripped token stops the whole pipeline within
+        // one morsel's work. The error rides the normal failure path — one
+        // worker claims an error seq and the ordered gather surfaces the
+        // typed Cancelled/Timeout exactly where the stream stopped.
+        if let Err(e) = self.token.check() {
+            self.failed = true;
+            return Err(e);
         }
         while self.buffered_rows < self.morsel_rows && !self.exhausted {
             match self.source.next_batch() {
@@ -489,6 +510,7 @@ impl ParallelPipeline {
             morsel_rows: opts.resolved_morsel_rows(),
             gate: gate.clone(),
             failed: false,
+            token: opts.token.clone(),
         }));
         let factories = Arc::new(stages);
         // Capacity above the window so the *window* (which the gather
@@ -650,7 +672,7 @@ mod tests {
             workers,
             morsel_rows: 7, // tiny morsels: force real multi-morsel scheduling
             ordered,
-            window: 0,
+            ..ParallelOpts::default()
         }
     }
 
@@ -776,6 +798,48 @@ mod tests {
             "delivered prefix of {seen} rows"
         );
         assert!(par.next_batch().unwrap().is_none(), "failed, not wedged");
+    }
+
+    #[test]
+    fn tripped_token_surfaces_typed_error_and_stops() {
+        let token = CancelToken::new();
+        let scan = Box::new(RowsOp::new(schema(), rows(50_000)));
+        let mut par =
+            ParallelPipeline::new(scan, sfp_stages(), opts(4, true).with_token(token.clone()))
+                .unwrap();
+        let first = par.next_batch().unwrap().unwrap();
+        assert!(!first.is_empty());
+        token.cancel();
+        // Within a bounded number of pulls the gather must surface the
+        // typed error (buffered morsels may still drain first).
+        let mut cancelled = false;
+        for _ in 0..10_000 {
+            match par.next_batch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    assert_eq!(e.kind(), "cancelled");
+                    cancelled = true;
+                    break;
+                }
+            }
+        }
+        assert!(cancelled, "cancellation never surfaced");
+        assert!(par.next_batch().unwrap().is_none(), "failed, not wedged");
+    }
+
+    #[test]
+    fn expired_deadline_token_times_out_before_first_batch() {
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        let scan = Box::new(RowsOp::new(schema(), rows(500)));
+        let mut par =
+            ParallelPipeline::new(scan, sfp_stages(), opts(2, true).with_token(token)).unwrap();
+        let err = match par.next_batch() {
+            Ok(Some(_)) => panic!("no rows should be dispensed past an expired deadline"),
+            Ok(None) => panic!("expected a timeout error"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), "timeout");
     }
 
     #[test]

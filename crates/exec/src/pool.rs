@@ -87,6 +87,25 @@ impl WorkerPool {
             .send(Box::new(job));
         assert!(sent.is_ok(), "worker pool has no live workers");
     }
+
+    /// Submit a job that carries a [`CancelToken`]: if the token has
+    /// already tripped by the time a worker dequeues it, the job is
+    /// dropped unrun. This is how a queued-but-not-started unit of work
+    /// (a shed session, a timed-out pipeline stage) avoids consuming a
+    /// worker after its outcome stopped mattering; jobs that did start
+    /// observe the same token at their own checkpoints.
+    pub fn spawn_cancellable<F>(&self, token: &csq_common::CancelToken, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let token = token.clone();
+        self.spawn(move || {
+            if token.should_stop() {
+                return;
+            }
+            job()
+        });
+    }
 }
 
 impl Drop for WorkerPool {
@@ -134,6 +153,29 @@ mod tests {
         });
         drop(pool);
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancellable_jobs_skip_once_token_trips() {
+        use csq_common::CancelToken;
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let token = CancelToken::new();
+        let r = ran.clone();
+        pool.spawn_cancellable(&token, move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        // Cancel, then queue another job under the same token: the first
+        // may or may not have started, but the second must never run.
+        // Use a pre-tripped token for determinism.
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let r = ran.clone();
+        pool.spawn_cancellable(&tripped, move || {
+            r.fetch_add(100, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Deterministic fault injection for the framed TCP transport.
+//!
+//! [`FaultInjector`] is a frame-aware TCP proxy that sits between a client
+//! and a real service and misbehaves **on schedule**: connection *i* gets
+//! the *i*-th entry of a committed [`Fault`] schedule (healthy passthrough
+//! once the schedule is exhausted), so a chaos test replays the exact same
+//! failure sequence on every run. Schedules can be written out by hand or
+//! derived from a seed with [`fault_schedule`] — either way the injector
+//! itself contains no hidden randomness.
+//!
+//! Faults are injected on the **downlink** (service → client) direction,
+//! where the query protocol streams its results; the uplink is forwarded
+//! byte-for-byte. [`Fault::Refuse`] additionally models a dead/refusing
+//! endpoint by closing the client connection before dialing upstream.
+//!
+//! Production code paths never touch this module — it exists for the chaos
+//! suite and any harness that wants reproducible network grief.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use csq_common::{CsqError, Result};
+
+use crate::FRAME_HEADER_BYTES;
+
+/// One connection's misbehavior, applied to the downlink frame stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Healthy passthrough.
+    None,
+    /// Close the client connection immediately, without dialing upstream —
+    /// the client sees a refused or dead endpoint.
+    Refuse,
+    /// Forward this many downlink frames, then kill the connection (the
+    /// client sees a mid-stream disconnect; with 0, it dies before the
+    /// first response frame).
+    DropAfter(u32),
+    /// Forward this many downlink frames, then send the next frame's
+    /// header with only **half** its payload and kill the connection (the
+    /// client sees a truncated frame).
+    TruncateAfter(u32),
+    /// Forward this many downlink frames intact, then mangle the next
+    /// frame's **length header** (set a high bit) and kill the connection.
+    /// The client sees a typed codec error ("frame exceeds limit").
+    /// Corruption targets the header deliberately: the framing layer owns
+    /// the length's integrity, while payload integrity is the transport's
+    /// job — a payload flip would be silent, and silent wrong answers are
+    /// exactly what the chaos suite exists to rule out.
+    CorruptAfter(u32),
+    /// Delay every downlink frame by this many milliseconds (latency
+    /// injection: queries slow down but stay correct — the fuel for
+    /// deadline tests).
+    DelayMs(u32),
+}
+
+/// Derive a `len`-entry fault schedule from a seed (SplitMix64). The same
+/// seed always yields the same schedule; commit the seed, not the list.
+pub fn fault_schedule(seed: u64, len: usize) -> Vec<Fault> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..len)
+        .map(|_| {
+            let roll = next();
+            match roll % 6 {
+                0 => Fault::None,
+                1 => Fault::Refuse,
+                2 => Fault::DropAfter((roll >> 8) as u32 % 4),
+                3 => Fault::TruncateAfter((roll >> 8) as u32 % 3),
+                4 => Fault::CorruptAfter((roll >> 8) as u32 % 3),
+                _ => Fault::DelayMs(1 + (roll >> 8) as u32 % 5),
+            }
+        })
+        .collect()
+}
+
+/// A running fault-injecting proxy; dropping (or
+/// [`shutdown`](FaultInjector::shutdown)) stops accepting. In-flight
+/// forwarder threads die with their connections.
+pub struct FaultInjector {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultInjector {
+    /// Start a proxy on an OS-chosen loopback port, forwarding to
+    /// `upstream`. Connection *i* suffers `schedule[i]`; connections past
+    /// the schedule are healthy.
+    pub fn start(upstream: impl ToSocketAddrs, schedule: Vec<Fault>) -> Result<FaultInjector> {
+        let upstream = upstream
+            .to_socket_addrs()
+            .map_err(|e| CsqError::Net(format!("resolve upstream: {e}")))?
+            .next()
+            .ok_or_else(|| CsqError::Net("upstream resolved to nothing".into()))?;
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| CsqError::Net(format!("bind fault injector: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CsqError::Net(format!("injector local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let stop = stop.clone();
+            let accepted = accepted.clone();
+            std::thread::Builder::new()
+                .name("csq-fault-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(client) = stream else { continue };
+                        let index = accepted.fetch_add(1, Ordering::SeqCst);
+                        let fault = schedule.get(index).copied().unwrap_or(Fault::None);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("csq-fault-conn-{index}"))
+                            .spawn(move || proxy_connection(client, upstream, fault));
+                    }
+                })
+                .map_err(|e| CsqError::Net(format!("spawn injector accept: {e}")))?
+        };
+        Ok(FaultInjector {
+            addr,
+            stop,
+            accepted,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — point clients here instead of at the
+    /// real service.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (== schedule entries consumed).
+    pub fn connections(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting new connections.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the wake connection is counted but gets
+        // at most a healthy proxy that immediately dies.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Forward one proxied connection under `fault` until either side dies.
+fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: Fault) {
+    if fault == Fault::Refuse {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_r), Ok(server_r), Ok(server_w)) =
+        (client.try_clone(), server.try_clone(), server.try_clone())
+    else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    // Uplink: byte-level passthrough — requests are never faulted.
+    let up = {
+        let mut from = client_r;
+        let mut to = server_w;
+        std::thread::Builder::new()
+            .name("csq-fault-uplink".into())
+            .spawn(move || {
+                let _ = std::io::copy(&mut from, &mut to);
+                let _ = to.shutdown(Shutdown::Write);
+            })
+    };
+    // Downlink: frame-aware, where the fault is applied.
+    forward_downlink(server_r, client, fault);
+    if let Ok(h) = up {
+        let _ = h.join();
+    }
+    let _ = server.shutdown(Shutdown::Both);
+}
+
+/// Read frames from `from` (the service) and write them to `to` (the
+/// client), misbehaving per `fault`. Returns when either side dies or the
+/// fault kills the connection.
+fn forward_downlink(mut from: TcpStream, mut to: TcpStream, fault: Fault) {
+    let mut forwarded: u32 = 0;
+    loop {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        if read_exact_or_eof(&mut from, &mut header).is_none() {
+            let _ = to.shutdown(Shutdown::Write);
+            return;
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        let mut payload = vec![0u8; len];
+        if len > 0 && read_exact_or_eof(&mut from, &mut payload).is_none() {
+            let _ = to.shutdown(Shutdown::Write);
+            return;
+        }
+        match fault {
+            Fault::None | Fault::Refuse => {}
+            Fault::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms as u64)),
+            Fault::DropAfter(n) => {
+                if forwarded >= n {
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Fault::TruncateAfter(n) => {
+                if forwarded >= n {
+                    // Promise the full frame, deliver half, die.
+                    let half = len / 2;
+                    let _ = to
+                        .write_all(&header)
+                        .and_then(|()| to.write_all(&payload[..half]))
+                        .and_then(|()| to.flush());
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Fault::CorruptAfter(n) => {
+                if forwarded >= n {
+                    // Mangle the declared length far past any frame cap,
+                    // then die: the stream is garbage from here on.
+                    let bad = (u32::from_le_bytes(header) | (1 << 30)).to_le_bytes();
+                    let _ = to
+                        .write_all(&bad)
+                        .and_then(|()| to.write_all(&payload))
+                        .and_then(|()| to.flush());
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        if to
+            .write_all(&header)
+            .and_then(|()| to.write_all(&payload))
+            .and_then(|()| to.flush())
+            .is_err()
+        {
+            let _ = from.shutdown(Shutdown::Both);
+            return;
+        }
+        forwarded = forwarded.saturating_add(1);
+    }
+}
+
+/// `read_exact` returning `None` on EOF/error (the proxy treats both as
+/// "that side is gone").
+fn read_exact_or_eof(r: &mut TcpStream, buf: &mut [u8]) -> Option<()> {
+    r.read_exact(buf).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{Frame, TcpConn};
+
+    /// An upstream that answers every received frame with the same payload
+    /// twice (two frames per request), until the peer leaves.
+    fn echo2_upstream() -> SocketAddr {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let conn = TcpConn::new(stream).unwrap();
+                    while let Ok(Frame::Payload(p)) = conn.recv() {
+                        if conn.send(&p).is_err() || conn.send(&p).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn healthy_schedule_passes_frames_through() {
+        let up = echo2_upstream();
+        let inj = FaultInjector::start(up, vec![Fault::None]).unwrap();
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        conn.send(&[1, 2, 3]).unwrap();
+        for _ in 0..2 {
+            match conn.recv().unwrap() {
+                Frame::Payload(p) => assert_eq!(p, vec![1, 2, 3]),
+                other => panic!("expected payload, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.connections(), 1);
+    }
+
+    #[test]
+    fn refuse_kills_the_connection_before_upstream() {
+        let up = echo2_upstream();
+        let inj = FaultInjector::start(up, vec![Fault::Refuse, Fault::None]).unwrap();
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        // Either the send fails or the next recv reports closed/error.
+        let dead = conn.send(&[9]).is_err() || !matches!(conn.recv(), Ok(Frame::Payload(_)));
+        assert!(dead, "refused connection must not carry traffic");
+        // The next connection is healthy.
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        conn.send(&[7]).unwrap();
+        assert!(matches!(conn.recv().unwrap(), Frame::Payload(p) if p == vec![7]));
+    }
+
+    #[test]
+    fn drop_after_cuts_mid_stream() {
+        let up = echo2_upstream();
+        let inj = FaultInjector::start(up, vec![Fault::DropAfter(1)]).unwrap();
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        conn.send(&[5; 10]).unwrap();
+        assert!(matches!(conn.recv().unwrap(), Frame::Payload(_)));
+        // Second frame never arrives: closed or error, never a hang.
+        if let Ok(Frame::Payload(_)) = conn.recv() {
+            panic!("fault should have dropped frame 2");
+        }
+    }
+
+    #[test]
+    fn truncate_surfaces_as_mid_frame_error() {
+        let up = echo2_upstream();
+        let inj = FaultInjector::start(up, vec![Fault::TruncateAfter(0)]).unwrap();
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        conn.send(&[8; 64]).unwrap();
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), "net");
+        assert!(err.message().contains("mid-frame"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_surfaces_as_typed_codec_error() {
+        let up = echo2_upstream();
+        let inj = FaultInjector::start(up, vec![Fault::CorruptAfter(1)]).unwrap();
+        let conn = TcpConn::connect(inj.local_addr()).unwrap();
+        conn.send(&[1; 8]).unwrap();
+        // Frame 1 passes intact; frame 2 arrives with a mangled length.
+        let Frame::Payload(first) = conn.recv().unwrap() else {
+            panic!("expected payload");
+        };
+        assert_eq!(first, vec![1; 8]);
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), "codec", "{err}");
+        assert!(err.message().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        assert_eq!(fault_schedule(42, 16), fault_schedule(42, 16));
+        assert_ne!(fault_schedule(42, 16), fault_schedule(43, 16));
+    }
+}

@@ -25,12 +25,14 @@
 //! the threaded engine uses `channel` and is checked row-for-row against it.
 
 pub mod channel;
+pub mod fault;
 pub mod link;
 pub mod spec;
 pub mod stats;
 pub mod tcp;
 
 pub use channel::{in_memory_duplex, throttled_duplex, Endpoint, NetReceiver, NetSender};
+pub use fault::{fault_schedule, Fault, FaultInjector};
 pub use link::{Link, SimTime};
 pub use spec::NetworkSpec;
 pub use stats::NetStats;

@@ -264,7 +264,7 @@ fn run_parallel(
         workers,
         morsel_rows: morsel,
         ordered: false,
-        window: 0,
+        ..ParallelOpts::default()
     };
     let mut agg = Exchange::hash_aggregate(scan, key, specs, &opts);
     collect(&mut agg)

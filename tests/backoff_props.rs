@@ -1,0 +1,125 @@
+//! Property-based tests on the sanctioned retry backoff (csq-client's
+//! `Backoff`): the delay schedule is a pure function of (seed, attempt),
+//! its envelope is capped and monotone, and `sleep` never burns more than
+//! the caller's remaining deadline budget. Regression seeds persist under
+//! `proptest-regressions/backoff_props.txt`.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use csq_client::Backoff;
+use csq_common::Deadline;
+
+/// Envelope the implementation promises: `min(cap, base << attempt)`,
+/// saturating. Every jittered delay lives in `[envelope/2, envelope)`.
+fn envelope(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.min(20);
+    base.checked_mul(factor).unwrap_or(cap).min(cap.max(base))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Same (base, cap, seed, attempt) → same delay, across separately
+    // constructed Backoffs. Retries are replayable: a chaos schedule's
+    // timing is fixed by its committed seed.
+    #[test]
+    fn delay_is_a_pure_function_of_seed_and_attempt(
+        base_us in 1u64..50_000,
+        cap_us in 1u64..2_000_000,
+        seed in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_micros(cap_us);
+        let a = Backoff::new(base, cap, seed);
+        let b = Backoff::new(base, cap, seed);
+        prop_assert_eq!(a.delay(attempt), b.delay(attempt));
+    }
+
+    // Different attempts draw independent jitter, but always inside the
+    // capped exponential envelope — no delay ever exceeds the cap, and
+    // each sits in the equal-jitter band `[envelope/2, envelope]`.
+    #[test]
+    fn delay_stays_inside_the_capped_envelope(
+        base_us in 1u64..50_000,
+        cap_us in 1u64..2_000_000,
+        seed in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_micros(cap_us);
+        let b = Backoff::new(base, cap, seed);
+        let d = b.delay(attempt);
+        let env = envelope(base, cap, attempt);
+        prop_assert!(d <= b.cap(), "delay {d:?} exceeds cap {:?}", b.cap());
+        prop_assert!(d <= env, "delay {d:?} exceeds envelope {env:?}");
+        prop_assert!(d >= env / 2, "delay {d:?} below half-envelope {env:?}");
+    }
+
+    // The envelope is monotone non-decreasing in the attempt number and
+    // pins to the cap once the exponential crosses it: late retries never
+    // speed back up, and never wait more than one cap.
+    #[test]
+    fn envelope_is_monotone_then_pinned_at_cap(
+        base_us in 1u64..10_000,
+        cap_us in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_micros(cap_us);
+        let b = Backoff::new(base, cap, seed);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..40u32 {
+            let env = envelope(base, cap, attempt);
+            prop_assert!(env >= prev, "envelope shrank at attempt {attempt}");
+            prev = env;
+        }
+        // Far past the crossover the band is exactly [cap/2, cap].
+        let late = b.delay(63);
+        prop_assert!(late >= b.cap() / 2 && late <= b.cap());
+    }
+
+    // `sleep` never spends more than the remaining deadline budget: when
+    // the jittered delay does not fit, it returns `false` *without
+    // sleeping*; when it fits, the elapsed wall-clock stays within the
+    // budget. (Micro-scale durations keep the property fast.)
+    #[test]
+    fn sleep_never_exceeds_the_deadline_budget(
+        base_us in 1u64..300,
+        cap_us in 1u64..3_000,
+        seed in any::<u64>(),
+        attempt in 0u32..16,
+        budget_us in 0u64..2_000,
+    ) {
+        let b = Backoff::new(
+            Duration::from_micros(base_us),
+            Duration::from_micros(cap_us),
+            seed,
+        );
+        let budget = Duration::from_micros(budget_us);
+        let dl = Deadline::from_timeout(budget);
+        let start = Instant::now();
+        let slept = b.sleep(attempt, Some(&dl));
+        let elapsed = start.elapsed();
+        if slept {
+            // The delay fit the budget when checked; allow scheduler slop
+            // on top of the budget itself.
+            prop_assert!(
+                elapsed <= budget + Duration::from_millis(50),
+                "slept {elapsed:?} against a {budget:?} budget"
+            );
+        } else {
+            // Refusal must be immediate — no partial burn of the budget.
+            prop_assert!(
+                elapsed < Duration::from_millis(50),
+                "refusing sleep still waited {elapsed:?}"
+            );
+        }
+        // Either way: a delay that never fit must be refused.
+        if b.delay(attempt) >= budget {
+            prop_assert!(!slept, "slept although delay >= whole budget");
+        }
+    }
+}

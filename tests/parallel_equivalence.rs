@@ -171,7 +171,7 @@ fn opts(workers: usize, morsel_rows: usize, ordered: bool) -> ParallelOpts {
         workers,
         morsel_rows,
         ordered,
-        window: 0,
+        ..ParallelOpts::default()
     }
 }
 

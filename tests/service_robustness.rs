@@ -212,6 +212,7 @@ fn oversized_frame_is_refused_before_allocation() {
         kind,
         message,
         fatal,
+        ..
     } = QueryResponse::decode(&resp).unwrap()
     else {
         panic!("expected an Error response");
@@ -241,6 +242,7 @@ fn client_disconnect_mid_result_stream_is_isolated() {
         conn.send(
             &csq_client::QueryRequest::Query {
                 sql: "SELECT R.Id, R.Obj FROM R R".into(),
+                deadline_ms: 0,
             }
             .encode(),
         )
@@ -455,6 +457,7 @@ fn client_that_stops_reading_cannot_pin_a_worker() {
         .send(
             &csq_client::QueryRequest::Query {
                 sql: "SELECT R.Id, R.Obj FROM R R".into(),
+                deadline_ms: 0,
             }
             .encode(),
         )

@@ -26,7 +26,7 @@ pub mod channel {
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-    pub use std::sync::mpsc::{RecvError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 
     /// Blocked-wait watchdog state (lockcheck builds only).
     #[cfg(lockcheck)]
@@ -258,6 +258,45 @@ pub mod channel {
             }
         }
 
+        /// Block until a message arrives or `timeout` elapses. Unlike the
+        /// lockcheck watchdog (a diagnostic), the timeout here is part of
+        /// the API contract: bounded waits (the connection pool's checkout)
+        /// use it to turn an exhausted resource into a typed error instead
+        /// of pinning the caller forever. Spurious condvar wakeups re-check
+        /// the remaining budget, so the wait never exceeds `timeout` by
+        /// more than scheduling noise.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut g = self.shared.lock();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    let wake = g.waiting_send > 0;
+                    drop(g);
+                    if wake {
+                        self.shared.not_full.notify_one();
+                    }
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                g.waiting_recv += 1;
+                // A plain wait_timeout, not the watchdog wrapper: the caller
+                // asked for a bounded wait, so expiry is a normal outcome,
+                // not a deadlock symptom. The wait is capped at `left`, so
+                // it can never outlive the watchdog threshold unnoticed.
+                g = match self.shared.not_empty.wait_timeout(g, left) {
+                    Ok((g, _)) => g,
+                    Err(_) => self.shared.lock(),
+                };
+                g.waiting_recv -= 1;
+            }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut g = self.shared.lock();
@@ -419,6 +458,38 @@ mod tests {
             .collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn recv_timeout_delivers_times_out_and_disconnects() {
+        use super::channel::RecvTimeoutError;
+        use std::time::{Duration, Instant};
+        let (tx, rx) = unbounded();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(11).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(11));
+        t.join().unwrap();
     }
 
     #[test]
