@@ -39,8 +39,8 @@ pub mod vm;
 
 pub use backoff::Backoff;
 pub use pool::{
-    ConnectionPool, PooledConn, RemoteResult, RetryPolicy, ServiceConn, SessionTicket,
-    StatementHandle,
+    ConnectionPool, PooledConn, QueryOptions, RemoteResult, RetryPolicy, ServiceConn,
+    SessionTicket, StatementHandle,
 };
 pub use protocol::{ClientTask, Request, Response, TaskMode, UdfStep};
 pub use qproto::{QueryRequest, QueryResponse};

@@ -54,6 +54,68 @@ pub struct SessionTicket {
     pub key: u64,
 }
 
+/// Per-request execution options: one struct for everything that shapes how
+/// a statement runs, instead of one method per combination.
+///
+/// * `deadline` — overall budget. Enforced twice: forwarded to the server
+///   (cooperative kill at the statement's next cancellation checkpoint) and
+///   armed client-side as a bounded response wait, so even a server that
+///   never starts the statement surfaces a typed `timeout`.
+/// * `retry` — automatic retry policy. On a [`ConnectionPool`] each attempt
+///   checks out a fresh connection; on a bare [`ServiceConn`] attempts
+///   replay on the same session and stop early if the transport broke.
+///   When both this and the policy's own legacy `deadline` field are set,
+///   `QueryOptions::deadline` wins.
+///
+/// `QueryOptions::default()` means: no deadline, no retry — identical to
+/// the plain [`ServiceConn::query`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Overall budget for the request (across all retry attempts), or
+    /// `None` for unbounded.
+    pub deadline: Option<Duration>,
+    /// Retry policy, or `None` for a single attempt.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl QueryOptions {
+    /// No deadline, no retry.
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Set the overall deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> QueryOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enable retry under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> QueryOptions {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The wire deadline in milliseconds (0 = none), clamped up to 1ms so a
+    /// sub-millisecond budget still reads as a bound.
+    fn deadline_ms(&self) -> u64 {
+        match self.deadline {
+            Some(d) => (d.as_millis() as u64).max(1),
+            None => 0,
+        }
+    }
+
+    /// The retry policy with the options-level deadline folded in (the
+    /// options' deadline wins over the policy's legacy field).
+    fn merged_policy(&self) -> Option<RetryPolicy> {
+        self.retry.as_ref().map(|p| {
+            let mut p = p.clone();
+            p.deadline = self.deadline.or(p.deadline);
+            p
+        })
+    }
+}
+
 /// One framed connection to a query service.
 pub struct ServiceConn {
     conn: TcpConn,
@@ -240,19 +302,61 @@ impl ServiceConn {
         }
     }
 
+    /// Execute one SQL statement under `opts`, collecting the full result.
+    ///
+    /// This is the primary entrypoint; [`query`](Self::query) and
+    /// [`query_deadline`](Self::query_deadline) are thin wrappers over it.
+    /// With `opts.retry` set, failed attempts replay **on this same
+    /// session** when the error is retryable, no result rows were received
+    /// (a replay must not double-observe a partial stream), and the
+    /// transport is still healthy — a broken connection ends the loop
+    /// immediately, since this method cannot re-dial (use
+    /// [`ConnectionPool::query_with`] for that).
+    pub fn query_with(&mut self, sql: &str, opts: &QueryOptions) -> Result<RemoteResult> {
+        let Some(policy) = opts.merged_policy() else {
+            return self.raw_query(sql, opts.deadline_ms());
+        };
+        let deadline = policy.deadline.map(Deadline::from_timeout);
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let deadline_ms = match &deadline {
+                Some(dl) => (dl.remaining().as_millis() as u64).max(1),
+                None => 0,
+            };
+            match self.raw_query(sql, deadline_ms) {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    let retryable = self.last_error_retryable().unwrap_or_else(|| e.retryable());
+                    let replay_safe = self.last_rows_received == 0;
+                    let give_up = self.broken
+                        || !retryable
+                        || !replay_safe
+                        || attempt + 1 == attempts
+                        || !policy.backoff.sleep(attempt, deadline.as_ref());
+                    if give_up {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop always returns on its last attempt")
+    }
+
     /// Execute one SQL statement, collecting the full result.
     pub fn query(&mut self, sql: &str) -> Result<RemoteResult> {
-        self.query_deadline(sql, 0)
+        self.raw_query(sql, 0)
     }
 
     /// Execute one SQL statement under a deadline of `deadline_ms`
-    /// milliseconds (0 = none). The deadline is enforced twice: the server
-    /// kills the statement cooperatively at its next cancellation
-    /// checkpoint, and the client arms a response timeout as a backstop —
-    /// so even a server that never starts the statement (e.g. the session
-    /// is parked in the admission queue) surfaces a typed `timeout` here
-    /// instead of blocking forever.
+    /// milliseconds (0 = none). Wrapper over [`query_with`](Self::query_with)
+    /// semantics; see [`QueryOptions::deadline`] for how the deadline is
+    /// enforced on both sides.
     pub fn query_deadline(&mut self, sql: &str, deadline_ms: u64) -> Result<RemoteResult> {
+        self.raw_query(sql, deadline_ms)
+    }
+
+    /// One query attempt on the wire under a millisecond deadline (0 = none).
+    fn raw_query(&mut self, sql: &str, deadline_ms: u64) -> Result<RemoteResult> {
         self.send(&QueryRequest::Query {
             sql: sql.into(),
             deadline_ms,
@@ -311,19 +415,62 @@ impl ServiceConn {
         }
     }
 
+    /// Execute a prepared statement under `opts`. Prepared handles are
+    /// session-local, so retry here replays on this same session under the
+    /// same safety rules as [`query_with`](Self::query_with) (retryable
+    /// error, zero rows received, transport healthy).
+    pub fn execute_with(
+        &mut self,
+        stmt: StatementHandle,
+        opts: &QueryOptions,
+    ) -> Result<RemoteResult> {
+        let Some(policy) = opts.merged_policy() else {
+            return self.raw_execute(stmt, opts.deadline_ms());
+        };
+        let deadline = policy.deadline.map(Deadline::from_timeout);
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let deadline_ms = match &deadline {
+                Some(dl) => (dl.remaining().as_millis() as u64).max(1),
+                None => 0,
+            };
+            match self.raw_execute(stmt, deadline_ms) {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    let retryable = self.last_error_retryable().unwrap_or_else(|| e.retryable());
+                    let replay_safe = self.last_rows_received == 0;
+                    let give_up = self.broken
+                        || !retryable
+                        || !replay_safe
+                        || attempt + 1 == attempts
+                        || !policy.backoff.sleep(attempt, deadline.as_ref());
+                    if give_up {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop always returns on its last attempt")
+    }
+
     /// Execute a prepared statement.
     pub fn execute(&mut self, stmt: StatementHandle) -> Result<RemoteResult> {
-        self.execute_deadline(stmt, 0)
+        self.raw_execute(stmt, 0)
     }
 
     /// Execute a prepared statement under a deadline of `deadline_ms`
-    /// milliseconds (0 = none), enforced both server-side (cooperative
-    /// kill) and client-side (bounded response wait).
+    /// milliseconds (0 = none). Wrapper over
+    /// [`execute_with`](Self::execute_with) semantics.
     pub fn execute_deadline(
         &mut self,
         stmt: StatementHandle,
         deadline_ms: u64,
     ) -> Result<RemoteResult> {
+        self.raw_execute(stmt, deadline_ms)
+    }
+
+    /// One execute attempt on the wire under a millisecond deadline (0 = none).
+    fn raw_execute(&mut self, stmt: StatementHandle, deadline_ms: u64) -> Result<RemoteResult> {
         self.send(&QueryRequest::Execute {
             stmt: stmt.id,
             deadline_ms,
@@ -439,6 +586,12 @@ pub struct ConnectionPool {
 
 impl ConnectionPool {
     /// A pool of up to `max` connections to `addr`.
+    ///
+    /// Size `max` at or below the service's `ServiceConfig::workers`: each
+    /// pooled connection is a long-lived session that pins a server worker,
+    /// so a pool larger than the worker count guarantees some checkouts
+    /// park in the server's admission queue unserved until another pooled
+    /// connection closes.
     pub fn new(addr: impl ToSocketAddrs, max: usize) -> Result<ConnectionPool> {
         let addr = addr
             .to_socket_addrs()
@@ -503,6 +656,17 @@ impl ConnectionPool {
         })
     }
 
+    /// Execute `sql` under `opts`: checkout, deadline, and (when
+    /// `opts.retry` is set) automatic retry with a fresh checkout per
+    /// attempt. The primary pool entrypoint;
+    /// [`query_with_retry`](Self::query_with_retry) is a thin wrapper.
+    pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<RemoteResult> {
+        match opts.merged_policy() {
+            Some(policy) => self.query_retry_core(sql, &policy),
+            None => self.get()?.query_deadline(sql, opts.deadline_ms()),
+        }
+    }
+
     /// Execute `sql` with automatic retry under `policy`.
     ///
     /// An attempt is retried only when **all** of these hold:
@@ -517,6 +681,10 @@ impl ConnectionPool {
     /// The remaining budget is also forwarded as each attempt's server-side
     /// query deadline, so no attempt outlives the caller's patience.
     pub fn query_with_retry(&self, sql: &str, policy: &RetryPolicy) -> Result<RemoteResult> {
+        self.query_retry_core(sql, policy)
+    }
+
+    fn query_retry_core(&self, sql: &str, policy: &RetryPolicy) -> Result<RemoteResult> {
         let deadline = policy.deadline.map(Deadline::from_timeout);
         let attempts = policy.max_attempts.max(1);
         let mut last_err: Option<CsqError> = None;

@@ -33,6 +33,10 @@ pub enum CsqError {
     Timeout(String),
     /// The query was cancelled by an explicit request.
     Cancelled(String),
+    /// Invalid or incoherent configuration, rejected before it takes
+    /// effect (e.g. a service config whose shed threshold exceeds its
+    /// session cap).
+    Config(String),
 }
 
 impl CsqError {
@@ -50,6 +54,7 @@ impl CsqError {
             CsqError::Codec(_) => "codec",
             CsqError::Timeout(_) => "timeout",
             CsqError::Cancelled(_) => "cancelled",
+            CsqError::Config(_) => "config",
         }
     }
 
@@ -87,6 +92,7 @@ impl CsqError {
             "codec" => CsqError::Codec(m),
             "timeout" => CsqError::Timeout(m),
             "cancelled" => CsqError::Cancelled(m),
+            "config" => CsqError::Config(m),
             other => CsqError::Net(format!("unknown remote error kind '{other}': {m}")),
         }
     }
@@ -104,7 +110,8 @@ impl CsqError {
             | CsqError::Net(m)
             | CsqError::Codec(m)
             | CsqError::Timeout(m)
-            | CsqError::Cancelled(m) => m,
+            | CsqError::Cancelled(m)
+            | CsqError::Config(m) => m,
         }
     }
 }
@@ -143,6 +150,7 @@ mod tests {
             CsqError::Codec("m".into()),
             CsqError::Timeout("m".into()),
             CsqError::Cancelled("m".into()),
+            CsqError::Config("m".into()),
         ];
         for e in errs {
             assert_eq!(CsqError::from_kind(e.kind(), e.message()), e);
@@ -164,6 +172,7 @@ mod tests {
             CsqError::Codec(String::new()),
             CsqError::Timeout(String::new()),
             CsqError::Cancelled(String::new()),
+            CsqError::Config(String::new()),
         ];
         let kinds: std::collections::HashSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());
@@ -178,5 +187,6 @@ mod tests {
         assert!(!CsqError::Parse("m".into()).retryable());
         assert!(!CsqError::Exec("m".into()).retryable());
         assert!(!CsqError::Limit("m".into()).retryable());
+        assert!(!CsqError::Config("m".into()).retryable());
     }
 }

@@ -36,7 +36,7 @@ pub mod service;
 pub use lower::SimSummary;
 pub use plancache::{PlanCache, PlanCacheStats, PlannedQuery};
 pub use result::QueryResult;
-pub use service::{ServiceConfig, ServiceHandle, ServiceStats};
+pub use service::{ServiceConfig, ServiceConfigBuilder, ServiceHandle, ServiceStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,11 +52,12 @@ use csq_sql::{parse_statement, Statement};
 // all work from `csq::...` alone.
 pub use csq_client::synthetic;
 pub use csq_client::{ClientRuntime, ScalarUdf, UdfCost, UdfSignature};
+pub use csq_client::{ConnectionPool, QueryOptions, RetryPolicy, ServiceConn};
 pub use csq_common::{
     Blob, CancelToken, CsqError, DataType, Deadline, Field, Result, Row, RowBatch, Schema, Str,
     Value, DEFAULT_BATCH_SIZE,
 };
-pub use csq_exec::{AggSpec, HashAggregate};
+pub use csq_exec::{AggSpec, HashAggregate, MemoryTracker};
 pub use csq_expr::AggFunc;
 pub use csq_net::{NetStats, NetworkSpec};
 pub use csq_opt::{AggPlacement, OptimizedPlan, UdfMeta};
@@ -76,6 +77,10 @@ pub struct Database {
     /// it so a stale plan can never be served.
     plan_epoch: AtomicU64,
     plan_cache: PlanCache,
+    /// Byte budget for stateful operators (hash aggregation, hash join):
+    /// crossing it makes them spill to temp files instead of growing.
+    /// Defaults to unlimited; see [`set_memory_budget`](Self::set_memory_budget).
+    memory: RwLock<Arc<MemoryTracker>>,
 }
 
 impl Database {
@@ -88,7 +93,23 @@ impl Database {
             net: RwLock::new(net),
             plan_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            memory: RwLock::new(MemoryTracker::unlimited()),
         }
+    }
+
+    /// Cap the bytes stateful operators may hold in memory across all
+    /// queries on this database; past the cap they spill to temp files and
+    /// merge back (larger-than-memory execution). The budget is advisory —
+    /// operators check it at batch boundaries — and shared, so concurrent
+    /// queries degrade into spilling instead of compounding memory use.
+    pub fn set_memory_budget(&self, bytes: usize) {
+        *self.memory.write() = MemoryTracker::new(bytes);
+    }
+
+    /// The operator memory tracker currently in force (spill counts feed
+    /// observability; tests and benches attach it to standalone operators).
+    pub fn memory_tracker(&self) -> Arc<MemoryTracker> {
+        self.memory.read().clone()
     }
 
     /// Invalidate every cached plan (cheaply: by changing the epoch).
@@ -231,22 +252,86 @@ impl Database {
     }
 
     /// The optimizer's chosen plan, rendered as an indented tree, with its
-    /// estimated network cost.
+    /// estimated network cost. Scan lines carry live zone-map pruning
+    /// counts (`segments: N pruned / M`) computed against the current
+    /// catalog, so selective filters are visible before running the query.
     pub fn explain(&self, sql: &str) -> Result<String> {
         match parse_statement(sql)? {
             Statement::Select(sel) => {
                 let ctx = self.opt_context();
                 let graph = csq_opt::query::extract(&sel, &ctx)?;
                 let plan = csq_opt::optimize(&graph, &ctx)?;
+                let mut notes = std::collections::HashMap::new();
+                self.scan_notes(&graph, &plan.root, None, &mut notes);
                 Ok(format!(
                     "{}cost: {:.6}s (est. {:.1} rows, {} states explored)\n",
-                    plan.root.explain(&graph),
+                    plan.root.explain_annotated(&graph, &notes),
                     plan.cost_seconds,
                     plan.est_rows,
                     plan.states_explored
                 ))
             }
             _ => Err(CsqError::Plan("EXPLAIN only supports SELECT".into())),
+        }
+    }
+
+    /// Walk a plan and annotate each scan leaf with the segment counts the
+    /// columnar engine would prune/scan, using the same filter-spec
+    /// compilation as lowering (`preds` carries the predicate set of a
+    /// Filter/Final node sitting directly on the scan).
+    fn scan_notes(
+        &self,
+        graph: &csq_opt::QueryGraph,
+        node: &csq_opt::PlanNode,
+        preds: Option<&[usize]>,
+        notes: &mut std::collections::HashMap<usize, String>,
+    ) {
+        use csq_opt::PlanNode;
+        match node {
+            PlanNode::Scan { unit } => {
+                let csq_opt::Unit::Rel { alias, table, .. } = &graph.units[*unit] else {
+                    return;
+                };
+                let Ok(t) = self.catalog.get(table) else {
+                    return;
+                };
+                let spec = preds.and_then(|ps| {
+                    let schema = t.schema().qualify(alias);
+                    lower::bind_preds(graph, ps, &schema)
+                        .ok()
+                        .flatten()
+                        .and_then(|p| csq_storage::FilterSpec::from_phys(&p))
+                });
+                let stats = t.prune_stats(spec.as_ref());
+                let mut note = format!(
+                    "segments: {} pruned / {}",
+                    stats.segments_pruned, stats.segments_total
+                );
+                if stats.tail_rows > 0 {
+                    note.push_str(&format!(", {} tail rows", stats.tail_rows));
+                }
+                notes.insert(*unit, note);
+            }
+            PlanNode::Filter { input, preds } => {
+                self.scan_notes(graph, input, Some(preds), notes);
+            }
+            PlanNode::Final {
+                input,
+                pushed_preds,
+                ..
+            } => {
+                let ps = (!pushed_preds.is_empty()).then_some(pushed_preds.as_slice());
+                self.scan_notes(graph, input, ps, notes);
+            }
+            PlanNode::Join { left, right } => {
+                self.scan_notes(graph, left, None, notes);
+                self.scan_notes(graph, right, None, notes);
+            }
+            PlanNode::ApplyUdf { input, .. }
+            | PlanNode::ReturnToServer { input }
+            | PlanNode::Aggregate { input, .. } => {
+                self.scan_notes(graph, input, None, notes);
+            }
         }
     }
 

@@ -20,7 +20,8 @@
 use csq_client::spawn_client_with_token;
 use csq_common::{codec, CancelToken, CsqError, Field, Result, Row, Schema};
 use csq_exec::{
-    collect, AggSpec, CancelCheck, Filter, HashAggregate, MemScan, NestedLoopJoin, Operator, RowsOp,
+    collect, AggSpec, CancelCheck, ColumnarScan, Filter, HashAggregate, NestedLoopJoin, Operator,
+    RowsOp,
 };
 use csq_expr::{analysis, bind, PhysExpr};
 use csq_net::in_memory_duplex;
@@ -29,6 +30,7 @@ use csq_ship::{
     simulate_client_join, simulate_semijoin, ClientJoinSpec, PartialAggSpec, SemiJoinSpec,
     UdfApplication,
 };
+use csq_storage::FilterSpec;
 
 use crate::result::QueryResult;
 use crate::Database;
@@ -96,7 +98,11 @@ fn resolve_args(graph: &QueryGraph, unit: usize, schema: &Schema) -> Result<Vec<
 }
 
 /// Bind the conjunction of predicate indices against a schema.
-fn bind_preds(graph: &QueryGraph, preds: &[usize], schema: &Schema) -> Result<Option<PhysExpr>> {
+pub(crate) fn bind_preds(
+    graph: &QueryGraph,
+    preds: &[usize],
+    schema: &Schema,
+) -> Result<Option<PhysExpr>> {
     let exprs: Vec<_> = preds
         .iter()
         .map(|&p| graph.predicates[p].expr.clone())
@@ -168,6 +174,37 @@ fn apply_aggregate(
     }
 }
 
+/// Build a scan leaf: a columnar [`ColumnarScan`] over the unit's table,
+/// with the prunable prefix of `preds` compiled to a [`FilterSpec`] so zone
+/// maps can skip whole segments, wrapped in the per-leaf cancellation
+/// checkpoint.
+fn scan_leaf(
+    db: &Database,
+    graph: &QueryGraph,
+    unit: usize,
+    preds: Option<(&[usize], &QueryGraph)>,
+    token: &CancelToken,
+) -> Result<Box<dyn Operator + Send>> {
+    let Unit::Rel { alias, table, .. } = &graph.units[unit] else {
+        return Err(CsqError::Plan("scan of non-relation unit".into()));
+    };
+    let t = db.catalog().get(table)?;
+    let spec = match preds {
+        Some((ps, g)) => {
+            let schema = t.schema().qualify(alias);
+            bind_preds(g, ps, &schema)?.and_then(|p| FilterSpec::from_phys(&p))
+        }
+        None => None,
+    };
+    // The scan is where a long plan spends its pull loop, so the
+    // cancellation checkpoint lives right above every leaf: each batch
+    // boundary observes the token.
+    Ok(Box::new(CancelCheck::new(
+        Box::new(ColumnarScan::new(&t, alias, spec.as_ref())?),
+        token.clone(),
+    )))
+}
+
 fn udf_application(graph: &QueryGraph, unit: usize, schema: &Schema) -> Result<UdfApplication> {
     let Unit::Udf { name, .. } = &graph.units[unit] else {
         unreachable!()
@@ -188,25 +225,23 @@ fn build_threaded(
     token: &CancelToken,
 ) -> Result<Box<dyn Operator + Send>> {
     match node {
-        PlanNode::Scan { unit } => {
-            let Unit::Rel { alias, table, .. } = &graph.units[*unit] else {
-                return Err(CsqError::Plan("scan of non-relation unit".into()));
-            };
-            let t = db.catalog().get(table)?;
-            // The scan is where a long plan spends its pull loop, so the
-            // cancellation checkpoint lives right above every leaf: each
-            // batch boundary observes the token.
-            Ok(Box::new(CancelCheck::new(
-                Box::new(MemScan::new(&t, alias)),
-                token.clone(),
-            )))
-        }
+        PlanNode::Scan { unit } => scan_leaf(db, graph, *unit, None, token),
         PlanNode::Join { left, right } => {
             let l = build_threaded(db, graph, left, token)?;
             let r = build_threaded(db, graph, right, token)?;
             Ok(Box::new(NestedLoopJoin::new(l, r, None)))
         }
         PlanNode::Filter { input, preds } => {
+            // A filter directly over a scan pushes its prunable prefix down
+            // as a FilterSpec: whole segments disproved by zone maps are
+            // skipped before any row is materialized. The full predicate is
+            // still applied above — the spec only rules segments out.
+            if let PlanNode::Scan { unit } = input.as_ref() {
+                let child = scan_leaf(db, graph, *unit, Some((preds, graph)), token)?;
+                let pred = bind_preds(graph, preds, child.schema())?
+                    .ok_or_else(|| CsqError::Plan("empty filter".into()))?;
+                return Ok(Box::new(Filter::new(child, pred)));
+            }
             let child = build_threaded(db, graph, input, token)?;
             let pred = bind_preds(graph, preds, child.schema())?
                 .ok_or_else(|| CsqError::Plan("empty filter".into()))?;
@@ -224,7 +259,9 @@ fn build_threaded(
             let schema = child.schema().clone();
             let (key, aggs) = bind_aggregate(spec, &schema)?;
             let mut op: Box<dyn Operator + Send> = match placement {
-                AggPlacement::ClientOnly => Box::new(HashAggregate::new(child, key, aggs)),
+                AggPlacement::ClientOnly => {
+                    Box::new(HashAggregate::new(child, key, aggs).with_memory(db.memory_tracker()))
+                }
                 AggPlacement::ServerPartial => {
                     // The server-side partial phase reduces rows to groups,
                     // the decomposed state crosses the wire through the
@@ -246,7 +283,14 @@ fn build_threaded(
             pushed_preds,
             ..
         } => {
-            let child = build_threaded(db, graph, input, token)?;
+            // Like Filter: predicates landing directly on a scan also prune.
+            let child = if let (PlanNode::Scan { unit }, false) =
+                (input.as_ref(), pushed_preds.is_empty())
+            {
+                scan_leaf(db, graph, *unit, Some((pushed_preds, graph)), token)?
+            } else {
+                build_threaded(db, graph, input, token)?
+            };
             match bind_preds(graph, pushed_preds, child.schema())? {
                 Some(pred) => Ok(Box::new(Filter::new(child, pred))),
                 None => Ok(child),

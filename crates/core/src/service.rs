@@ -57,6 +57,12 @@ pub struct ServiceConfig {
     /// beyond it wait in the queue unserved until a connection closes,
     /// with no greeting or timeout. The queue is therefore only useful
     /// slack for short-lived connections.
+    ///
+    /// Size any client-side [`ConnectionPool`](csq_client::ConnectionPool)
+    /// at **pool ≤ workers**: a pool connection is a long-lived session
+    /// that pins a worker for the lifetime of the pool, so a pool larger
+    /// than the worker count guarantees some checkouts park in the
+    /// admission queue unserved until another pooled connection closes.
     pub workers: usize,
     /// Cap on admitted sessions (executing + queued). Connections beyond
     /// this are refused with a `limit` error instead of queueing unboundedly.
@@ -80,6 +86,57 @@ pub struct ServiceConfig {
     pub shed_queue_depth: usize,
 }
 
+impl ServiceConfig {
+    /// Start building a config from the defaults; [`ServiceConfigBuilder::build`]
+    /// validates coherence before handing the config back.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// Reject incoherent settings with a typed `config` error. Called by
+    /// [`start`]/[`start_on`] on every config (struct-literal ones too), so
+    /// a bad config fails at startup instead of misbehaving under load.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |m: String| Err(CsqError::Config(m));
+        if self.workers == 0 {
+            return fail("workers must be at least 1".into());
+        }
+        if self.max_sessions == 0 {
+            return fail("max_sessions must be at least 1 (0 admits nobody)".into());
+        }
+        if self.max_sessions < self.workers {
+            return fail(format!(
+                "max_sessions ({}) below workers ({}): the extra workers can never be used",
+                self.max_sessions, self.workers
+            ));
+        }
+        // usize::MAX is the documented "never shed" sentinel; any other
+        // value past the hard session cap is a threshold that can never
+        // trigger — almost certainly a mis-sized knob.
+        if self.shed_queue_depth != usize::MAX && self.shed_queue_depth > self.max_sessions {
+            return fail(format!(
+                "shed_queue_depth ({}) exceeds max_sessions ({}): the hard admission cap                  always fires first, so shedding can never trigger",
+                self.shed_queue_depth, self.max_sessions
+            ));
+        }
+        if self.chunk_rows == 0 {
+            return fail("chunk_rows must be at least 1".into());
+        }
+        if self.max_frame == 0 {
+            return fail("max_frame must be nonzero".into());
+        }
+        if self.idle_timeout.is_zero() {
+            return fail("idle_timeout must be nonzero (zero busy-polls the shutdown flag)".into());
+        }
+        if self.write_timeout.is_zero() {
+            return fail("write_timeout must be nonzero (zero fails every send)".into());
+        }
+        Ok(())
+    }
+}
+
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
@@ -91,6 +148,67 @@ impl Default for ServiceConfig {
             chunk_rows: DEFAULT_BATCH_SIZE,
             shed_queue_depth: usize::MAX,
         }
+    }
+}
+
+/// Builder for [`ServiceConfig`] whose [`build`](Self::build) validates the
+/// result, so incoherent settings surface as a typed `config` error at
+/// construction rather than odd behavior at runtime.
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Session worker threads (see [`ServiceConfig::workers`]; size client
+    /// pools at pool ≤ workers).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Cap on admitted sessions (executing + queued).
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.config.max_sessions = n;
+        self
+    }
+
+    /// How often an idle session polls the shutdown flag.
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.config.idle_timeout = d;
+        self
+    }
+
+    /// Per-frame payload cap for incoming requests.
+    pub fn max_frame(mut self, bytes: usize) -> Self {
+        self.config.max_frame = bytes;
+        self
+    }
+
+    /// Write stall budget for unresponsive result readers.
+    pub fn write_timeout(mut self, d: Duration) -> Self {
+        self.config.write_timeout = d;
+        self
+    }
+
+    /// Rows per streamed result chunk.
+    pub fn chunk_rows(mut self, n: usize) -> Self {
+        self.config.chunk_rows = n;
+        self
+    }
+
+    /// Queue-depth load-shedding threshold (waiting sessions beyond this
+    /// are refused with a retryable `limit` error).
+    pub fn shed_queue_depth(mut self, depth: usize) -> Self {
+        self.config.shed_queue_depth = depth;
+        self
+    }
+
+    /// Validate and produce the config (typed `config` error on
+    /// incoherent settings — see [`ServiceConfig::validate`]).
+    pub fn build(self) -> Result<ServiceConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -272,6 +390,7 @@ pub fn start_on(
     addr: impl ToSocketAddrs,
     config: ServiceConfig,
 ) -> Result<ServiceHandle> {
+    config.validate()?;
     let listener =
         TcpListener::bind(addr).map_err(|e| CsqError::Net(format!("bind service: {e}")))?;
     let local = listener
@@ -280,7 +399,7 @@ pub fn start_on(
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServiceStats::default());
     let net = NetStats::new();
-    let pool = Arc::new(WorkerPool::new(config.workers.max(1)));
+    let pool = Arc::new(WorkerPool::new(config.workers));
     let active = Arc::new(AtomicUsize::new(0));
 
     let accept = {
@@ -672,5 +791,87 @@ fn answer_execution(
                 },
             )
         }
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        let built = ServiceConfig::builder().build().unwrap();
+        assert_eq!(built.workers, ServiceConfig::default().workers);
+    }
+
+    #[test]
+    fn builder_roundtrips_settings() {
+        let c = ServiceConfig::builder()
+            .workers(2)
+            .max_sessions(8)
+            .shed_queue_depth(4)
+            .chunk_rows(128)
+            .max_frame(1 << 20)
+            .idle_timeout(Duration::from_millis(50))
+            .write_timeout(Duration::from_secs(5))
+            .build()
+            .unwrap();
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.max_sessions, 8);
+        assert_eq!(c.shed_queue_depth, 4);
+        assert_eq!(c.chunk_rows, 128);
+        assert_eq!(c.max_frame, 1 << 20);
+        assert_eq!(c.idle_timeout, Duration::from_millis(50));
+        assert_eq!(c.write_timeout, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn incoherent_configs_rejected_with_config_kind() {
+        let cases: Vec<ServiceConfigBuilder> = vec![
+            ServiceConfig::builder().workers(0),
+            ServiceConfig::builder().max_sessions(0),
+            // More workers than the session cap: extra workers are dead weight.
+            ServiceConfig::builder().workers(8).max_sessions(4),
+            // Shed threshold past the hard cap can never fire.
+            ServiceConfig::builder()
+                .shed_queue_depth(100)
+                .max_sessions(64),
+            ServiceConfig::builder().chunk_rows(0),
+            ServiceConfig::builder().max_frame(0),
+            ServiceConfig::builder().idle_timeout(Duration::ZERO),
+            ServiceConfig::builder().write_timeout(Duration::ZERO),
+        ];
+        for b in cases {
+            let err = b.clone().build().unwrap_err();
+            assert_eq!(err.kind(), "config", "builder {b:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn shed_sentinel_means_never_shed_and_stays_valid() {
+        // usize::MAX is "shedding disabled", not a threshold above the cap.
+        assert!(ServiceConfig::builder()
+            .shed_queue_depth(usize::MAX)
+            .max_sessions(4)
+            .workers(2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn start_refuses_invalid_config() {
+        let db = std::sync::Arc::new(crate::Database::new(csq_net::NetworkSpec::symmetric(
+            100_000.0, 0,
+        )));
+        let cfg = ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        };
+        let err = match start(db, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-worker config must be refused at start"),
+        };
+        assert_eq!(err.kind(), "config");
     }
 }

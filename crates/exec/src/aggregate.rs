@@ -39,6 +39,7 @@ use csq_common::{CsqError, DataType, Field, Result, Row, RowBatch, Schema, Value
 use csq_expr::{physical::eval_binary, AggFunc, BinaryOp, PhysExpr};
 
 use crate::ops::{batch_operator, compare_values, RowCarry};
+use crate::spill::{MemoryTracker, SpillFile, ENTRY_OVERHEAD, SPILL_PARTITIONS};
 use crate::{BoxOp, Operator};
 
 /// One aggregate call evaluated by [`HashAggregate`]: a function over an
@@ -253,6 +254,17 @@ enum Mode {
 }
 
 /// The vectorized GROUP BY operator; see the module docs.
+///
+/// With a [`MemoryTracker`] attached (via
+/// [`with_memory`](HashAggregate::with_memory)), the build phase spills when
+/// the budget is exceeded: the accumulated groups are emitted as
+/// partial-state rows, hash-partitioned by group key into temp files, and
+/// the table is cleared; at end of input each partition is read back and
+/// merged independently (disjoint key sets, so peak memory is ~1/16th of
+/// the working set). Results are identical to the in-memory path except for
+/// group *order*, which becomes partition-major instead of global
+/// first-occurrence (GROUP BY output order is unspecified; an explicit
+/// ORDER BY above is unaffected).
 pub struct HashAggregate {
     input: Option<BoxOp>,
     /// Group-key column ordinals in the input.
@@ -262,6 +274,14 @@ pub struct HashAggregate {
     schema: Arc<Schema>,
     groups: Option<std::vec::IntoIter<Row>>,
     carry: RowCarry,
+    /// Byte budget shared with other operators; `None` = never spill.
+    memory: Option<Arc<MemoryTracker>>,
+    /// Approximate bytes currently registered with the tracker.
+    tracked: usize,
+    /// Spill partitions, created on first overflow.
+    spilled: Vec<SpillFile>,
+    /// Times the build flushed its table to disk.
+    spill_events: usize,
 }
 
 /// The output schema of a single-phase aggregation: the input's key fields
@@ -297,6 +317,10 @@ impl HashAggregate {
             schema,
             groups: None,
             carry: RowCarry::default(),
+            memory: None,
+            tracked: 0,
+            spilled: Vec::new(),
+            spill_events: 0,
         }
     }
 
@@ -311,6 +335,10 @@ impl HashAggregate {
             schema,
             groups: None,
             carry: RowCarry::default(),
+            memory: None,
+            tracked: 0,
+            spilled: Vec::new(),
+            spill_events: 0,
         }
     }
 
@@ -349,7 +377,24 @@ impl HashAggregate {
             schema: Arc::new(Schema::new(fields)),
             groups: None,
             carry: RowCarry::default(),
+            memory: None,
+            tracked: 0,
+            spilled: Vec::new(),
+            spill_events: 0,
         })
+    }
+
+    /// Attach a shared memory budget: the build spills to temp files instead
+    /// of growing past it (see the struct docs).
+    pub fn with_memory(mut self, tracker: Arc<MemoryTracker>) -> HashAggregate {
+        self.memory = Some(tracker);
+        self
+    }
+
+    /// Times the build phase spilled its group table to disk (0 = the fully
+    /// in-memory path ran).
+    pub fn spill_events(&self) -> usize {
+        self.spill_events
     }
 
     /// Drain the input and build the group table (insertion-ordered so the
@@ -363,13 +408,16 @@ impl HashAggregate {
         let mut index: HashMap<Row, usize> = HashMap::with_capacity(hint);
         let mut groups: Vec<(Row, Vec<AggState>)> = Vec::with_capacity(hint);
         let key_len = self.key.len();
+        let state_width: usize = self.aggs.iter().map(AggSpec::state_width).sum();
         while let Some(batch) = input.next_batch()? {
+            let mut added = 0usize;
             for row in batch.rows() {
                 let key = row.project(&self.key);
                 let gi = match index.get(&key) {
                     Some(&i) => i,
                     None => {
                         let i = groups.len();
+                        added += key.wire_size() + state_width * 16 + ENTRY_OVERHEAD;
                         groups.push((
                             key.clone(),
                             self.aggs.iter().map(|a| AggState::init(a.func)).collect(),
@@ -402,7 +450,24 @@ impl HashAggregate {
                     }
                 }
             }
+            if let Some(t) = self.memory.clone() {
+                self.tracked += added;
+                t.grow(added);
+                // Budget check at batch granularity: flush the table as
+                // partial-state rows, hash-partitioned by key, and continue
+                // with an empty table.
+                if t.over_budget() && !groups.is_empty() {
+                    self.spill_groups(&mut index, &mut groups)?;
+                    t.record_spill();
+                }
+            }
         }
+        if !self.spilled.is_empty() {
+            self.spill_groups(&mut index, &mut groups)?;
+            self.release_tracked();
+            return self.merge_spilled();
+        }
+        self.release_tracked();
         // A global aggregate (no GROUP BY) over zero rows still produces one
         // group: COUNT(*) = 0, SUM/MIN/MAX/AVG = NULL.
         if groups.is_empty() && self.key.is_empty() {
@@ -424,6 +489,103 @@ impl HashAggregate {
                 }
             }
             out.push(Row::new(vals));
+        }
+        Ok(out)
+    }
+
+    fn release_tracked(&mut self) {
+        if let Some(t) = &self.memory {
+            t.shrink(self.tracked);
+        }
+        self.tracked = 0;
+    }
+
+    /// Flush the current group table to the spill partitions as
+    /// partial-state rows (creating the partitions on first use) and clear
+    /// it, releasing its registered bytes.
+    fn spill_groups(
+        &mut self,
+        index: &mut HashMap<Row, usize>,
+        groups: &mut Vec<(Row, Vec<AggState>)>,
+    ) -> Result<()> {
+        if self.spilled.is_empty() {
+            self.spilled = (0..SPILL_PARTITIONS)
+                .map(|_| SpillFile::create())
+                .collect::<Result<_>>()?;
+        }
+        if groups.is_empty() {
+            return Ok(());
+        }
+        self.spill_events += 1;
+        let key_cols: Vec<usize> = (0..self.key.len()).collect();
+        let state_width: usize = self.aggs.iter().map(AggSpec::state_width).sum();
+        let mut chunks: Vec<Vec<Row>> = vec![Vec::new(); self.spilled.len()];
+        for (key, states) in groups.drain(..) {
+            let mut vals = key.into_values();
+            vals.reserve(state_width);
+            for st in states {
+                st.emit_state(&mut vals);
+            }
+            let row = Row::new(vals);
+            let p = row.partition_of(Some(&key_cols), self.spilled.len());
+            chunks[p].push(row);
+        }
+        index.clear();
+        for (part, chunk) in self.spilled.iter_mut().zip(&chunks) {
+            part.write_rows(chunk)?;
+        }
+        self.release_tracked();
+        Ok(())
+    }
+
+    /// Read the spill partitions back one at a time, merging each
+    /// partition's partial-state rows (disjoint key sets) and emitting per
+    /// the operator's mode.
+    fn merge_spilled(&mut self) -> Result<Vec<Row>> {
+        let parts = std::mem::take(&mut self.spilled);
+        let key_len = self.key.len();
+        let key_cols: Vec<usize> = (0..key_len).collect();
+        let emit_state = self.mode == Mode::Partial;
+        let mut out = Vec::new();
+        for part in parts {
+            let mut reader = part.into_reader()?;
+            let mut index: HashMap<Row, usize> = HashMap::new();
+            let mut groups: Vec<(Row, Vec<AggState>)> = Vec::new();
+            while let Some(frame) = reader.next_frame()? {
+                for row in frame {
+                    let key = row.project(&key_cols);
+                    let gi = match index.get(&key) {
+                        Some(&i) => i,
+                        None => {
+                            let i = groups.len();
+                            groups.push((
+                                key.clone(),
+                                self.aggs.iter().map(|a| AggState::init(a.func)).collect(),
+                            ));
+                            index.insert(key, i);
+                            i
+                        }
+                    };
+                    let vals = row.values();
+                    let mut at = key_len;
+                    for (spec, st) in self.aggs.iter().zip(groups[gi].1.iter_mut()) {
+                        let w = spec.state_width();
+                        st.merge(&vals[at..at + w])?;
+                        at += w;
+                    }
+                }
+            }
+            for (key, states) in groups {
+                let mut vals = key.into_values();
+                for st in states {
+                    if emit_state {
+                        st.emit_state(&mut vals);
+                    } else {
+                        vals.push(st.finish()?);
+                    }
+                }
+                out.push(Row::new(vals));
+            }
         }
         Ok(out)
     }
@@ -659,6 +821,89 @@ mod tests {
         let first = agg.next().unwrap().unwrap();
         assert_eq!(first.value(0), &Value::Int(1));
         assert_eq!(agg.size_hint(), Some(2));
+    }
+
+    #[test]
+    fn spilling_aggregate_matches_in_memory() {
+        // A budget far below the working set forces repeated table flushes;
+        // the merged result must equal the in-memory path up to order.
+        let data: Vec<Row> = (0..5000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 97),
+                    if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    Value::Float((i % 7) as f64),
+                ])
+            })
+            .collect();
+        let in_mem = {
+            let mut a = HashAggregate::new(
+                Box::new(RowsOp::new(schema(), data.clone())),
+                vec![0],
+                specs(),
+            );
+            collect(&mut a).unwrap()
+        };
+        let tracker = MemoryTracker::new(2048);
+        let mut spilling =
+            HashAggregate::new(Box::new(RowsOp::new(schema(), data)), vec![0], specs())
+                .with_memory(tracker.clone());
+        let spilled = collect(&mut spilling).unwrap();
+        assert!(spilling.spill_events() > 0, "budget must force a spill");
+        assert!(tracker.spill_count() > 0);
+        assert_eq!(tracker.used(), 0, "all tracked bytes released");
+        let sorted = |mut v: Vec<Row>| {
+            v.sort_by_key(|r| format!("{r}"));
+            v
+        };
+        assert_eq!(sorted(spilled), sorted(in_mem));
+    }
+
+    #[test]
+    fn spilling_global_aggregate_matches_in_memory() {
+        let data: Vec<Row> = (0..2000)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i), Value::Float(0.5)]))
+            .collect();
+        // Global aggregate: one group, but a zero-byte budget still exercises
+        // the spill + single-partition merge path.
+        let mut agg = HashAggregate::new(Box::new(RowsOp::new(schema(), data)), vec![], specs())
+            .with_memory(MemoryTracker::new(0));
+        let out = collect(&mut agg).unwrap();
+        assert!(agg.spill_events() > 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0), &Value::Int(2000)); // COUNT(*)
+        assert_eq!(out[0].value(2), &Value::Int(2000 * 1999 / 2)); // SUM
+    }
+
+    #[test]
+    fn spilling_partial_mode_emits_mergeable_states() {
+        // Partial-mode spill must still emit *state* rows that a Final
+        // aggregate can merge into the same answer as single-phase.
+        let data: Vec<Row> = (0..3000)
+            .map(|i| Row::new(vec![Value::Int(i % 31), Value::Int(i), Value::Float(1.0)]))
+            .collect();
+        let single = {
+            let mut a = HashAggregate::new(
+                Box::new(RowsOp::new(schema(), data.clone())),
+                vec![0],
+                specs(),
+            );
+            collect(&mut a).unwrap()
+        };
+        let partial =
+            HashAggregate::partial(Box::new(RowsOp::new(schema(), data)), vec![0], specs())
+                .with_memory(MemoryTracker::new(1024));
+        let mut f = HashAggregate::finalize(Box::new(partial), 1, specs()).unwrap();
+        let merged = collect(&mut f).unwrap();
+        let sorted = |mut v: Vec<Row>| {
+            v.sort_by_key(|r| format!("{r}"));
+            v
+        };
+        assert_eq!(sorted(merged), sorted(single));
     }
 
     #[test]

@@ -18,6 +18,9 @@ use csq_common::{Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
 use csq_expr::PhysExpr;
 
 use crate::ops::{batch_operator, collect, compare_on_keys, Operator, RowCarry};
+use crate::spill::{
+    partition_rows, MemoryTracker, SpillFile, SpillReader, ENTRY_OVERHEAD, SPILL_PARTITIONS,
+};
 
 /// Pulls batches from a child operator and hands rows out one at a time —
 /// the input-side adapter for operators whose algorithm is inherently
@@ -50,6 +53,14 @@ impl BatchCursor {
 
 /// Hash equi-join: builds the right input, probes with the left, one batch
 /// of probe rows at a time. Output schema = left ⊕ right.
+///
+/// With a [`MemoryTracker`] attached (via [`with_memory`](HashJoin::with_memory))
+/// this becomes a Grace hash join under pressure: if the build side exceeds
+/// the budget, both sides are hash-partitioned by join key into temp files
+/// and each partition pair is joined independently — the build table of one
+/// partition in memory, its probe rows streamed frame by frame. Matching
+/// keys land in matching partitions, so the result set is identical to the
+/// in-memory join up to row order.
 pub struct HashJoin {
     left: Box<dyn Operator + Send>,
     right: Option<Box<dyn Operator + Send>>,
@@ -58,6 +69,20 @@ pub struct HashJoin {
     schema: Arc<Schema>,
     table: Option<HashMap<Row, Vec<Row>>>,
     carry: RowCarry,
+    /// Byte budget shared with other operators; `None` = never spill.
+    memory: Option<Arc<MemoryTracker>>,
+    /// Approximate bytes registered for the in-memory build table.
+    tracked: usize,
+    grace: Option<GraceJoin>,
+    spill_events: usize,
+}
+
+/// Partition-wise join state after a build-side spill.
+struct GraceJoin {
+    /// Remaining (build, probe) partition pairs.
+    parts: std::vec::IntoIter<(SpillFile, SpillFile)>,
+    /// The partition being joined: its build table and probe reader.
+    current: Option<(HashMap<Row, Vec<Row>>, SpillReader)>,
 }
 
 impl HashJoin {
@@ -78,22 +103,152 @@ impl HashJoin {
             schema,
             table: None,
             carry: RowCarry::default(),
+            memory: None,
+            tracked: 0,
+            grace: None,
+            spill_events: 0,
+        }
+    }
+
+    /// Attach a shared memory budget: a build side that exceeds it degrades
+    /// into a partition-wise Grace join (see the struct docs).
+    pub fn with_memory(mut self, tracker: Arc<MemoryTracker>) -> HashJoin {
+        self.memory = Some(tracker);
+        self
+    }
+
+    /// Times the build side spilled to disk (0 or 1 for a hash join).
+    pub fn spill_events(&self) -> usize {
+        self.spill_events
+    }
+
+    fn release_tracked(&mut self) {
+        if let Some(t) = &self.memory {
+            t.shrink(self.tracked);
+        }
+        self.tracked = 0;
+    }
+
+    /// Build the right side: into an in-memory table, or — when the budget
+    /// is crossed — into hash partitions on disk, in which case the entire
+    /// probe side is partitioned too and `self.grace` takes over.
+    fn build(&mut self) -> Result<()> {
+        let mut right = self.right.take().expect("hash join built twice");
+        let mut table: HashMap<Row, Vec<Row>> = HashMap::new();
+        let mut spill: Option<Vec<SpillFile>> = None;
+        let mut scratch: Vec<Vec<Row>> = Vec::new();
+        while let Some(batch) = right.next_batch()? {
+            if let Some(parts) = spill.as_mut() {
+                partition_rows(parts, Some(&self.right_key), batch.rows(), &mut scratch)?;
+                continue;
+            }
+            let mut added = 0usize;
+            for r in batch.rows() {
+                added += r.wire_size() + ENTRY_OVERHEAD;
+                table
+                    .entry(r.project(&self.right_key))
+                    .or_default()
+                    .push(r.clone());
+            }
+            if let Some(t) = self.memory.clone() {
+                self.tracked += added;
+                t.grow(added);
+                if t.over_budget() && !table.is_empty() {
+                    // Flush the partial build table to partitions and keep
+                    // partitioning the rest of the input straight to disk.
+                    let mut parts: Vec<SpillFile> = (0..SPILL_PARTITIONS)
+                        .map(|_| SpillFile::create())
+                        .collect::<Result<_>>()?;
+                    let rows: Vec<Row> = table.drain().flat_map(|(_, v)| v).collect();
+                    partition_rows(&mut parts, Some(&self.right_key), &rows, &mut scratch)?;
+                    drop(rows);
+                    self.release_tracked();
+                    t.record_spill();
+                    self.spill_events += 1;
+                    spill = Some(parts);
+                }
+            }
+        }
+        if let Some(build_parts) = spill {
+            let mut probe_parts: Vec<SpillFile> = (0..SPILL_PARTITIONS)
+                .map(|_| SpillFile::create())
+                .collect::<Result<_>>()?;
+            while let Some(batch) = self.left.next_batch()? {
+                partition_rows(
+                    &mut probe_parts,
+                    Some(&self.left_key),
+                    batch.rows(),
+                    &mut scratch,
+                )?;
+            }
+            let pairs: Vec<(SpillFile, SpillFile)> =
+                build_parts.into_iter().zip(probe_parts).collect();
+            self.grace = Some(GraceJoin {
+                parts: pairs.into_iter(),
+                current: None,
+            });
+        } else {
+            self.table = Some(table);
+        }
+        Ok(())
+    }
+
+    /// Join one partition pair at a time, streaming probe frames.
+    fn grace_step(&mut self) -> Result<Option<RowBatch>> {
+        let HashJoin {
+            grace,
+            left_key,
+            right_key,
+            schema,
+            ..
+        } = self;
+        let g = grace.as_mut().expect("grace state missing");
+        loop {
+            if let Some((table, probe)) = g.current.as_mut() {
+                while let Some(frame) = probe.next_frame()? {
+                    let mut out = Vec::new();
+                    for l in &frame {
+                        let key = l.project(left_key);
+                        // SQL semantics: NULL keys never match.
+                        if key.values().iter().any(|v| v.is_null()) {
+                            continue;
+                        }
+                        if let Some(matches) = table.get(&key) {
+                            out.reserve(matches.len());
+                            for r in matches {
+                                out.push(l.join(r));
+                            }
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(RowBatch::from_rows(schema.clone(), out)));
+                    }
+                }
+                g.current = None;
+            }
+            let Some((build, probe)) = g.parts.next() else {
+                return Ok(None);
+            };
+            let rows = build.into_reader()?.read_all()?;
+            let mut table: HashMap<Row, Vec<Row>> = HashMap::with_capacity(rows.len());
+            for r in rows {
+                table.entry(r.project(right_key)).or_default().push(r);
+            }
+            g.current = Some((table, probe.into_reader()?));
         }
     }
 
     fn produce(&mut self) -> Result<Option<RowBatch>> {
-        if self.table.is_none() {
-            let mut right = self.right.take().expect("hash join built twice");
-            let rows = collect(right.as_mut())?;
-            let mut table: HashMap<Row, Vec<Row>> = HashMap::with_capacity(rows.len());
-            for r in rows {
-                table.entry(r.project(&self.right_key)).or_default().push(r);
-            }
-            self.table = Some(table);
+        if self.table.is_none() && self.grace.is_none() {
+            self.build()?;
+        }
+        if self.grace.is_some() {
+            return self.grace_step();
         }
         let table = self.table.as_ref().unwrap();
         loop {
             let Some(batch) = self.left.next_batch()? else {
+                self.release_tracked();
                 return Ok(None);
             };
             let mut out = Vec::new();
@@ -114,6 +269,14 @@ impl HashJoin {
                 return Ok(Some(RowBatch::from_rows(self.schema.clone(), out)));
             }
         }
+    }
+}
+
+impl Drop for HashJoin {
+    fn drop(&mut self) {
+        // Release build-table bytes if the probe never ran to completion
+        // (e.g. a LIMIT above cut the pipeline short).
+        self.release_tracked();
     }
 }
 
@@ -460,6 +623,67 @@ mod tests {
         let out = collect(&mut theta).unwrap();
         // (1,1):no (1,3):yes (2,1):no (2,3):yes
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn grace_join_matches_in_memory() {
+        // Build side far over the budget → partition-wise join; result must
+        // equal the in-memory join up to order, including NULL-key semantics.
+        let (ls, _) = side("l", &[]);
+        let (rs, _) = side("r", &[]);
+        let null_or = |i: i64| {
+            if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 53)
+            }
+        };
+        let lrows: Vec<Row> = (0..1500)
+            .map(|i| Row::new(vec![null_or(i), Value::from(format!("l{i}"))]))
+            .collect();
+        let rrows: Vec<Row> = (0..2000)
+            .map(|i| Row::new(vec![null_or(i + 1), Value::from(format!("r{i}"))]))
+            .collect();
+        let mut in_mem = HashJoin::new(
+            Box::new(RowsOp::new(ls.clone(), lrows.clone())),
+            Box::new(RowsOp::new(rs.clone(), rrows.clone())),
+            vec![0],
+            vec![0],
+        );
+        let mut expected = collect(&mut in_mem).unwrap();
+
+        let tracker = MemoryTracker::new(4096);
+        let mut grace = HashJoin::new(
+            Box::new(RowsOp::new(ls, lrows)),
+            Box::new(RowsOp::new(rs, rrows)),
+            vec![0],
+            vec![0],
+        )
+        .with_memory(tracker.clone());
+        let mut got = collect(&mut grace).unwrap();
+        assert_eq!(grace.spill_events(), 1, "budget must force the spill");
+        assert_eq!(tracker.used(), 0, "build bytes released on spill");
+
+        expected.sort_by_key(|r| format!("{r}"));
+        got.sort_by_key(|r| format!("{r}"));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn generous_budget_stays_in_memory() {
+        let (ls, lr) = side("l", &[(1, "a"), (2, "b")]);
+        let (rs, rr) = side("r", &[(1, "x"), (2, "y")]);
+        let tracker = MemoryTracker::new(1 << 20);
+        let mut j = HashJoin::new(
+            Box::new(RowsOp::new(ls, lr)),
+            Box::new(RowsOp::new(rs, rr)),
+            vec![0],
+            vec![0],
+        )
+        .with_memory(tracker.clone());
+        assert_eq!(collect(&mut j).unwrap().len(), 2);
+        assert_eq!(j.spill_events(), 0);
+        assert_eq!(tracker.used(), 0, "released when the probe side drains");
     }
 
     #[test]

@@ -26,19 +26,21 @@ pub mod join;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod spill;
 
 pub use aggregate::{aggregate_output_schema, aggregate_state_schema, AggSpec, HashAggregate};
 pub use exchange::{Exchange, PartitionBuilder};
 pub use join::{HashJoin, MergeJoin, NestedLoopJoin};
 pub use ops::{
-    collect, compare_values, CancelCheck, Distinct, Filter, Limit, MemScan, Operator, Project,
-    RowsOp, Sort,
+    collect, compare_values, CancelCheck, ColumnarScan, Distinct, Filter, Limit, MemScan, Operator,
+    Project, RowsOp, Sort,
 };
 pub use parallel::{
     BatchStage, ClosureFactory, FilterStageFactory, ParallelOpts, ParallelPipeline,
     ProjectStageFactory, StageFactory,
 };
 pub use pool::WorkerPool;
+pub use spill::MemoryTracker;
 
 /// A boxed operator, the unit of plan composition.
 pub type BoxOp = Box<dyn Operator + Send>;

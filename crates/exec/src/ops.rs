@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use csq_common::{CsqError, Field, Result, Row, RowBatch, Schema, Value, DEFAULT_BATCH_SIZE};
 use csq_expr::{BinaryOp, PhysExpr};
-use csq_storage::Table;
+use csq_storage::{FilterSpec, ScanSource, ScanStats, Table, TableScan};
 
 /// A pull operator. The engine-facing interface is [`Operator::next_batch`];
 /// `next` exists so row-at-a-time callers (and operators that are inherently
@@ -206,6 +206,43 @@ impl MemScan {
 }
 
 batch_operator!(MemScan, hint: |s: &MemScan| Some(s.rows.len()));
+
+/// Batch-native scan over a table's columnar segments with zone-map pruning
+/// (DESIGN.md §11): the compiled [`FilterSpec`] — the pushable prefix of the
+/// filter above this scan — skips whole segments before any column data is
+/// touched. The filter operator above remains authoritative for row-level
+/// semantics; pruning only removes segments it would have rejected
+/// wholesale. [`MemScan`] stays as the row-vector oracle this scan is
+/// differentially tested against.
+pub struct ColumnarScan {
+    schema: Arc<Schema>,
+    scan: TableScan,
+    carry: RowCarry,
+}
+
+impl ColumnarScan {
+    /// Open a pruning scan over `table`, columns qualified with `alias`.
+    pub fn new(table: &Arc<Table>, alias: &str, spec: Option<&FilterSpec>) -> Result<ColumnarScan> {
+        let schema = Arc::new(table.schema().qualify(alias));
+        let scan = table.scan_as(schema.clone(), spec)?;
+        Ok(ColumnarScan {
+            schema,
+            scan,
+            carry: RowCarry::default(),
+        })
+    }
+
+    /// Pruning accounting (segments pruned/scanned, tail rows).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan.stats()
+    }
+
+    fn produce(&mut self) -> Result<Option<RowBatch>> {
+        Ok(self.scan.next_batch())
+    }
+}
+
+batch_operator!(ColumnarScan, hint: |s: &ColumnarScan| Some(s.scan.remaining_rows()));
 
 /// Move up to one batch worth of rows out of a materialized iterator.
 pub(crate) fn produce_chunk(

@@ -667,6 +667,35 @@ mod tests {
         ]
     }
 
+    #[test]
+    fn pipeline_dispenses_morsels_over_pruned_columnar_scan() {
+        // A ColumnarScan source feeds the dispenser segment by segment; the
+        // pipeline re-chunks those into morsels, and zone-map pruning means
+        // the workers never see the disproved segments at all.
+        use crate::ops::ColumnarScan;
+        use csq_storage::{FilterSpec, Table};
+        let t = Table::with_segment_rows("t", schema(), 64).unwrap();
+        t.insert_all(rows(1000)).unwrap();
+        let pred = gt_pred(0, 899);
+        let spec = FilterSpec::from_phys(&pred).unwrap();
+        let t = std::sync::Arc::new(t);
+        let scan = ColumnarScan::new(&t, "t", Some(&spec)).unwrap();
+        assert!(
+            scan.scan_stats().segments_pruned >= 10,
+            "tight range must prune most 64-row segments"
+        );
+        let mut p = ParallelPipeline::new(
+            Box::new(scan),
+            vec![Box::new(FilterStageFactory::new(pred))],
+            opts(4, true),
+        )
+        .unwrap();
+        let out = collect(&mut p).unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0].value(0), &Value::Int(900));
+        assert_eq!(out[99].value(0), &Value::Int(999));
+    }
+
     fn opts(workers: usize, ordered: bool) -> ParallelOpts {
         ParallelOpts {
             workers,

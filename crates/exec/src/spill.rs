@@ -1,0 +1,345 @@
+//! Memory budgeting and spill files for larger-than-memory operators.
+//!
+//! [`MemoryTracker`] is a shared byte budget: stateful operators
+//! ([`HashAggregate`](crate::HashAggregate), [`HashJoin`](crate::HashJoin))
+//! register the approximate bytes they hold and consult [`
+//! MemoryTracker::over_budget`] at batch boundaries. When the budget is
+//! exceeded they *spill*: accumulated state is hash-partitioned by key into
+//! temp files (the wire row codec is the on-disk format) and merged back
+//! partition-by-partition, so peak memory is bounded by one partition
+//! instead of the whole working set. One tracker is shared by every operator
+//! of a query — or of a whole service — so 64 concurrent clients degrade
+//! into spilling instead of OOMing. See DESIGN.md §11.
+//!
+//! Spill files live under the system temp directory as
+//! `csq-spill-<pid>-<seq>.bin`, a sequence of length-prefixed frames each
+//! holding one wire-encoded row chunk. They are deleted on drop; a crash
+//! leaves them to the OS temp cleaner.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use csq_common::{codec, CsqError, Result, Row};
+
+/// Number of spill partitions: accumulated state is split by key hash so a
+/// merge pass holds ~1/16th of the working set.
+pub const SPILL_PARTITIONS: usize = 16;
+
+/// Hard cap on one spill frame's decoded size (a frame is written as one
+/// row chunk, far below this; the cap bounds allocation if a file is
+/// corrupted or truncated under us).
+const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// A shared byte budget for stateful operators.
+///
+/// Accounting is approximate (row wire sizes plus per-entry overhead) and
+/// advisory: operators keep running past the budget until their next batch
+/// boundary, then spill. `unlimited()` disables spilling entirely.
+#[derive(Debug)]
+pub struct MemoryTracker {
+    budget: usize,
+    used: AtomicUsize,
+    /// Times any operator crossed the budget and spilled (observability).
+    spills: AtomicUsize,
+}
+
+impl MemoryTracker {
+    /// A tracker with a byte budget.
+    pub fn new(budget: usize) -> Arc<MemoryTracker> {
+        Arc::new(MemoryTracker {
+            budget,
+            used: AtomicUsize::new(0),
+            spills: AtomicUsize::new(0),
+        })
+    }
+
+    /// A tracker that never triggers spilling.
+    pub fn unlimited() -> Arc<MemoryTracker> {
+        MemoryTracker::new(usize::MAX)
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Register `bytes` of operator state.
+    pub fn grow(&self, bytes: usize) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` of operator state.
+    pub fn shrink(&self, bytes: usize) {
+        // Saturating: a release can race another thread's grow/shrink, and
+        // under-counting is the safe direction for an advisory budget.
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            })
+            .ok();
+    }
+
+    /// Bytes currently registered.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// True when registered state exceeds the budget.
+    pub fn over_budget(&self) -> bool {
+        self.used.load(Ordering::Relaxed) > self.budget
+    }
+
+    /// Record one spill event.
+    pub fn record_spill(&self) {
+        self.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spill events since creation.
+    pub fn spill_count(&self) -> usize {
+        self.spills.load(Ordering::Relaxed)
+    }
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path() -> PathBuf {
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("csq-spill-{}-{}.bin", std::process::id(), seq))
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> CsqError {
+    CsqError::Exec(format!("spill {ctx}: {e}"))
+}
+
+/// One spill partition being written: length-prefixed frames of wire-encoded
+/// row chunks. The backing file is deleted when the writer (or the reader it
+/// turns into) is dropped.
+pub struct SpillFile {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    rows: usize,
+    buf: Vec<u8>,
+}
+
+impl SpillFile {
+    /// Create an empty spill partition in the temp directory.
+    pub fn create() -> Result<SpillFile> {
+        let path = spill_path();
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("create", e))?;
+        Ok(SpillFile {
+            path,
+            writer: Some(BufWriter::new(file)),
+            rows: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Append one frame of rows.
+    pub fn write_rows(&mut self, rows: &[Row]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let Some(w) = self.writer.as_mut() else {
+            return Err(CsqError::Exec("spill write after seal".into()));
+        };
+        self.buf.clear();
+        codec::encode_rows(rows, &mut self.buf);
+        let len = self.buf.len() as u32;
+        w.write_all(&len.to_le_bytes())
+            .and_then(|()| w.write_all(&self.buf))
+            .map_err(|e| io_err("write", e))?;
+        self.rows += rows.len();
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Seal the partition and reopen it for reading.
+    pub fn into_reader(mut self) -> Result<SpillReader> {
+        if let Some(w) = self.writer.take() {
+            w.into_inner()
+                .map_err(|e| io_err("flush", e.into_error()))?
+                .sync_data()
+                .ok();
+        }
+        let file = File::open(&self.path).map_err(|e| io_err("reopen", e))?;
+        let reader = SpillReader {
+            path: std::mem::take(&mut self.path),
+            reader: BufReader::new(file),
+            buf: Vec::new(),
+        };
+        std::mem::forget(self); // the reader now owns file deletion
+        Ok(reader)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        self.writer.take();
+        // Best effort: a failure leaves the file to the OS temp cleaner.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Reads a sealed spill partition frame by frame (bounded memory: one frame
+/// at a time). Deletes the backing file on drop.
+pub struct SpillReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    buf: Vec<u8>,
+}
+
+impl SpillReader {
+    /// The next frame of rows, or `None` at end of file.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<Row>>> {
+        let mut len_bytes = [0u8; 4];
+        match self.reader.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(io_err("read frame length", e)),
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len == 0 || len > MAX_FRAME_BYTES {
+            return Err(CsqError::Exec(format!(
+                "spill frame length {len} out of bounds (corrupt spill file?)"
+            )));
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize, 0);
+        self.reader
+            .read_exact(&mut self.buf)
+            .map_err(|e| io_err("read frame", e))?;
+        codec::decode_rows(&self.buf).map(Some)
+    }
+
+    /// Drain every remaining frame into one vector (used when a whole
+    /// partition is known to fit in memory, e.g. a build-side partition).
+    pub fn read_all(&mut self) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        while let Some(frame) = self.next_frame()? {
+            out.extend(frame);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Estimated in-memory overhead per tracked hash-table entry beyond the row
+/// payload (hash bucket, Vec header, AggState enum). Deliberately rough —
+/// the budget is advisory and errs toward spilling early.
+pub const ENTRY_OVERHEAD: usize = 48;
+
+/// Partition a set of spill files: write `rows` split by the hash of the
+/// row's `key` columns.
+pub fn partition_rows(
+    parts: &mut [SpillFile],
+    key: Option<&[usize]>,
+    rows: &[Row],
+    scratch: &mut Vec<Vec<Row>>,
+) -> Result<()> {
+    scratch.iter_mut().for_each(Vec::clear);
+    scratch.resize(parts.len(), Vec::new());
+    for r in rows {
+        let p = r.partition_of(key, parts.len());
+        scratch[p].push(r.clone());
+    }
+    for (part, chunk) in parts.iter_mut().zip(scratch.iter()) {
+        part.write_rows(chunk)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_common::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::from(format!("v{i}"))])
+    }
+
+    #[test]
+    fn spill_roundtrip_and_cleanup() {
+        let mut f = SpillFile::create().unwrap();
+        let rows: Vec<Row> = (0..100).map(row).collect();
+        f.write_rows(&rows[..50]).unwrap();
+        f.write_rows(&rows[50..]).unwrap();
+        assert_eq!(f.rows(), 100);
+        let path = f.path.clone();
+        assert!(path.exists());
+        let mut r = f.into_reader().unwrap();
+        let back = r.read_all().unwrap();
+        assert_eq!(back, rows);
+        drop(r);
+        assert!(!path.exists(), "spill file must be deleted on drop");
+    }
+
+    #[test]
+    fn writer_drop_removes_file() {
+        let f = SpillFile::create().unwrap();
+        let path = f.path.clone();
+        drop(f);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn partitioning_is_key_stable() {
+        let mut parts: Vec<SpillFile> = (0..4).map(|_| SpillFile::create().unwrap()).collect();
+        let rows: Vec<Row> = (0..64).map(|i| row(i % 8)).collect();
+        let mut scratch = Vec::new();
+        partition_rows(&mut parts, Some(&[0]), &rows, &mut scratch).unwrap();
+        let mut total = 0;
+        for p in parts {
+            let mut r = p.into_reader().unwrap();
+            let rows = r.read_all().unwrap();
+            total += rows.len();
+            // All copies of one key land in the same partition.
+            let mut keys: Vec<i64> = rows
+                .iter()
+                .map(|r| match r.value(0) {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            for k in keys {
+                assert_eq!(
+                    rows.iter()
+                        .filter(|r| matches!(r.value(0), Value::Int(i) if *i == k))
+                        .count(),
+                    8
+                );
+            }
+        }
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn tracker_budget_arithmetic() {
+        let t = MemoryTracker::new(1000);
+        assert!(!t.over_budget());
+        t.grow(600);
+        t.grow(600);
+        assert!(t.over_budget());
+        t.shrink(600);
+        assert!(!t.over_budget());
+        t.shrink(10_000);
+        assert_eq!(t.used(), 0, "shrink saturates at zero");
+    }
+}

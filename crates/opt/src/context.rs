@@ -22,9 +22,29 @@ pub struct TableStats {
     /// Average wire size of each column, bytes (for `A` and projection
     /// estimates); same order as the schema.
     pub col_bytes: Vec<f64>,
+    /// Zone-map profile of the table's sealed segments (empty for synthetic
+    /// stats): lets scan costing estimate how many segments a pushed filter
+    /// prunes without touching the table.
+    pub segments: Vec<csq_storage::SegmentZones>,
 }
 
 impl TableStats {
+    /// Estimated rows a scan actually touches under `spec`: rows of sealed
+    /// segments the zone maps fail to prune, plus unsealed rows not covered
+    /// by the profile. With no spec (or no profile) this is every row.
+    pub fn scan_rows_after_pruning(&self, spec: Option<&csq_storage::FilterSpec>) -> f64 {
+        let Some(spec) = spec else { return self.rows };
+        let profiled: usize = self.segments.iter().map(|s| s.rows).sum();
+        let surviving: usize = self
+            .segments
+            .iter()
+            .filter(|s| !spec.prunes_zones(s))
+            .map(|s| s.rows)
+            .sum();
+        let tail = (self.rows - profiled as f64).max(0.0);
+        surviving as f64 + tail
+    }
+
     /// Fraction of the record occupied by the given columns.
     pub fn fraction(&self, cols: &[usize]) -> f64 {
         if self.row_bytes <= 0.0 {
@@ -202,6 +222,7 @@ pub fn stats_from_table(table: &csq_storage::Table) -> TableStats {
         rows: rows.len() as f64,
         row_bytes: total / n,
         col_bytes,
+        segments: table.zone_profile(),
     }
 }
 

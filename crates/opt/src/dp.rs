@@ -238,6 +238,13 @@ pub(crate) fn optimize_inner(
             plan: PlanNode::Scan { unit: ri },
         };
         greedy_apply(&ctx, &mut s);
+        // Scan CPU, discounted by estimated zone-map pruning: the columnar
+        // scan skips whole segments the pushed filter prefix disproves, so
+        // the per-tuple term covers only the rows it actually touches.
+        // Every complete plan scans every relation exactly once with the
+        // same seed predicates, so the term sharpens cost estimates without
+        // changing which plan wins.
+        s.cost += ctx.server_cost(scan_rows_estimate(&ctx, ri, s.applied_preds));
         insert(&mut table, s);
     }
 
@@ -306,6 +313,29 @@ pub(crate) fn optimize_inner(
         root: best.plan,
         states_explored,
     })
+}
+
+/// Estimated rows the columnar scan of relation `unit` materializes under
+/// the predicates applied directly above it: the prunable prefix is
+/// compiled exactly as lowering compiles it (bind, then
+/// [`FilterSpec::from_phys`]) and held against the zone profiles captured
+/// in the table statistics.
+fn scan_rows_estimate(ctx: &Ctx<'_>, unit: usize, applied: u64) -> f64 {
+    let Unit::Rel { alias, stats, .. } = &ctx.graph.units[unit] else {
+        return 0.0;
+    };
+    let exprs: Vec<csq_expr::Expr> = ctx
+        .graph
+        .predicates
+        .iter()
+        .enumerate()
+        .filter(|&(pi, _)| applied & (1u64 << pi) != 0)
+        .map(|(_, p)| p.expr.clone())
+        .collect();
+    let spec = analysis::conjoin(exprs)
+        .and_then(|e| csq_expr::bind(&e, &stats.schema.qualify(alias)).ok())
+        .and_then(|p| csq_storage::FilterSpec::from_phys(&p));
+    stats.scan_rows_after_pruning(spec.as_ref())
 }
 
 /// Join a base relation onto the plan (returning client columns first if

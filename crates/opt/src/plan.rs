@@ -1,5 +1,7 @@
 //! Optimizer plan trees and EXPLAIN rendering.
 
+use std::collections::HashMap;
+
 use csq_cost::AggPlacement;
 
 use crate::query::QueryGraph;
@@ -84,12 +86,29 @@ impl PlanNode {
     /// Render an indented EXPLAIN tree using unit/predicate labels from the
     /// query graph.
     pub fn explain(&self, graph: &QueryGraph) -> String {
+        self.explain_annotated(graph, &HashMap::new())
+    }
+
+    /// Like [`explain`](Self::explain), with an annotation string appended
+    /// to each Scan line whose unit index appears in `scan_notes` (the
+    /// database layer fills these with live zone-map pruning counts).
+    pub fn explain_annotated(
+        &self,
+        graph: &QueryGraph,
+        scan_notes: &HashMap<usize, String>,
+    ) -> String {
         let mut out = String::new();
-        self.fmt(graph, 0, &mut out);
+        self.fmt(graph, scan_notes, 0, &mut out);
         out
     }
 
-    fn fmt(&self, graph: &QueryGraph, depth: usize, out: &mut String) {
+    fn fmt(
+        &self,
+        graph: &QueryGraph,
+        notes: &HashMap<usize, String>,
+        depth: usize,
+        out: &mut String,
+    ) {
         let pad = "  ".repeat(depth);
         let preds_str = |preds: &[usize]| {
             preds
@@ -99,13 +118,16 @@ impl PlanNode {
                 .join(" AND ")
         };
         match self {
-            PlanNode::Scan { unit } => {
-                out.push_str(&format!("{pad}Scan {}\n", graph.units[*unit].label()));
-            }
+            PlanNode::Scan { unit } => match notes.get(unit) {
+                Some(n) => {
+                    out.push_str(&format!("{pad}Scan {} ({n})\n", graph.units[*unit].label()))
+                }
+                None => out.push_str(&format!("{pad}Scan {}\n", graph.units[*unit].label())),
+            },
             PlanNode::Join { left, right } => {
                 out.push_str(&format!("{pad}Join\n"));
-                left.fmt(graph, depth + 1, out);
-                right.fmt(graph, depth + 1, out);
+                left.fmt(graph, notes, depth + 1, out);
+                right.fmt(graph, notes, depth + 1, out);
             }
             PlanNode::ApplyUdf {
                 input,
@@ -137,15 +159,15 @@ impl PlanNode {
                     "{pad}ApplyUdf {} [{how}]\n",
                     graph.units[*unit].label()
                 ));
-                input.fmt(graph, depth + 1, out);
+                input.fmt(graph, notes, depth + 1, out);
             }
             PlanNode::Filter { input, preds } => {
                 out.push_str(&format!("{pad}Filter [{}]\n", preds_str(preds)));
-                input.fmt(graph, depth + 1, out);
+                input.fmt(graph, notes, depth + 1, out);
             }
             PlanNode::ReturnToServer { input } => {
                 out.push_str(&format!("{pad}ReturnToServer\n"));
-                input.fmt(graph, depth + 1, out);
+                input.fmt(graph, notes, depth + 1, out);
             }
             PlanNode::Aggregate {
                 input,
@@ -178,7 +200,7 @@ impl PlanNode {
                     placement.label(),
                     groups_est
                 ));
-                input.fmt(graph, depth + 1, out);
+                input.fmt(graph, notes, depth + 1, out);
             }
             PlanNode::Final {
                 input,
@@ -193,7 +215,7 @@ impl PlanNode {
                     note.push_str(&format!(" [client filter: {}]", preds_str(pushed_preds)));
                 }
                 out.push_str(&format!("{pad}Final{note}\n"));
-                input.fmt(graph, depth + 1, out);
+                input.fmt(graph, notes, depth + 1, out);
             }
         }
     }

@@ -8,14 +8,13 @@
 
 use std::sync::Arc;
 
-use csq::Database;
+use csq::prelude::*;
 use csq_client::synthetic::{ObjectUdf, RatingUdf};
-use csq_common::{Blob, DataType, Value};
-use csq_net::NetworkSpec;
+use csq_common::Blob;
 use csq_opt::UdfMeta;
 use csq_storage::TableBuilder;
 
-fn build_db(net: NetworkSpec) -> Result<Database, Box<dyn std::error::Error>> {
+fn build_db(net: NetworkSpec) -> std::result::Result<Database, Box<dyn std::error::Error>> {
     let db = Database::new(net);
     let mut stocks = TableBuilder::new("StockQuotes")
         .column("Name", DataType::Str)
@@ -58,7 +57,7 @@ const FIG13: &str = "SELECT S.Name, E.BrokerName, Volatility(S.Quotes, S.FutureP
                      FROM StockQuotes S, Estimations E \
                      WHERE S.Name = E.CompanyName AND ClientAnalysis(S.Quotes) = E.Rating";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("== Figure 11 query, symmetric modem, small results ==");
     let db = build_db(NetworkSpec::modem_28_8())?;
     println!("{}", db.explain(FIG11)?);

@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use csq::{Database, NetworkSpec, ServiceConfig, Value};
-use csq_client::{ConnectionPool, ServiceConn};
+use csq::prelude::*;
 
 fn main() {
     let db = Arc::new(Database::new(NetworkSpec::lan()));

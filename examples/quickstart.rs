@@ -6,13 +6,12 @@
 
 use std::sync::Arc;
 
-use csq::Database;
+use csq::prelude::*;
 use csq_client::synthetic::RatingUdf;
-use csq_common::{Blob, DataType, Value};
-use csq_net::NetworkSpec;
+use csq_common::Blob;
 use csq_storage::TableBuilder;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // A database whose client is connected over a 28.8 kbit/s modem (the
     // paper's testbed). The network only affects simulated timings and the
     // optimizer's choices; execution itself runs in-process.

@@ -9,13 +9,12 @@
 
 use std::sync::Arc;
 
-use csq::Database;
+use csq::prelude::*;
 use csq_client::vm::{assemble, VmLimits, VmUdf};
-use csq_common::{Blob, DataType, Value};
-use csq_net::NetworkSpec;
+use csq_common::Blob;
 use csq_storage::TableBuilder;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let db = Database::new(NetworkSpec::lan());
 
     let mut t = TableBuilder::new("Docs")

@@ -10,9 +10,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use csq_client::{Backoff, ConnectionPool, RetryPolicy, ServiceConn};
-use csq_common::{DataType, Value};
-use csq_core::{service, Database, NetworkSpec, ServiceConfig};
+use csq::prelude::*;
+use csq_client::Backoff;
+use csq_core::service;
 use csq_net::{fault_schedule, Fault, FaultInjector};
 use csq_storage::TableBuilder;
 
@@ -105,17 +105,19 @@ fn seeded_fault_schedules_yield_rows_or_typed_errors_and_recover() {
                     let queries = queries.clone();
                     let oracle = oracle.clone();
                     std::thread::spawn(move || {
-                        let policy = RetryPolicy {
-                            max_attempts: 6,
-                            backoff: Backoff::new(
-                                Duration::from_millis(2),
-                                Duration::from_millis(50),
-                                seed ^ k as u64,
-                            ),
-                            deadline: Some(Duration::from_secs(20)),
-                        };
+                        let opts = QueryOptions::new()
+                            .with_deadline(Duration::from_secs(20))
+                            .with_retry(RetryPolicy {
+                                max_attempts: 6,
+                                backoff: Backoff::new(
+                                    Duration::from_millis(2),
+                                    Duration::from_millis(50),
+                                    seed ^ k as u64,
+                                ),
+                                deadline: None,
+                            });
                         for (i, sql) in queries.iter().enumerate() {
-                            match pool.query_with_retry(sql, &policy) {
+                            match pool.query_with(sql, &opts) {
                                 // Rows: must match the serial oracle exactly.
                                 Ok(result) => assert_eq!(
                                     normalize(&result.rows),
@@ -140,13 +142,19 @@ fn seeded_fault_schedules_yield_rows_or_typed_errors_and_recover() {
 
             // Fault cleared: the schedule is exhausted (later connections
             // are healthy passthrough), so every client recovers.
-            let relaxed = RetryPolicy {
-                max_attempts: 8,
-                backoff: Backoff::new(Duration::from_millis(2), Duration::from_millis(50), seed),
-                deadline: Some(Duration::from_secs(20)),
-            };
+            let relaxed = QueryOptions::new()
+                .with_deadline(Duration::from_secs(20))
+                .with_retry(RetryPolicy {
+                    max_attempts: 8,
+                    backoff: Backoff::new(
+                        Duration::from_millis(2),
+                        Duration::from_millis(50),
+                        seed,
+                    ),
+                    deadline: None,
+                });
             let result = pool
-                .query_with_retry(&queries[0], &relaxed)
+                .query_with(&queries[0], &relaxed)
                 .expect("clients must recover once the fault schedule clears");
             assert_eq!(normalize(&result.rows), oracle[0]);
 
@@ -169,7 +177,10 @@ fn expired_deadline_answers_typed_timeout_and_keeps_the_session() {
     // expires at a cancellation checkpoint mid-execution.
     let heavy = "SELECT A.Id FROM T A, T B WHERE A.Val > B.Val";
     let err = conn
-        .query_deadline(heavy, 1)
+        .query_with(
+            heavy,
+            &QueryOptions::new().with_deadline(Duration::from_millis(1)),
+        )
         .expect_err("1ms deadline must kill the self-join");
     assert_eq!(err.kind(), "timeout", "{err}");
     assert_eq!(
@@ -297,13 +308,15 @@ fn load_shedding_refuses_retryably() {
     holder.close();
     let pool = ConnectionPool::new(addr, 1).expect("pool");
     let result = pool
-        .query_with_retry(
+        .query_with(
             "SELECT T.Id FROM T T WHERE T.Id = 0",
-            &RetryPolicy {
-                max_attempts: 10,
-                backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(100), 9),
-                deadline: Some(Duration::from_secs(10)),
-            },
+            &QueryOptions::new()
+                .with_deadline(Duration::from_secs(10))
+                .with_retry(RetryPolicy {
+                    max_attempts: 10,
+                    backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(100), 9),
+                    deadline: None,
+                }),
         )
         .expect("retry with backoff must get through after the holder leaves");
     assert_eq!(result.rows.len(), 1);
@@ -322,13 +335,15 @@ fn retry_with_backoff_rides_out_transient_faults() {
 
     let oracle = normalize(&db.execute(&workload()[0]).unwrap().rows);
     let result = pool
-        .query_with_retry(
+        .query_with(
             &workload()[0],
-            &RetryPolicy {
-                max_attempts: 6,
-                backoff: Backoff::new(Duration::from_millis(2), Duration::from_millis(30), 11),
-                deadline: Some(Duration::from_secs(10)),
-            },
+            &QueryOptions::new()
+                .with_deadline(Duration::from_secs(10))
+                .with_retry(RetryPolicy {
+                    max_attempts: 6,
+                    backoff: Backoff::new(Duration::from_millis(2), Duration::from_millis(30), 11),
+                    deadline: None,
+                }),
         )
         .expect("the third connection is healthy; retries must reach it");
     assert_eq!(normalize(&result.rows), oracle);

@@ -3,10 +3,9 @@
 
 use std::sync::Arc;
 
+use csq::prelude::*;
 use csq_client::synthetic::{ObjectUdf, PredicateUdf, RatingUdf};
-use csq_common::{Blob, DataType, Row, Value};
-use csq_core::Database;
-use csq_net::NetworkSpec;
+use csq_common::Blob;
 use csq_storage::TableBuilder;
 
 /// Build the paper's StockQuotes table: Name, Change, Close, Quotes (blob),
@@ -202,4 +201,22 @@ fn script_execution() {
         )
         .unwrap();
     assert_eq!(out.rows.len(), 2);
+}
+
+/// The EXPLAIN surface of zone-map pruning (DESIGN.md §11): a selective
+/// range predicate over a clustered key must report most sealed segments
+/// pruned, and the query must still return exactly the matching rows.
+#[test]
+fn explain_reports_segment_pruning_on_selective_scan() {
+    let db = Database::new(NetworkSpec::lan());
+    db.execute("CREATE TABLE M (K INT, V INT)").unwrap();
+    let values: Vec<String> = (0..20_000).map(|i| format!("({i}, {})", i % 97)).collect();
+    db.execute(&format!("INSERT INTO M VALUES {}", values.join(", ")))
+        .unwrap();
+
+    let plan = db.explain("SELECT M.V FROM M WHERE M.K > 19000").unwrap();
+    assert!(plan.contains("pruned"), "no pruning annotation in:\n{plan}");
+
+    let out = db.execute("SELECT M.V FROM M WHERE M.K > 19000").unwrap();
+    assert_eq!(out.rows.len(), 999);
 }

@@ -29,6 +29,7 @@ fn fig11_ctx(net: NetworkSpec) -> OptContext {
             rows: 100.0,
             row_bytes: 2025.0,
             col_bytes: vec![25.0, 1000.0, 1000.0],
+            segments: Vec::new(),
         },
     );
     ctx.add_table(
@@ -42,6 +43,7 @@ fn fig11_ctx(net: NetworkSpec) -> OptContext {
             rows: 1000.0,
             row_bytes: 59.0,
             col_bytes: vec![25.0, 25.0, 9.0],
+            segments: Vec::new(),
         },
     );
     ctx
@@ -325,6 +327,7 @@ fn metrics_ctx(net: NetworkSpec, key_distinct: f64, dop: usize) -> OptContext {
             rows: 1000.0,
             row_bytes: 18.0,
             col_bytes: vec![9.0, 9.0],
+            segments: Vec::new(),
         },
     );
     ctx.set_col_distinct("Metrics", "k", key_distinct);

@@ -14,10 +14,10 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
+use csq::prelude::*;
 use csq_client::synthetic::ObjectUdf;
-use csq_client::ServiceConn;
-use csq_common::{Blob, DataType, Value};
-use csq_core::{service, Database, NetworkSpec, ServiceConfig};
+use csq_common::Blob;
+use csq_core::service;
 use csq_storage::TableBuilder;
 
 const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];

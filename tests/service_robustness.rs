@@ -12,10 +12,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use csq::prelude::*;
 use csq_client::synthetic::ObjectUdf;
-use csq_client::{ConnectionPool, QueryResponse, ServiceConn};
-use csq_common::{Blob, DataType, Value};
-use csq_core::{service, Database, NetworkSpec, ServiceConfig, ServiceHandle};
+use csq_client::QueryResponse;
+use csq_common::Blob;
+use csq_core::service;
 use csq_net::TcpConn;
 use csq_storage::TableBuilder;
 
