@@ -23,9 +23,17 @@ use csq_bench::service::{
 
 fn print(e: &ServiceEntry) {
     eprintln!(
-        "  {:<10} {:>3} clients  {:>8.1} qps  p50 {:>8.0}µs  p95 {:>8.0}µs  p99 {:>8.0}µs  \
-         (in-proc {:>8.1} qps, rel {:.3})",
-        e.pipeline, e.clients, e.qps, e.p50_us, e.p95_us, e.p99_us, e.inproc_qps, e.rel
+        "  {:<10} {:>3} clients +{:>4} idle  {:>8.1} qps  p50 {:>8.0}µs  p95 {:>8.0}µs  \
+         p99 {:>8.0}µs  (in-proc {:>8.1} qps, rel {:.3})",
+        e.pipeline,
+        e.clients,
+        e.idle_conns,
+        e.qps,
+        e.p50_us,
+        e.p95_us,
+        e.p99_us,
+        e.inproc_qps,
+        e.rel
     );
 }
 
@@ -37,7 +45,14 @@ fn main() -> ExitCode {
         run: run_all,
         print,
         mode_of: |e| &e.mode,
-        cmp: |a, b| (&a.mode, &a.pipeline, a.clients).cmp(&(&b.mode, &b.pipeline, b.clients)),
+        cmp: |a, b| {
+            (&a.mode, &a.pipeline, a.clients, a.idle_conns).cmp(&(
+                &b.mode,
+                &b.pipeline,
+                b.clients,
+                b.idle_conns,
+            ))
+        },
         parse: parse_entries,
         render: render_document,
         check: check_regressions,

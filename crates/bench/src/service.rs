@@ -1,12 +1,20 @@
 //! Closed-loop load harness for the socket-backed query service
-//! (DESIGN.md §8): N concurrent clients, each with its own TCP connection
-//! and prepared statement, execute-as-fast-as-answered against one server,
-//! at 1/4/16/64 clients. Reported per (pipeline, client-count):
+//! (DESIGN.md §8, §12): N concurrent clients, each with its own TCP
+//! connection and prepared statement, execute-as-fast-as-answered against
+//! one server, at 1/4/16/64/256 clients plus an idle-connection level
+//! (active clients sharing the server with a crowd of parked sessions).
+//! Reported per (pipeline, client-count, idle-count):
 //!
 //! * **throughput** — completed queries/sec over the whole level, and
 //! * **latency** — per-query p50/p95/p99 in µs (closed loop, so latency
-//!   includes queueing behind the service's session workers — exactly what
+//!   includes queueing behind the service's worker pool — exactly what
 //!   a caller experiences under load).
+//!
+//! The server runs a *fixed* small worker pool at every level: sessions
+//! park in the connection scheduler when idle (DESIGN.md §12), so client
+//! count is an offered-load knob, not a provisioning requirement. The
+//! sweep therefore measures how the scheduler multiplexes rising
+//! concurrency over constant execution resources.
 //!
 //! Machine normalization follows the other benches: every run also
 //! measures `inproc_qps`, the same prepared statement executed serially
@@ -27,10 +35,39 @@ use csq_storage::TableBuilder;
 
 use crate::throughput::{field_num, field_str};
 
-/// Client counts per level (the concurrency sweep).
-pub const CLIENT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+/// Active client counts in the concurrency sweep (zero idle connections).
+pub const CLIENT_COUNTS: [usize; 5] = [1, 4, 16, 64, 256];
 
-/// One measured (pipeline, client-count) level.
+/// One sweep level: how many closed-loop clients run queries, and how many
+/// extra connections sit open-but-idle on the same server for the whole
+/// level (they park in the session scheduler and should cost nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct Level {
+    /// Concurrent closed-loop query clients.
+    pub clients: usize,
+    /// Idle connections held open for the duration of the level.
+    pub idle_conns: usize,
+}
+
+/// The standard sweep: the client-count ladder, then one level that adds a
+/// crowd of idle connections behind a fixed set of active clients. Quick
+/// mode keeps the idle crowd small so the CI smoke stays fast.
+fn standard_levels(quick: bool) -> Vec<Level> {
+    let mut levels: Vec<Level> = CLIENT_COUNTS
+        .iter()
+        .map(|&clients| Level {
+            clients,
+            idle_conns: 0,
+        })
+        .collect();
+    levels.push(Level {
+        clients: 16,
+        idle_conns: if quick { 256 } else { 1000 },
+    });
+    levels
+}
+
+/// One measured (pipeline, client-count, idle-count) level.
 #[derive(Debug, Clone)]
 pub struct ServiceEntry {
     /// "quick" or "full".
@@ -39,6 +76,8 @@ pub struct ServiceEntry {
     pub pipeline: String,
     /// Concurrent closed-loop clients.
     pub clients: usize,
+    /// Idle connections parked on the server during the level.
+    pub idle_conns: usize,
     /// Total queries completed in the level.
     pub queries: usize,
     /// Completed queries per second across the level.
@@ -116,6 +155,31 @@ fn inproc_qps(db: &Database, sql: &str, iters: usize) -> f64 {
     iters as f64 / started.elapsed().as_secs_f64()
 }
 
+/// Open `count` connections that send nothing for the duration of the
+/// level. They complete the TCP handshake (so the server admits and parks
+/// them) but hold no prepared statements and issue no queries.
+fn open_idle_conns(addr: std::net::SocketAddr, count: usize) -> Vec<std::net::TcpStream> {
+    let mut conns = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Bursts of a thousand connects can outrun the accept loop's
+        // backlog; back off briefly and retry rather than failing the run.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => {
+                    conns.push(s);
+                    break;
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("bench idle connection must connect: {e}"),
+            }
+        }
+    }
+    conns
+}
+
 /// One closed-loop level: `clients` threads × `per_client` executions of a
 /// prepared statement over real sockets. Returns (elapsed, latencies µs).
 fn run_level(
@@ -165,13 +229,14 @@ fn run_level(
     (elapsed, latencies)
 }
 
-/// Run the whole sweep. Quick mode shrinks the table and per-client
-/// iteration counts (the CI smoke configuration).
+/// Run the whole sweep. Quick mode shrinks the table, per-client
+/// iteration counts, and the idle-connection crowd (the CI smoke
+/// configuration).
 pub fn run_all(quick: bool) -> Vec<ServiceEntry> {
     if quick {
-        run_sweep("quick", 4_000, 512, 20)
+        run_sweep("quick", 4_000, 512, 20, &standard_levels(true))
     } else {
-        run_sweep("full", 20_000, 768, 60)
+        run_sweep("full", 20_000, 768, 60, &standard_levels(false))
     }
 }
 
@@ -180,42 +245,50 @@ fn run_sweep(
     rows: usize,
     total_per_level: usize,
     inproc_iters: usize,
+    levels: &[Level],
 ) -> Vec<ServiceEntry> {
     let db = build_db(rows);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // A fixed, hardware-sized execution pool at every level: sessions park
+    // in the connection scheduler while idle (DESIGN.md §12), so worker
+    // count bounds execution concurrency, not connection count. Holding it
+    // constant makes the sweep measure scheduling under rising offered
+    // load instead of re-provisioning the server per level.
+    let workers = host_cpus.clamp(2, 8);
 
     let mut out = Vec::new();
     for w in &WORKLOADS {
         let inproc = inproc_qps(&db, w.sql, inproc_iters);
-        for &clients in &CLIENT_COUNTS {
-            // One service per level, provisioned for the level: a session
-            // holds its worker for the connection's lifetime (DESIGN.md
-            // §8), so serving N concurrent closed-loop clients needs N
-            // session workers — the sweep measures scheduling and engine
-            // contention, not an artificially starved worker pool.
+        for level in levels {
+            let (clients, idle) = (level.clients, level.idle_conns);
             let handle = service::start(
                 db.clone(),
                 ServiceConfig {
-                    workers: clients,
-                    max_sessions: clients + 8,
+                    workers,
+                    max_sessions: clients + idle + 8,
                     idle_timeout: Duration::from_millis(50),
                     ..ServiceConfig::default()
                 },
             )
             .expect("bench service must start");
             let addr = handle.local_addr();
+            // Park the idle crowd first so every measured query shares the
+            // poll set with them for the whole level.
+            let idle_conns = open_idle_conns(addr, idle);
             // Keep each level's total work roughly level-independent so the
             // sweep is dominated by concurrency, not by query count.
             let per_client = (total_per_level / clients).max(8);
             let (elapsed, latencies) = run_level(addr, w.sql, clients, per_client);
+            drop(idle_conns);
             handle.shutdown();
             let queries = latencies.len();
             out.push(ServiceEntry {
                 mode: mode.to_string(),
                 pipeline: w.name.to_string(),
                 clients,
+                idle_conns: idle,
                 queries,
                 qps: queries as f64 / elapsed.as_secs_f64(),
                 p50_us: percentile(&latencies, 0.50),
@@ -240,22 +313,24 @@ pub fn render_document(entries: &[ServiceEntry]) -> String {
     out.push_str("  \"unit\": \"queries_per_sec\",\n");
     out.push_str(
         "  \"note\": \"closed-loop load over real loopback TCP: N clients, each its own \
-         connection + prepared statement; latency percentiles include session queueing. \
-         inproc_qps is the same prepared plan executed serially in-process and rel = \
-         qps/inproc_qps; the gate compares rel only between same-host_cpus runs, and absolute \
-         qps / median latency / 3x-p99-blow-up only when every pipeline's inproc_qps confirms \
-         comparable hardware\",\n",
+         connection + prepared statement, against a fixed hardware-sized worker pool; \
+         idle_conns extra connections park in the session scheduler during the level. \
+         latency percentiles include queueing for a worker. inproc_qps is the same prepared \
+         plan executed serially in-process and rel = qps/inproc_qps; the gate compares rel \
+         only between same-host_cpus runs, and absolute qps / median latency / 3x-p99-blow-up \
+         only when every pipeline's inproc_qps confirms comparable hardware\",\n",
     );
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"pipeline\": \"{}\", \"clients\": {}, \"queries\": {}, \
-             \"qps\": {:.1}, \"p50_us\": {:.0}, \"p95_us\": {:.0}, \"p99_us\": {:.0}, \
-             \"inproc_qps\": {:.1}, \"rel\": {:.3}, \"host_cpus\": {}}}{}\n",
+            "    {{\"mode\": \"{}\", \"pipeline\": \"{}\", \"clients\": {}, \"idle_conns\": {}, \
+             \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.0}, \"p95_us\": {:.0}, \
+             \"p99_us\": {:.0}, \"inproc_qps\": {:.1}, \"rel\": {:.3}, \"host_cpus\": {}}}{}\n",
             e.mode,
             e.pipeline,
             e.clients,
+            e.idle_conns,
             e.queries,
             e.qps,
             e.p50_us,
@@ -273,6 +348,8 @@ pub fn render_document(entries: &[ServiceEntry]) -> String {
 
 /// Parse the entries out of a results document written by
 /// [`render_document`] (line-oriented; not a general JSON parser).
+/// Baselines written before the idle-connection level default
+/// `idle_conns` to 0 — which is what those runs measured.
 pub fn parse_entries(text: &str) -> Vec<ServiceEntry> {
     text.lines()
         .filter_map(|line| {
@@ -280,6 +357,7 @@ pub fn parse_entries(text: &str) -> Vec<ServiceEntry> {
                 mode: field_str(line, "mode")?,
                 pipeline: field_str(line, "pipeline")?,
                 clients: field_num(line, "clients")? as usize,
+                idle_conns: field_num(line, "idle_conns").unwrap_or(0.0) as usize,
                 queries: field_num(line, "queries")? as usize,
                 qps: field_num(line, "qps")?,
                 p50_us: field_num(line, "p50_us")?,
@@ -294,7 +372,7 @@ pub fn parse_entries(text: &str) -> Vec<ServiceEntry> {
 }
 
 /// Compare a fresh run against the committed baseline. Gates per
-/// same-(mode, pipeline, clients) entry:
+/// same-(mode, pipeline, clients, idle_conns) entry:
 ///
 /// * **rel** (machine-normalized): gated only between runs with equal
 ///   `host_cpus` — the service-vs-in-process ratio depends on how many
@@ -314,9 +392,12 @@ pub fn check_regressions(
     tolerance: f64,
 ) -> Vec<String> {
     let baseline_of = |c: &ServiceEntry| {
-        baseline
-            .iter()
-            .find(|b| b.mode == c.mode && b.pipeline == c.pipeline && b.clients == c.clients)
+        baseline.iter().find(|b| {
+            b.mode == c.mode
+                && b.pipeline == c.pipeline
+                && b.clients == c.clients
+                && b.idle_conns == c.idle_conns
+        })
     };
     let comparable_hw = current.iter().all(|c| match baseline_of(c) {
         Some(b) => {
@@ -332,11 +413,12 @@ pub fn check_regressions(
         };
         if b.host_cpus == c.host_cpus && c.rel < b.rel * (1.0 - tolerance) {
             failures.push(format!(
-                "{} ({}x{} clients): service/in-process ratio {:.3} fell more than {}% below \
-                 baseline {:.3} on same-shape hardware ({} cpus)",
+                "{} ({}x{} clients, {} idle): service/in-process ratio {:.3} fell more than \
+                 {}% below baseline {:.3} on same-shape hardware ({} cpus)",
                 c.pipeline,
                 c.mode,
                 c.clients,
+                c.idle_conns,
                 c.rel,
                 (tolerance * 100.0) as u64,
                 b.rel,
@@ -349,11 +431,12 @@ pub fn check_regressions(
         }
         if c.qps < b.qps * (1.0 - tolerance) {
             failures.push(format!(
-                "{} ({}x{} clients): throughput {:.1} qps < {:.1} ({}% below baseline {:.1}, \
-                 hardware comparable)",
+                "{} ({}x{} clients, {} idle): throughput {:.1} qps < {:.1} ({}% below baseline \
+                 {:.1}, hardware comparable)",
                 c.pipeline,
                 c.mode,
                 c.clients,
+                c.idle_conns,
                 c.qps,
                 b.qps * (1.0 - tolerance),
                 (tolerance * 100.0) as u64,
@@ -361,11 +444,12 @@ pub fn check_regressions(
             ));
         } else if c.p50_us > b.p50_us * (1.0 + 2.0 * tolerance) {
             failures.push(format!(
-                "{} ({}x{} clients): median latency {:.0}µs > {:.0}µs ({}% above baseline \
-                 {:.0}µs, hardware comparable)",
+                "{} ({}x{} clients, {} idle): median latency {:.0}µs > {:.0}µs ({}% above \
+                 baseline {:.0}µs, hardware comparable)",
                 c.pipeline,
                 c.mode,
                 c.clients,
+                c.idle_conns,
                 c.p50_us,
                 b.p50_us * (1.0 + 2.0 * tolerance),
                 (2.0 * tolerance * 100.0) as u64,
@@ -373,9 +457,9 @@ pub fn check_regressions(
             ));
         } else if c.p99_us > b.p99_us * 3.0 {
             failures.push(format!(
-                "{} ({}x{} clients): p99 latency {:.0}µs blew past 3x baseline {:.0}µs \
+                "{} ({}x{} clients, {} idle): p99 latency {:.0}µs blew past 3x baseline {:.0}µs \
                  (hardware comparable)",
-                c.pipeline, c.mode, c.clients, c.p99_us, b.p99_us,
+                c.pipeline, c.mode, c.clients, c.idle_conns, c.p99_us, b.p99_us,
             ));
         }
     }
@@ -391,6 +475,7 @@ mod tests {
             mode: "quick".into(),
             pipeline: pipeline.into(),
             clients,
+            idle_conns: 0,
             queries: 100,
             qps,
             p50_us: p99 / 3.0,
@@ -404,17 +489,48 @@ mod tests {
 
     #[test]
     fn document_roundtrips() {
-        let entries = vec![
+        let mut entries = vec![
             entry("filter", 1, 900.0, 1500.0, 1000.0),
             entry("aggregate", 64, 400.0, 9000.0, 600.0),
         ];
+        entries[1].idle_conns = 1000;
         let doc = render_document(&entries);
         let parsed = parse_entries(&doc);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].pipeline, "filter");
         assert_eq!(parsed[1].clients, 64);
+        assert_eq!(parsed[1].idle_conns, 1000);
         assert!((parsed[0].qps - 900.0).abs() < 0.2);
         assert!((parsed[1].rel - 400.0 / 600.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parse_defaults_idle_conns_for_old_baselines() {
+        // Entry lines written before the idle-connection level carry no
+        // idle_conns field; those runs had zero idle connections, so the
+        // parser must default to 0 (and keep matching new zero-idle runs).
+        let old = "    {\"mode\": \"full\", \"pipeline\": \"filter\", \"clients\": 64, \
+                   \"queries\": 768, \"qps\": 351.2, \"p50_us\": 100029, \"p95_us\": 420513, \
+                   \"p99_us\": 743346, \"inproc_qps\": 828.3, \"rel\": 0.424, \"host_cpus\": 1}";
+        let parsed = parse_entries(old);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].idle_conns, 0);
+        assert_eq!(parsed[0].clients, 64);
+    }
+
+    #[test]
+    fn gate_matches_entries_by_idle_conns_too() {
+        let baseline = vec![entry("filter", 16, 1000.0, 2000.0, 1000.0)];
+        let mut current = vec![entry("filter", 16, 400.0, 2000.0, 1000.0)];
+        // Same clients but a different idle crowd: a new level with no
+        // baseline counterpart — never gated.
+        current[0].idle_conns = 1000;
+        assert!(check_regressions(&current, &baseline, 0.25).is_empty());
+        // Identical level shape: the rel regression is caught.
+        current[0].idle_conns = 0;
+        let failures = check_regressions(&current, &baseline, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("ratio"), "{failures:?}");
     }
 
     #[test]
@@ -457,13 +573,25 @@ mod tests {
     #[test]
     fn tiny_sweep_runs_end_to_end() {
         // Tiny smoke of the real harness (debug builds run this in the
-        // tier-1 suite, so the workload is minimal): invariants only.
-        let entries = run_sweep("quick", 200, 16, 3);
-        assert_eq!(entries.len(), 2 * CLIENT_COUNTS.len());
+        // tier-1 suite, so the workload is minimal): invariants only. The
+        // second level exercises the idle-connection path.
+        let levels = [
+            Level {
+                clients: 1,
+                idle_conns: 0,
+            },
+            Level {
+                clients: 2,
+                idle_conns: 8,
+            },
+        ];
+        let entries = run_sweep("quick", 200, 16, 3, &levels);
+        assert_eq!(entries.len(), 2 * levels.len());
         for e in &entries {
             assert!(e.queries > 0);
             assert!(e.qps > 0.0 && e.inproc_qps > 0.0);
             assert!(e.p50_us <= e.p95_us && e.p95_us <= e.p99_us);
         }
+        assert_eq!(entries[1].idle_conns, 8);
     }
 }

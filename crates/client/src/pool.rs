@@ -587,11 +587,13 @@ pub struct ConnectionPool {
 impl ConnectionPool {
     /// A pool of up to `max` connections to `addr`.
     ///
-    /// Size `max` at or below the service's `ServiceConfig::workers`: each
-    /// pooled connection is a long-lived session that pins a server worker,
-    /// so a pool larger than the worker count guarantees some checkouts
-    /// park in the server's admission queue unserved until another pooled
-    /// connection closes.
+    /// Size `max` for the client's own concurrency (how many statements it
+    /// wants in flight at once), bounded by the service's
+    /// `ServiceConfig::max_sessions`. An idle pooled connection parks in
+    /// the server's session scheduler at near-zero cost — it does *not*
+    /// pin a server worker — so pools well above the server's worker count
+    /// are fine; the worker count only bounds how many of the pool's
+    /// statements execute simultaneously.
     pub fn new(addr: impl ToSocketAddrs, max: usize) -> Result<ConnectionPool> {
         let addr = addr
             .to_socket_addrs()

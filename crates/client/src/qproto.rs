@@ -163,6 +163,20 @@ impl QueryResponse {
             retryable: true,
         }
     }
+
+    /// A refusal the *session survives*: the server declined this one
+    /// statement (e.g. statement-level load shedding under a full work
+    /// queue) but keeps the connection open, so the client should retry on
+    /// the **same** connection after backing off. Overrides the default
+    /// classification, which would call a `limit` error permanent.
+    pub fn survivable_refusal(e: &CsqError) -> QueryResponse {
+        QueryResponse::Error {
+            kind: e.kind().to_string(),
+            message: e.message().to_string(),
+            fatal: false,
+            retryable: true,
+        }
+    }
 }
 
 const REQ_QUERY: u8 = 1;

@@ -20,6 +20,10 @@
 //!   [`TcpConn`] plus [`tcp_duplex`], a loopback pair that is drop-in
 //!   compatible with the in-memory duplex (the query service and its load
 //!   harness run on this).
+//! * [`ready`] — readiness polling (`poll(2)` on unix) and a self-pipe
+//!   waker, the primitives behind the service's session scheduler: one
+//!   thread parks thousands of idle connections and hands complete request
+//!   frames to a small worker pool.
 //!
 //! Timing experiments use the virtual-time model (deterministic, instant);
 //! the threaded engine uses `channel` and is checked row-for-row against it.
@@ -27,6 +31,7 @@
 pub mod channel;
 pub mod fault;
 pub mod link;
+pub mod ready;
 pub mod spec;
 pub mod stats;
 pub mod tcp;
@@ -34,6 +39,7 @@ pub mod tcp;
 pub use channel::{in_memory_duplex, throttled_duplex, Endpoint, NetReceiver, NetSender};
 pub use fault::{fault_schedule, Fault, FaultInjector};
 pub use link::{Link, SimTime};
+pub use ready::{poll_readable, wake_pair, Fd, WakeReceiver, Waker};
 pub use spec::NetworkSpec;
 pub use stats::NetStats;
-pub use tcp::{tcp_duplex, Frame, TcpConn, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES};
+pub use tcp::{tcp_duplex, Frame, PollFrame, TcpConn, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES};

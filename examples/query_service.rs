@@ -1,4 +1,4 @@
-//! The query service end to end (DESIGN.md §8): start a server over real
+//! The query service end to end (DESIGN.md §8, §12): start a server over real
 //! loopback TCP, query it from a single connection with a prepared
 //! statement, then from a bounded connection pool shared by threads.
 //!
@@ -16,7 +16,8 @@ fn main() {
     db.execute("INSERT INTO T VALUES (1, 0), (2, 1), (3, 0), (4, 1), (5, 0)")
         .unwrap();
 
-    // Server: session-per-connection on a worker pool, bounded admission,
+    // Server: idle sessions park in the connection scheduler; only
+    // executing statements occupy the worker pool. Bounded admission,
     // graceful shutdown.
     let server = csq::service::start(db.clone(), ServiceConfig::default()).unwrap();
     println!("serving on {}", server.local_addr());
@@ -35,7 +36,8 @@ fn main() {
     );
     conn.close();
 
-    // A bounded pool shared by many threads: 4 connections, 8 workers.
+    // A bounded pool shared by many threads: size it for the client's
+    // concurrency — idle pooled connections cost the server ~nothing.
     let pool = Arc::new(ConnectionPool::new(server.local_addr(), 4).unwrap());
     let threads: Vec<_> = (0..8)
         .map(|_| {
