@@ -14,6 +14,7 @@ pub mod cli;
 pub mod figures;
 pub mod parallel;
 pub mod service;
+pub mod sharded;
 pub mod storage;
 pub mod throughput;
 pub mod workloads;

@@ -28,6 +28,8 @@
 //!   server, a single framed [`ServiceConn`], and a bounded blocking
 //!   [`ConnectionPool`] with prepared-statement support.
 
+#![warn(missing_docs)]
+
 pub mod backoff;
 pub mod pool;
 pub mod protocol;

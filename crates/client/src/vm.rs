@@ -43,19 +43,33 @@ pub enum Instr {
     PushNull,
     /// Push argument `n`.
     LoadArg(u8),
+    /// Pop two numbers, push their sum.
     Add,
+    /// Pop two numbers, push their difference.
     Sub,
+    /// Pop two numbers, push their product.
     Mul,
+    /// Pop two numbers, push their quotient (division by zero errors).
     Div,
+    /// Pop two values, push whether they compare equal.
     Eq,
+    /// Pop two values, push whether they compare unequal.
     Ne,
+    /// Pop two values, push left < right.
     Lt,
+    /// Pop two values, push left <= right.
     Le,
+    /// Pop two values, push left > right.
     Gt,
+    /// Pop two values, push left >= right.
     Ge,
+    /// Pop two booleans, push their conjunction (NULL-propagating).
     And,
+    /// Pop two booleans, push their disjunction (NULL-propagating).
     Or,
+    /// Pop a boolean, push its negation.
     Not,
+    /// Pop a number, push its arithmetic negation.
     Neg,
     /// Duplicate the top of stack.
     Dup,
@@ -158,7 +172,7 @@ pub fn execute_with_stack(
 }
 
 /// Like [`execute_with_stack`], but additionally polls `token` every
-/// [`CANCEL_CHECK_INTERVAL`] instructions: a tripped token terminates the
+/// `CANCEL_CHECK_INTERVAL` (4096) instructions: a tripped token terminates the
 /// program mid-flight with a typed `Cancelled`/`Timeout` error. This is
 /// the fuel-checkpoint granularity of DESIGN.md §10 — fuel bounds how much
 /// a program can *ever* run, the token bounds how long it keeps running

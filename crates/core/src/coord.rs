@@ -1,0 +1,1074 @@
+//! Scatter/gather coordinator over hash-sharded server instances
+//! (DESIGN.md §13).
+//!
+//! A [`Coordinator`] fronts several independent query services (each an
+//! ordinary [`Database`] behind
+//! [`service::start`](crate::service::start)), hash-partitions every table
+//! across them by a per-table **shard key**, and executes SQL by scattering
+//! per-shard statements and gathering their results:
+//!
+//! * **DDL** broadcasts to every shard, so all shards hold every table's
+//!   (empty) schema.
+//! * **INSERT** routes each row to the shard owning the hash bucket of its
+//!   shard-key value, then re-renders a per-shard `INSERT`.
+//! * **SELECT** plans through the ordinary optimizer in a sharded
+//!   [`OptContext`] (statistics maintained coordinator-side from the routed
+//!   inserts) and executes one of three strategies derived from the
+//!   scatter/gather plan:
+//!   - **pushdown** — single-table, non-aggregate queries run verbatim on
+//!     every live shard (or only the shard pinned by a `key = literal`
+//!     conjunct) and the gather concatenates rows in shard order;
+//!   - **shard-partial aggregation** — when the enumerator picks
+//!     [`AggPlacement::ShardPartial`], each shard runs a rewritten partial
+//!     query (`GROUP BY` keys plus decomposed aggregate state — AVG splits
+//!     into SUM + COUNT) and the coordinator merges the per-shard states
+//!     with [`HashAggregate::finalize`] before applying HAVING and the
+//!     final projection;
+//!   - **gather-and-execute** — joins, client-site UDF queries, and
+//!     aggregates the optimizer kept client-only fetch each base table's
+//!     shard partitions (with single-table predicates pushed down) into a
+//!     scratch single-node [`Database`] that runs the original statement —
+//!     the coordinator's morsel engine does the cross-shard repartitioning
+//!     with its ordinary exchange operators.
+//!
+//! **Failure semantics.** Every per-shard statement goes through the §10
+//! retry machinery ([`ConnectionPool::query_with`] under the configured
+//! [`QueryOptions`]), so a dead or slow shard surfaces as a *typed,
+//! retryable* error tagged with the shard index instead of hanging the
+//! gather; the other shards' fetches still complete before the error is
+//! returned. [`Coordinator::replace_shard`] swaps a failed shard's address
+//! and bumps the **topology epoch**, which (together with the DDL epoch) is
+//! part of every cached plan's fingerprint — a topology change can never be
+//! served a stale plan.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use csq_client::{ConnectionPool, QueryOptions, RemoteResult, ScalarUdf};
+use csq_common::{CsqError, DataType, Field, Result, Row, Schema, Value};
+use csq_exec::{collect, AggSpec, HashAggregate, Operator, RowsOp};
+use csq_expr::{bind, ColumnRef, Expr, UnaryOp};
+use csq_net::NetworkSpec;
+use csq_opt::context::TableStats;
+use csq_opt::query::extract;
+use csq_opt::shard::{pinned_shard_value, pushable};
+use csq_opt::{AggPlacement, OptContext, PlanNode, QueryGraph, UdfMeta, Unit};
+use csq_sql::ast::SelectStmt;
+use csq_sql::{parse_statement, Statement};
+
+use crate::result::QueryResult;
+use crate::Database;
+
+/// Cached coordinator plans (distinct SQL texts). Small: the coordinator
+/// fronts few distinct statement shapes; on overflow the whole cache is
+/// reset (cheap, and correctness never depends on residency).
+const COORD_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Tunables for one [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Network description between the coordinator and the shards — feeds
+    /// the cost model's gather-traffic estimates.
+    pub net: NetworkSpec,
+    /// Degree of parallelism of each shard's engine (discounts per-shard
+    /// work in the enumerator's shard-set costing).
+    pub dop: usize,
+    /// Connections pooled per shard.
+    pub pool_size: usize,
+    /// Per-shard statement options: the deadline/retry policy every
+    /// scattered statement runs under (§10). Defaults to no deadline and no
+    /// retry; production deployments should set both so a failed shard
+    /// turns into a typed retryable error instead of an unbounded wait.
+    pub shard_options: QueryOptions,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            net: NetworkSpec::lan(),
+            dop: 1,
+            pool_size: 2,
+            shard_options: QueryOptions::new(),
+        }
+    }
+}
+
+/// Monotonic coordinator counters (all relaxed; read for tests and ops).
+#[derive(Debug, Default)]
+pub struct CoordStats {
+    /// SELECTs executed.
+    pub queries: AtomicU64,
+    /// SELECTs answered by forwarding the statement verbatim to shards.
+    pub pushdown_queries: AtomicU64,
+    /// SELECTs answered by per-shard partial aggregation + merge.
+    pub partial_agg_queries: AtomicU64,
+    /// SELECTs answered by gathering base tables into a scratch engine.
+    pub gather_exec_queries: AtomicU64,
+    /// SELECT plans served from the coordinator plan cache.
+    pub plan_cache_hits: AtomicU64,
+    /// Per-shard statements sent (scatter fan-out).
+    pub shard_statements: AtomicU64,
+    /// Shard contacts skipped because a conjunct pinned the shard key.
+    pub shards_pruned: AtomicU64,
+    /// Per-shard statements that failed (after their own retry policy).
+    pub shard_failures: AtomicU64,
+    /// Rows hash-routed by INSERT.
+    pub rows_routed: AtomicU64,
+}
+
+impl CoordStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Coordinator-side shadow of one sharded table: the schema, the shard-key
+/// ordinal, and running statistics maintained from routed inserts (the
+/// coordinator never scans shards to re-derive them).
+struct TableShadow {
+    /// Catalog-case table name (as created).
+    name: String,
+    schema: Schema,
+    /// Ordinal of the hash-partitioning column.
+    shard_col: usize,
+    rows: u64,
+    row_byte_sum: f64,
+    col_byte_sums: Vec<f64>,
+}
+
+impl TableShadow {
+    fn stats(&self) -> TableStats {
+        let n = (self.rows.max(1)) as f64;
+        TableStats {
+            schema: self.schema.clone(),
+            rows: self.rows as f64,
+            row_bytes: self.row_byte_sum / n,
+            col_bytes: self.col_byte_sums.iter().map(|b| b / n).collect(),
+            segments: Vec::new(),
+        }
+    }
+}
+
+/// One shard: its address and connection pool.
+struct ShardSlot {
+    addr: SocketAddr,
+    pool: ConnectionPool,
+}
+
+/// How a planned SELECT executes across the shards.
+enum Strategy {
+    /// Forward the original statement to the target shards; concatenate
+    /// rows in shard order (`Gather [ordered]`).
+    Pushdown {
+        sql: String,
+        target: Option<usize>,
+        out_schema: Schema,
+    },
+    /// Per-shard partial aggregation; the coordinator merges the decomposed
+    /// states (`Gather [merge]`), applies HAVING, and projects.
+    PartialAgg {
+        per_shard_sql: String,
+        target: Option<usize>,
+        /// Schema of the per-shard partial rows: qualified group-key fields
+        /// first, then each call's state fields (AVG is two columns).
+        partial_schema: Schema,
+        key_len: usize,
+        graph: Box<QueryGraph>,
+    },
+    /// Fetch each base table's partitions into a scratch engine and run the
+    /// original statement there.
+    GatherExec { fetches: Vec<Fetch>, sql: String },
+}
+
+/// One base-table gather of the fallback strategy.
+struct Fetch {
+    /// Catalog-case table name (scratch registration).
+    table: String,
+    /// Shadow schema the fetched rows are inserted under.
+    schema: Schema,
+    /// `SELECT * FROM t t [WHERE single-table conjuncts]`.
+    sql: String,
+    /// Pinned shard, when a conjunct fixes the table's shard key.
+    target: Option<usize>,
+}
+
+/// A planned-and-cached coordinator statement: valid only while both epochs
+/// it was planned under still hold.
+struct ShardPlan {
+    ddl_epoch: u64,
+    topology_epoch: u64,
+    explain: String,
+    strategy: Strategy,
+}
+
+/// The scatter/gather coordinator; see the module docs.
+pub struct Coordinator {
+    shards: RwLock<Vec<ShardSlot>>,
+    /// Bumped by [`replace_shard`](Coordinator::replace_shard): part of the
+    /// plan-cache fingerprint, so topology changes invalidate cached plans.
+    topology_epoch: AtomicU64,
+    /// Bumped by DDL, routed DML, and UDF registration (statistics and
+    /// schemas feed the optimizer): the other half of the fingerprint.
+    ddl_epoch: AtomicU64,
+    tables: RwLock<HashMap<String, TableShadow>>,
+    udfs: RwLock<Vec<(Arc<dyn ScalarUdf>, UdfMeta)>>,
+    distincts: RwLock<HashMap<String, f64>>,
+    plans: Mutex<HashMap<String, Arc<ShardPlan>>>,
+    config: CoordinatorConfig,
+    stats: CoordStats,
+}
+
+impl Coordinator {
+    /// Connect to the query services at `addrs` (one per shard, already
+    /// running) under `config`.
+    pub fn connect<A: ToSocketAddrs>(
+        addrs: &[A],
+        config: CoordinatorConfig,
+    ) -> Result<Coordinator> {
+        if addrs.is_empty() {
+            return Err(CsqError::Config(
+                "a coordinator needs at least one shard address".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            shards.push(Self::dial(a, config.pool_size)?);
+        }
+        Ok(Coordinator {
+            shards: RwLock::new(shards),
+            topology_epoch: AtomicU64::new(0),
+            ddl_epoch: AtomicU64::new(0),
+            tables: RwLock::new(HashMap::new()),
+            udfs: RwLock::new(Vec::new()),
+            distincts: RwLock::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            config,
+            stats: CoordStats::default(),
+        })
+    }
+
+    fn dial(addr: impl ToSocketAddrs, pool_size: usize) -> Result<ShardSlot> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| CsqError::Net(format!("resolve shard address: {e}")))?
+            .next()
+            .ok_or_else(|| CsqError::Net("shard address resolved to nothing".into()))?;
+        Ok(ShardSlot {
+            addr: resolved,
+            pool: ConnectionPool::new(resolved, pool_size)?,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// The current topology epoch (bumped by
+    /// [`replace_shard`](Coordinator::replace_shard)).
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Coordinator counters.
+    pub fn stats(&self) -> &CoordStats {
+        &self.stats
+    }
+
+    /// Swap shard `idx` to a replacement service at `addr` (failover: the
+    /// replacement is assumed to hold the shard's data). Bumps the topology
+    /// epoch, so every cached plan replans before its next execution.
+    pub fn replace_shard(&self, idx: usize, addr: impl ToSocketAddrs) -> Result<()> {
+        let slot = Self::dial(addr, self.config.pool_size)?;
+        let mut shards = self.shards.write();
+        let Some(entry) = shards.get_mut(idx) else {
+            return Err(CsqError::Config(format!(
+                "replace_shard: shard {idx} out of range ({} shards)",
+                shards.len()
+            )));
+        };
+        *entry = slot;
+        drop(shards);
+        self.topology_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Register a client-site UDF with the coordinator: gather-and-execute
+    /// queries run it in their scratch engine (shards never hold UDF
+    /// implementations, so UDF queries are never pushed down).
+    pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) -> Result<()> {
+        let meta = Database::meta_of(&udf);
+        self.udfs.write().push((udf, meta));
+        self.bump_ddl();
+        Ok(())
+    }
+
+    /// Record the distinct-value count of `table.column`, driving the
+    /// enumerator's per-shard group estimate (and hence the
+    /// shard-partial-vs-gather choice).
+    pub fn advertise_distinct(&self, table: &str, column: &str, distinct: f64) {
+        self.distincts.write().insert(
+            format!(
+                "{}.{}",
+                table.to_ascii_lowercase(),
+                column.to_ascii_lowercase()
+            ),
+            distinct,
+        );
+        self.bump_ddl();
+    }
+
+    fn bump_ddl(&self) {
+        self.ddl_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Create a table hash-partitioned on `shard_key`: the `CREATE TABLE`
+    /// broadcasts to every shard, and the coordinator records the schema
+    /// and routing column.
+    pub fn create_table(&self, sql: &str, shard_key: &str) -> Result<QueryResult> {
+        let Statement::CreateTable { name, columns } = parse_statement(sql)? else {
+            return Err(CsqError::Plan(
+                "create_table expects a CREATE TABLE statement".into(),
+            ));
+        };
+        let shard_col = columns
+            .iter()
+            .position(|(c, _)| c.eq_ignore_ascii_case(shard_key))
+            .ok_or_else(|| {
+                CsqError::Catalog(format!(
+                    "shard key '{shard_key}' is not a column of table '{name}'"
+                ))
+            })?;
+        let fields: Vec<Field> = columns
+            .iter()
+            .map(|(c, t)| Field::new(c.clone(), *t))
+            .collect();
+        let key = name.to_ascii_lowercase();
+        if self.tables.read().contains_key(&key) {
+            return Err(CsqError::Catalog(format!("table '{name}' already exists")));
+        }
+        let shards = self.shards.read();
+        let jobs: Vec<(usize, String)> = (0..shards.len()).map(|i| (i, sql.to_string())).collect();
+        self.scatter(&shards, &jobs)?;
+        drop(shards);
+        let width = fields.len();
+        self.tables.write().insert(
+            key,
+            TableShadow {
+                name,
+                schema: Schema::new(fields),
+                shard_col,
+                rows: 0,
+                row_byte_sum: 0.0,
+                col_byte_sums: vec![0.0; width],
+            },
+        );
+        self.bump_ddl();
+        Ok(QueryResult::empty())
+    }
+
+    /// Execute one SQL statement across the shards: INSERTs hash-route,
+    /// SELECTs scatter/gather. `CREATE TABLE` must go through
+    /// [`create_table`](Coordinator::create_table) (it needs a shard key).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, .. } => Err(CsqError::Plan(format!(
+                "CREATE TABLE '{name}' on a coordinator needs a shard key; \
+                 use Coordinator::create_table(sql, shard_key)"
+            ))),
+            Statement::Insert { table, rows } => self.route_insert(&table, rows),
+            Statement::Select(sel) => self.execute_select(sql, &sel),
+        }
+    }
+
+    /// The coordinator's chosen scatter/gather plan for a SELECT, rendered
+    /// as an indented tree (`Scatter [n shards, k pruned]` / `Gather
+    /// [ordered|merge]` nodes included), plus its estimated cost.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = parse_statement(sql)? else {
+            return Err(CsqError::Plan("EXPLAIN only supports SELECT".into()));
+        };
+        Ok(self.plan_select(sql, &sel)?.explain.clone())
+    }
+
+    // ---- INSERT routing ---------------------------------------------------
+
+    fn route_insert(&self, table: &str, rows: Vec<Vec<Expr>>) -> Result<QueryResult> {
+        let shards = self.shards.read();
+        let n = shards.len();
+        let mut tables = self.tables.write();
+        let shadow = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| CsqError::Catalog(format!("unknown table '{table}'")))?;
+        let empty_schema = Schema::empty();
+        let empty_row = Row::new(vec![]);
+        let mut per_shard: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        let mut routed = 0u64;
+        for exprs in rows {
+            if exprs.len() != shadow.schema.len() {
+                return Err(CsqError::Type(format!(
+                    "table '{}': expected {} columns, got {}",
+                    shadow.name,
+                    shadow.schema.len(),
+                    exprs.len()
+                )));
+            }
+            let mut values: Vec<Value> = Vec::with_capacity(exprs.len());
+            for (i, e) in exprs.iter().enumerate() {
+                let bound = bind(e, &empty_schema).map_err(|_| {
+                    CsqError::Plan("INSERT values must be literal expressions".into())
+                })?;
+                let v = bound.eval(&empty_row)?;
+                // Coerce to the declared column type before hashing: stored
+                // and routed values must hash identically, and `Int(5)` and
+                // `Float(5.0)` do not (shard pruning and routing both hash
+                // the declared type).
+                values.push(coerce_to(v, shadow.schema.field(i).dtype)?);
+            }
+            let row = Row::new(values);
+            shadow.rows += 1;
+            shadow.row_byte_sum += row.wire_size() as f64;
+            for (i, v) in row.values().iter().enumerate() {
+                shadow.col_byte_sums[i] += v.wire_size() as f64;
+            }
+            routed += 1;
+            let at = row.partition_of(Some(&[shadow.shard_col]), n);
+            per_shard[at].push(row);
+        }
+        let mut jobs = Vec::new();
+        for (i, batch) in per_shard.iter().enumerate() {
+            if !batch.is_empty() {
+                jobs.push((i, render_insert(&shadow.name, batch)?));
+            }
+        }
+        drop(tables);
+        self.scatter(&shards, &jobs)?;
+        drop(shards);
+        CoordStats::add(&self.stats.rows_routed, routed);
+        self.bump_ddl(); // Cardinalities moved; cached plans are stale.
+        Ok(QueryResult::count(routed as usize))
+    }
+
+    // ---- SELECT -----------------------------------------------------------
+
+    fn execute_select(&self, sql: &str, sel: &SelectStmt) -> Result<QueryResult> {
+        CoordStats::bump(&self.stats.queries);
+        let plan = self.plan_select(sql, sel)?;
+        match &plan.strategy {
+            Strategy::Pushdown {
+                sql,
+                target,
+                out_schema,
+            } => {
+                CoordStats::bump(&self.stats.pushdown_queries);
+                self.run_pushdown(sql, *target, out_schema)
+            }
+            Strategy::PartialAgg {
+                per_shard_sql,
+                target,
+                partial_schema,
+                key_len,
+                graph,
+            } => {
+                CoordStats::bump(&self.stats.partial_agg_queries);
+                self.run_partial_agg(per_shard_sql, *target, partial_schema, *key_len, graph)
+            }
+            Strategy::GatherExec { fetches, sql } => {
+                CoordStats::bump(&self.stats.gather_exec_queries);
+                self.run_gather_exec(fetches, sql)
+            }
+        }
+    }
+
+    /// Plan `sql` through the coordinator plan cache. A cached plan is
+    /// valid only under the exact (DDL epoch, topology epoch) pair it was
+    /// made under — DDL/DML move statistics, and a topology change moves
+    /// where hash buckets live.
+    fn plan_select(&self, sql: &str, sel: &SelectStmt) -> Result<Arc<ShardPlan>> {
+        let ddl = self.ddl_epoch.load(Ordering::SeqCst);
+        let topo = self.topology_epoch.load(Ordering::SeqCst);
+        {
+            let plans = self.plans.lock();
+            if let Some(p) = plans.get(sql) {
+                if p.ddl_epoch == ddl && p.topology_epoch == topo {
+                    CoordStats::bump(&self.stats.plan_cache_hits);
+                    return Ok(p.clone());
+                }
+            }
+        }
+        let ctx = self.opt_context();
+        let graph = extract(sel, &ctx)?;
+        let optimized = csq_opt::optimize(&graph, &ctx)?;
+        let explain = format!(
+            "{}cost: {:.6}s (est. {:.1} rows)\n",
+            optimized.root.explain(&graph),
+            optimized.cost_seconds,
+            optimized.est_rows
+        );
+        let strategy = self.derive_strategy(sql, &graph, &optimized.root, &ctx)?;
+        let plan = Arc::new(ShardPlan {
+            ddl_epoch: ddl,
+            topology_epoch: topo,
+            explain,
+            strategy,
+        });
+        let mut plans = self.plans.lock();
+        if plans.len() >= COORD_PLAN_CACHE_CAPACITY {
+            plans.clear();
+        }
+        plans.insert(sql.to_string(), plan.clone());
+        Ok(plan)
+    }
+
+    /// The sharded optimizer context: shadow statistics, shard keys, UDF
+    /// metadata, and the coordinator↔shard network.
+    fn opt_context(&self) -> OptContext {
+        let shards = self.shards.read().len();
+        let mut ctx = OptContext::new(self.config.net.clone())
+            .with_dop(self.config.dop)
+            .with_shards(shards);
+        for shadow in self.tables.read().values() {
+            ctx.add_table(&shadow.name, shadow.stats());
+            ctx.set_shard_key(&shadow.name, &shadow.schema.field(shadow.shard_col).name);
+        }
+        for (_, meta) in self.udfs.read().iter() {
+            ctx.add_udf(meta.clone());
+        }
+        for (key, d) in self.distincts.read().iter() {
+            if let Some((t, c)) = key.split_once('.') {
+                ctx.set_col_distinct(t, c, *d);
+            }
+        }
+        ctx
+    }
+
+    /// Turn the optimized scatter/gather plan into an executable strategy.
+    fn derive_strategy(
+        &self,
+        sql: &str,
+        graph: &QueryGraph,
+        root: &PlanNode,
+        ctx: &OptContext,
+    ) -> Result<Strategy> {
+        let n = self.shards.read().len();
+        if pushable(graph) {
+            let target = pinned_shard_value(graph, ctx, 0).map(|v| shard_for(v, n));
+            let Unit::Rel { alias, stats, .. } = &graph.units[0] else {
+                return Err(CsqError::Plan("pushable graph without a relation".into()));
+            };
+            let qualified = stats.schema.qualify(alias);
+            match &graph.aggregate {
+                None => {
+                    let mut fields = Vec::with_capacity(graph.output.len());
+                    for (e, name) in &graph.output {
+                        let dtype = bind(e, &qualified)
+                            .and_then(|p| p.infer_type(&qualified))
+                            .unwrap_or(DataType::Str);
+                        fields.push(Field::new(name.clone(), dtype));
+                    }
+                    Ok(Strategy::Pushdown {
+                        sql: sql.to_string(),
+                        target,
+                        out_schema: Schema::new(fields),
+                    })
+                }
+                Some(_) => {
+                    let shard_partial = matches!(
+                        root,
+                        PlanNode::Aggregate {
+                            placement: AggPlacement::ShardPartial,
+                            ..
+                        }
+                    );
+                    if shard_partial {
+                        let (per_shard_sql, partial_schema, key_len) =
+                            partial_agg_sql(graph, &qualified)?;
+                        Ok(Strategy::PartialAgg {
+                            per_shard_sql,
+                            target,
+                            partial_schema,
+                            key_len,
+                            graph: Box::new(graph.clone()),
+                        })
+                    } else {
+                        // Client-only aggregation: honoring the optimizer's
+                        // choice means gathering raw rows and aggregating at
+                        // the coordinator.
+                        Ok(Strategy::GatherExec {
+                            fetches: self.plan_fetches(graph, ctx, n)?,
+                            sql: sql.to_string(),
+                        })
+                    }
+                }
+            }
+        } else {
+            Ok(Strategy::GatherExec {
+                fetches: self.plan_fetches(graph, ctx, n)?,
+                sql: sql.to_string(),
+            })
+        }
+    }
+
+    /// One fetch per distinct base table of the fallback strategy, with
+    /// single-table predicates pushed into the per-shard `WHERE` and the
+    /// scatter pinned when a conjunct fixes the table's shard key.
+    fn plan_fetches(&self, graph: &QueryGraph, ctx: &OptContext, n: usize) -> Result<Vec<Fetch>> {
+        let mut by_table: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, u) in graph.units.iter().enumerate().take(graph.n_rels) {
+            if let Unit::Rel { table, .. } = u {
+                by_table
+                    .entry(table.to_ascii_lowercase())
+                    .or_default()
+                    .push(i);
+            }
+        }
+        let tables = self.tables.read();
+        let mut fetches = Vec::with_capacity(by_table.len());
+        for (key, units) in by_table {
+            let shadow = tables
+                .get(&key)
+                .ok_or_else(|| CsqError::Catalog(format!("unknown table '{key}'")))?;
+            // Predicate pushdown and pruning are sound only when a single
+            // FROM entry references the table (a self-join's two aliases
+            // need different row subsets, so both fetch everything).
+            let (mut conjuncts, mut target) = (Vec::new(), None);
+            if let [unit] = units[..] {
+                if let Unit::Rel { alias, .. } = &graph.units[unit] {
+                    for p in &graph.predicates {
+                        if p.required == (1u64 << unit) && !p.references_udf {
+                            if let Ok(s) = render_expr(&p.expr, Some(alias)) {
+                                conjuncts.push(s);
+                            }
+                        }
+                    }
+                }
+                target = pinned_shard_value(graph, ctx, unit).map(|v| shard_for(v, n));
+            }
+            let mut sql = format!("SELECT * FROM {0} {0}", shadow.name);
+            if !conjuncts.is_empty() {
+                sql.push_str(" WHERE ");
+                sql.push_str(&conjuncts.join(" AND "));
+            }
+            fetches.push(Fetch {
+                table: shadow.name.clone(),
+                schema: shadow.schema.clone(),
+                sql,
+                target,
+            });
+        }
+        // Deterministic scatter order (HashMap iteration is not).
+        fetches.sort_by(|a, b| a.table.cmp(&b.table));
+        Ok(fetches)
+    }
+
+    fn run_pushdown(
+        &self,
+        sql: &str,
+        target: Option<usize>,
+        out_schema: &Schema,
+    ) -> Result<QueryResult> {
+        let shards = self.shards.read();
+        let jobs = self.jobs_for(shards.len(), target, sql);
+        let results = self.scatter(&shards, &jobs)?;
+        drop(shards);
+        let mut rows = Vec::new();
+        for r in results {
+            rows.extend(r.rows);
+        }
+        Ok(QueryResult {
+            schema: out_schema.clone(),
+            rows,
+            affected: 0,
+        })
+    }
+
+    fn run_partial_agg(
+        &self,
+        per_shard_sql: &str,
+        target: Option<usize>,
+        partial_schema: &Schema,
+        key_len: usize,
+        graph: &QueryGraph,
+    ) -> Result<QueryResult> {
+        let spec = graph
+            .aggregate
+            .as_ref()
+            .ok_or_else(|| CsqError::Plan("partial-agg plan without an aggregate".into()))?;
+        let shards = self.shards.read();
+        let jobs = self.jobs_for(shards.len(), target, per_shard_sql);
+        let results = self.scatter(&shards, &jobs)?;
+        drop(shards);
+        let mut rows = Vec::new();
+        for (r, (shard, _)) in results.into_iter().zip(&jobs) {
+            for row in r.rows {
+                if row.len() != partial_schema.len() {
+                    return Err(CsqError::Exec(format!(
+                        "shard {shard} returned {}-column partial rows; expected {}",
+                        row.len(),
+                        partial_schema.len()
+                    )));
+                }
+                rows.push(row);
+            }
+        }
+        // Merge the per-shard states (`Gather [merge]`): the same finalize
+        // phase the two-site server-partial path uses, fed with one
+        // partial-state row set per shard.
+        let aggs: Vec<AggSpec> = spec
+            .calls
+            .iter()
+            .map(|c| AggSpec::new(c.func, None, c.result_col.clone()))
+            .collect();
+        let input: csq_exec::BoxOp = Box::new(RowsOp::new(partial_schema.clone(), rows));
+        let mut agg = HashAggregate::finalize(input, key_len, aggs)?;
+        let out_schema = agg.schema().clone();
+        let mut out_rows = collect(&mut agg)?;
+        if let Some(h) = &spec.having {
+            let pred = bind(h, &out_schema)?;
+            let mut kept = Vec::with_capacity(out_rows.len());
+            for r in out_rows {
+                if pred.eval_predicate(&r)? {
+                    kept.push(r);
+                }
+            }
+            out_rows = kept;
+        }
+        crate::lower::project_output(graph, &out_schema, out_rows)
+    }
+
+    fn run_gather_exec(&self, fetches: &[Fetch], sql: &str) -> Result<QueryResult> {
+        let scratch = Database::new(self.config.net.clone());
+        for (udf, meta) in self.udfs.read().iter() {
+            scratch.register_udf(udf.clone())?;
+            scratch.advertise_udf(meta.clone());
+        }
+        let shards = self.shards.read();
+        for f in fetches {
+            let jobs = self.jobs_for(shards.len(), f.target, &f.sql);
+            let results = self.scatter(&shards, &jobs)?;
+            let table = scratch
+                .catalog()
+                .register(csq_storage::Table::new(f.table.clone(), f.schema.clone())?)?;
+            for r in results {
+                table.insert_all(r.rows)?;
+            }
+        }
+        drop(shards);
+        scratch.execute(sql)
+    }
+
+    /// The scatter targets for one statement: the pinned shard, or all of
+    /// them. Pruned contacts are counted as they are skipped.
+    fn jobs_for(&self, n: usize, target: Option<usize>, sql: &str) -> Vec<(usize, String)> {
+        match target {
+            Some(t) => {
+                CoordStats::add(&self.stats.shards_pruned, n.saturating_sub(1) as u64);
+                vec![(t, sql.to_string())]
+            }
+            None => (0..n).map(|i| (i, sql.to_string())).collect(),
+        }
+    }
+
+    /// Run one statement per `(shard, sql)` job concurrently, each under
+    /// the configured per-shard [`QueryOptions`] (§10 deadline + retry).
+    /// Every job runs to completion before any error is returned — a
+    /// failed shard cannot leave the others' sessions mid-stream — and the
+    /// first failure (lowest shard index) is surfaced with its typed kind
+    /// preserved, tagged with the shard it came from.
+    fn scatter(&self, shards: &[ShardSlot], jobs: &[(usize, String)]) -> Result<Vec<RemoteResult>> {
+        CoordStats::add(&self.stats.shard_statements, jobs.len() as u64);
+        let opts = &self.config.shard_options;
+        let outcomes: Vec<Result<RemoteResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(i, sql)| {
+                    let slot = &shards[*i];
+                    scope.spawn(move || slot.pool.query_with(sql, opts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(jobs)
+                .map(|(h, (i, _))| match h.join() {
+                    Ok(r) => r.map_err(|e| {
+                        // Preserve the typed kind (and with it the client's
+                        // retryable classification); tag the shard.
+                        CsqError::from_kind(
+                            e.kind(),
+                            format!("shard {i} ({}): {}", shards[*i].addr, e.message()),
+                        )
+                    }),
+                    Err(_) => Err(CsqError::Exec(format!("shard {i} gather thread panicked"))),
+                })
+                .collect()
+        });
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut first_err = None;
+        for o in outcomes {
+            match o {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    CoordStats::bump(&self.stats.shard_failures);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+}
+
+/// The shard owning `v`'s hash bucket among `n` — the same `Value` hash
+/// INSERT routing uses, so pruning and routing always agree.
+fn shard_for(v: &Value, n: usize) -> usize {
+    Row::new(vec![v.clone()]).partition_of(Some(&[0]), n)
+}
+
+/// Coerce a literal to a column's declared type (Int → Float is the only
+/// SQL-sanctioned widening); anything else is left for the shard-side type
+/// check to reject.
+fn coerce_to(v: Value, dtype: DataType) -> Result<Value> {
+    Ok(match (v, dtype) {
+        (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+        (v, _) => v,
+    })
+}
+
+/// Render a value as a SQL literal that re-parses to the same `Value`.
+fn sql_literal(v: &Value) -> Result<String> {
+    Ok(match v {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(true) => "TRUE".to_string(),
+        Value::Bool(false) => "FALSE".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(CsqError::Plan(format!(
+                    "cannot render non-finite float {x} as a SQL literal"
+                )));
+            }
+            // `{:?}` keeps the decimal point (`2.0`, not `2`), so the shard
+            // re-parses the literal as a Float.
+            format!("{x:?}")
+        }
+        Value::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
+        Value::Blob(_) => {
+            return Err(CsqError::Plan(
+                "BLOB values cannot be rendered as SQL literals".into(),
+            ))
+        }
+    })
+}
+
+/// Render an expression as per-shard SQL. `alias` qualifies bare columns
+/// (per-shard statements always use explicit `table alias` FROM clauses).
+/// UDF calls are unrenderable by construction — shards hold no UDF
+/// implementations.
+fn render_expr(e: &Expr, alias: Option<&str>) -> Result<String> {
+    Ok(match e {
+        Expr::Literal(v) => sql_literal(v)?,
+        Expr::Column(c) => render_col(c, alias),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => format!("NOT ({})", render_expr(expr, alias)?),
+            UnaryOp::Neg => format!("-({})", render_expr(expr, alias)?),
+        },
+        Expr::Binary { left, op, right } => format!(
+            "({} {} {})",
+            render_expr(left, alias)?,
+            op.symbol(),
+            render_expr(right, alias)?
+        ),
+        Expr::Udf { name, .. } => {
+            return Err(CsqError::Plan(format!(
+                "client-site UDF '{name}' cannot run on a shard"
+            )))
+        }
+        Expr::Aggregate { func, arg } => match arg {
+            Some(a) => format!("{}({})", func.name(), render_expr(a, alias)?),
+            None => format!("{}(*)", func.name()),
+        },
+    })
+}
+
+fn render_col(c: &ColumnRef, alias: Option<&str>) -> String {
+    match (&c.qualifier, alias) {
+        (Some(q), _) => format!("{q}.{}", c.name),
+        (None, Some(a)) => format!("{a}.{}", c.name),
+        (None, None) => c.name.clone(),
+    }
+}
+
+/// Build the per-shard partial-aggregation SQL plus the schema its result
+/// rows decode under: qualified group-key fields first, then each call's
+/// partial-state fields in [`HashAggregate::partial`] wire order (COUNT →
+/// count, SUM/MIN/MAX → value, AVG → running sum + non-NULL count).
+fn partial_agg_sql(graph: &QueryGraph, qualified: &Schema) -> Result<(String, Schema, usize)> {
+    let spec = graph
+        .aggregate
+        .as_ref()
+        .ok_or_else(|| CsqError::Plan("partial aggregation without an aggregate".into()))?;
+    let Unit::Rel { alias, table, .. } = &graph.units[0] else {
+        return Err(CsqError::Plan(
+            "partial aggregation without a relation".into(),
+        ));
+    };
+    let mut items = Vec::new();
+    let mut fields = Vec::new();
+    for (i, g) in spec.group_by.iter().enumerate() {
+        items.push(format!("{} AS k{i}", render_col(g, Some(alias))));
+        let at = qualified.index_of(g.qualifier.as_deref(), &g.name)?;
+        fields.push(qualified.field(at).clone());
+    }
+    for (i, call) in spec.calls.iter().enumerate() {
+        let arg_sql = match &call.arg {
+            Some(a) => render_expr(a, Some(alias))?,
+            None => "*".to_string(),
+        };
+        let arg_type = match &call.arg {
+            Some(a) => bind(a, qualified)?.infer_type(qualified).ok(),
+            None => None,
+        };
+        match call.func {
+            csq_expr::AggFunc::Count => {
+                items.push(format!("COUNT({arg_sql}) AS a{i}"));
+                fields.push(Field::new(call.result_col.clone(), DataType::Int));
+            }
+            csq_expr::AggFunc::Sum | csq_expr::AggFunc::Min | csq_expr::AggFunc::Max => {
+                items.push(format!("{}({arg_sql}) AS a{i}", call.func.name()));
+                fields.push(Field::new(
+                    call.result_col.clone(),
+                    arg_type.unwrap_or(DataType::Float),
+                ));
+            }
+            csq_expr::AggFunc::Avg => {
+                // AVG decomposes: per-shard running sum + non-NULL count,
+                // divided only at the coordinator's finalize.
+                items.push(format!("SUM({arg_sql}) AS a{i}s"));
+                items.push(format!("COUNT({arg_sql}) AS a{i}n"));
+                fields.push(Field::new(
+                    format!("{}$sum", call.result_col),
+                    arg_type.unwrap_or(DataType::Float),
+                ));
+                fields.push(Field::new(format!("{}$n", call.result_col), DataType::Int));
+            }
+        }
+    }
+    let mut sql = format!("SELECT {} FROM {} {}", items.join(", "), table, alias);
+    let conjuncts: Vec<String> = graph
+        .predicates
+        .iter()
+        .map(|p| render_expr(&p.expr, Some(alias)))
+        .collect::<Result<_>>()?;
+    if !conjuncts.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conjuncts.join(" AND "));
+    }
+    let keys: Vec<String> = spec
+        .group_by
+        .iter()
+        .map(|g| render_col(g, Some(alias)))
+        .collect();
+    if !keys.is_empty() {
+        sql.push_str(" GROUP BY ");
+        sql.push_str(&keys.join(", "));
+    }
+    Ok((sql, Schema::new(fields), spec.group_by.len()))
+}
+
+/// Render a hash-routed per-shard INSERT.
+fn render_insert(table: &str, rows: &[Row]) -> Result<String> {
+    let mut sql = format!("INSERT INTO {table} VALUES ");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push('(');
+        for (j, v) in row.values().iter().enumerate() {
+            if j > 0 {
+                sql.push_str(", ");
+            }
+            sql.push_str(&sql_literal(v)?);
+        }
+        sql.push(')');
+    }
+    Ok(sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_roundtrip_through_the_renderer() {
+        let cases = [
+            (Value::Null, "NULL"),
+            (Value::Bool(true), "TRUE"),
+            (Value::Int(-7), "-7"),
+            (Value::Float(2.0), "2.0"),
+            (Value::from("it's"), "'it''s'"),
+        ];
+        for (v, want) in cases {
+            assert_eq!(sql_literal(&v).unwrap(), want);
+        }
+        assert!(sql_literal(&Value::Float(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn float_literals_reparse_as_floats() {
+        // `Display` for 2.0 gives "2" (reparses as Int); the renderer must
+        // keep the decimal point so shard-side filters see the same type.
+        let rendered = sql_literal(&Value::Float(2.0)).unwrap();
+        let stmt = parse_statement(&format!("SELECT {rendered} AS x FROM t t")).unwrap();
+        let Statement::Select(sel) = stmt else {
+            unreachable!()
+        };
+        let csq_sql::ast::SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            unreachable!()
+        };
+        assert!(matches!(expr, Expr::Literal(Value::Float(f)) if *f == 2.0));
+    }
+
+    #[test]
+    fn insert_rendering_batches_rows() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::from("a")]),
+            Row::new(vec![Value::Int(2), Value::Null]),
+        ];
+        assert_eq!(
+            render_insert("T", &rows).unwrap(),
+            "INSERT INTO T VALUES (1, 'a'), (2, NULL)"
+        );
+    }
+
+    #[test]
+    fn shard_routing_matches_row_partitioning() {
+        // The pinning path hashes a lone literal; INSERT routing hashes the
+        // key column inside the full row. They must agree.
+        let v = Value::from("Acme");
+        let row = Row::new(vec![Value::Int(9), v.clone(), Value::Float(1.5)]);
+        for n in [1usize, 2, 4, 7] {
+            assert_eq!(shard_for(&v, n), row.partition_of(Some(&[1]), n));
+        }
+    }
+
+    #[test]
+    fn int_literals_coerce_before_hashing() {
+        let v = coerce_to(Value::Int(5), DataType::Float).unwrap();
+        assert_eq!(v, Value::Float(5.0));
+        // Str columns are untouched.
+        let s = coerce_to(Value::from("x"), DataType::Str).unwrap();
+        assert_eq!(s, Value::from("x"));
+    }
+}

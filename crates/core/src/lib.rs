@@ -28,11 +28,15 @@
 //! assert_eq!(out.rows.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod coord;
 mod lower;
 mod plancache;
 mod result;
 pub mod service;
 
+pub use coord::{CoordStats, Coordinator, CoordinatorConfig};
 pub use lower::SimSummary;
 pub use plancache::{PlanCache, PlanCacheStats, PlannedQuery};
 pub use result::QueryResult;
@@ -195,7 +199,7 @@ impl Database {
         Ok(())
     }
 
-    fn meta_of(udf: &Arc<dyn ScalarUdf>) -> UdfMeta {
+    pub(crate) fn meta_of(udf: &Arc<dyn ScalarUdf>) -> UdfMeta {
         let sig = udf.signature().clone();
         UdfMeta {
             name: sig.name.clone(),
@@ -329,7 +333,9 @@ impl Database {
             }
             PlanNode::ApplyUdf { input, .. }
             | PlanNode::ReturnToServer { input }
-            | PlanNode::Aggregate { input, .. } => {
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Scatter { input, .. }
+            | PlanNode::Gather { input, .. } => {
                 self.scan_notes(graph, input, None, notes);
             }
         }

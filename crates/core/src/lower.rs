@@ -158,6 +158,14 @@ fn apply_aggregate(
             let (s, r, _wire_bytes) = pspec.ship_through_wire(input)?;
             (s, r)
         }
+        // Shard-partial plans belong to the coordinator (csq_core::coord),
+        // which merges per-shard states itself; a single-node executor has
+        // no shards to scatter over.
+        AggPlacement::ShardPartial => {
+            return Err(CsqError::Plan(
+                "shard-partial aggregation requires a coordinator".into(),
+            ))
+        }
     };
     match &spec.having {
         Some(h) => {
@@ -248,6 +256,11 @@ fn build_threaded(
             Ok(Box::new(Filter::new(child, pred)))
         }
         PlanNode::ReturnToServer { input } => build_threaded(db, graph, input, token),
+        // Scatter/gather belong to the coordinator (csq_core::coord), which
+        // never lowers them — it generates per-shard SQL instead.
+        PlanNode::Scatter { .. } | PlanNode::Gather { .. } => Err(CsqError::Plan(
+            "scatter/gather plan reached a single-node executor".into(),
+        )),
         PlanNode::Aggregate {
             input, placement, ..
         } => {
@@ -270,6 +283,11 @@ fn build_threaded(
                     let pspec = PartialAggSpec::new(key, aggs);
                     let (out_schema, rows, _wire_bytes) = pspec.ship_through_wire(child)?;
                     Box::new(RowsOp::new(out_schema, rows))
+                }
+                AggPlacement::ShardPartial => {
+                    return Err(CsqError::Plan(
+                        "shard-partial aggregation requires a coordinator".into(),
+                    ))
                 }
             };
             if let Some(h) = &spec.having {
@@ -333,7 +351,11 @@ fn build_threaded(
 /// Project the final operator output onto the query's SELECT list, using
 /// the vectorized `Project` operator (pure-column outputs move values out
 /// of the intermediate rows instead of cloning them).
-fn project_output(graph: &QueryGraph, schema: &Schema, rows: Vec<Row>) -> Result<QueryResult> {
+pub(crate) fn project_output(
+    graph: &QueryGraph,
+    schema: &Schema,
+    rows: Vec<Row>,
+) -> Result<QueryResult> {
     let out = graph.final_output();
     let mut exprs = Vec::with_capacity(out.len());
     for (e, name) in out {
@@ -427,6 +449,9 @@ fn run_simulated(
             }
         }
         PlanNode::ReturnToServer { input } => run_simulated(db, graph, input, summary),
+        PlanNode::Scatter { .. } | PlanNode::Gather { .. } => Err(CsqError::Plan(
+            "scatter/gather plan reached a single-node executor".into(),
+        )),
         PlanNode::Aggregate {
             input, placement, ..
         } => {

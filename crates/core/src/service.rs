@@ -9,17 +9,17 @@
 //!   execution concurrency. Refused connections get a fatal `limit` error.
 //! * The **session scheduler** (one poller thread) parks every admitted
 //!   session and waits for readiness with `poll(2)`
-//!   ([`poll_readable`](csq_net::ready::poll_readable)): an idle connection
+//!   ([`csq_net::ready::poll_readable`]): an idle connection
 //!   costs one pollfd entry and its receive buffer, nothing else. When a
 //!   complete request frame arrives (non-blocking, resumable reads on the
 //!   framed [`TcpConn`]), the statement becomes a job on the
-//!   [`WorkerPool`](csq_exec::WorkerPool); memory-only requests
+//!   [`csq_exec::WorkerPool`]; memory-only requests
 //!   (`SessionInfo`, `CancelQuery`, `CloseStmt`) are answered inline so
 //!   they work even when every worker is busy. Ready sessions are swept in
 //!   rotating order, so one chatty client cannot starve the rest.
 //! * The **workers** (the pool, sized by [`ServiceConfig::workers`])
 //!   execute one statement at a time: plan through the database's
-//!   [`PlanCache`], stream results in bounded chunks over the session's
+//!   [`PlanCache`](crate::PlanCache), stream results in bounded chunks over the session's
 //!   connection (flipped to blocking mode for the write), then hand the
 //!   session back to the scheduler and pick up the next job.
 //!
@@ -167,7 +167,9 @@ impl ServiceConfig {
             ));
         }
         if self.max_queued_statements == 0 {
-            return fail("max_queued_statements must be at least 1 (0 sheds every statement)".into());
+            return fail(
+                "max_queued_statements must be at least 1 (0 sheds every statement)".into(),
+            );
         }
         if self.chunk_rows == 0 {
             return fail("chunk_rows must be at least 1".into());
@@ -176,7 +178,9 @@ impl ServiceConfig {
             return fail("max_frame must be nonzero".into());
         }
         if self.idle_timeout.is_zero() {
-            return fail("idle_timeout must be nonzero (zero cuts off every mid-frame read)".into());
+            return fail(
+                "idle_timeout must be nonzero (zero cuts off every mid-frame read)".into(),
+            );
         }
         if self.write_timeout.is_zero() {
             return fail("write_timeout must be nonzero (zero fails every send)".into());
@@ -644,10 +648,9 @@ fn accept_loop(
         ServiceStats::bump(&stats.accepted);
         let session_id = next_session.fetch_add(1, Ordering::Relaxed);
         let key = session_key(session_id);
-        registry.lock().insert(
-            session_id,
-            CancelSlot { key, running: None },
-        );
+        registry
+            .lock()
+            .insert(session_id, CancelSlot { key, running: None });
         let session = Session {
             id: session_id,
             key,
@@ -797,10 +800,8 @@ fn poller_loop(
         // flooding client cannot starve the polite ones.
         rotate = rotate.wrapping_add(1);
         let offset = rotate % parked.len();
-        let mut sweep: Vec<(Session, bool)> = parked
-            .drain(..)
-            .zip(ready.drain(..).skip(1))
-            .collect();
+        let mut sweep: Vec<(Session, bool)> =
+            parked.drain(..).zip(ready.drain(..).skip(1)).collect();
         sweep.rotate_left(offset);
         for (mut session, was_ready) in sweep {
             if was_ready || session.maybe_buffered {
@@ -1006,7 +1007,9 @@ impl Drop for Executing {
 /// scheduler.
 fn run_statement(ctx: SchedCtx, mut session: Session, req: QueryRequest, token: CancelToken) {
     ctx.sched.queued_statements.fetch_sub(1, Ordering::SeqCst);
-    ctx.sched.executing_statements.fetch_add(1, Ordering::SeqCst);
+    ctx.sched
+        .executing_statements
+        .fetch_add(1, Ordering::SeqCst);
     let _executing = Executing(ctx.sched.clone());
     if session.conn.set_nonblocking(false).is_err() {
         set_running(&ctx.registry, session.id, None);
@@ -1014,8 +1017,9 @@ fn run_statement(ctx: SchedCtx, mut session: Session, req: QueryRequest, token: 
     }
     let alive = match req {
         QueryRequest::Query { sql, .. } => {
-            let outcome =
-                catch_unwind(AssertUnwindSafe(|| ctx.db.execute_cached_with(&sql, &token)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                ctx.db.execute_cached_with(&sql, &token)
+            }));
             answer_execution(&session.conn, &ctx.net, &ctx.stats, &ctx.config, outcome)
         }
         QueryRequest::Execute { stmt, .. } => match session.prepared.get(&stmt) {

@@ -293,6 +293,11 @@ pub enum AggPlacement {
     /// The server partially aggregates (rows → groups) and ships decomposed
     /// state; the client merges and finishes.
     ServerPartial,
+    /// N-site generalization (DESIGN.md §13): every shard of a hash-sharded
+    /// table partially aggregates its local rows, the per-shard decomposed
+    /// states are gathered, and the coordinator merges and finishes. The
+    /// two-site `ServerPartial` is the `shards = 1` degenerate case.
+    ShardPartial,
 }
 
 impl AggPlacement {
@@ -301,6 +306,7 @@ impl AggPlacement {
         match self {
             AggPlacement::ClientOnly => "client-only",
             AggPlacement::ServerPartial => "server-partial",
+            AggPlacement::ShardPartial => "shard-partial",
         }
     }
 }
@@ -358,11 +364,16 @@ pub struct AggPlacementParams {
 }
 
 impl AggPlacementParams {
-    /// Downlink bytes a placement puts on the wire.
+    /// Downlink bytes a placement puts on the wire. `ShardPartial` here is
+    /// the single-site degenerate figure; [`ShardedAggParams::gather_bytes`]
+    /// gives the N-shard gather volume (a group's state crosses once per
+    /// shard that holds any of its rows).
     pub fn down_bytes(&self, placement: AggPlacement) -> f64 {
         match placement {
             AggPlacement::ClientOnly => self.rows * self.row_bytes,
-            AggPlacement::ServerPartial => self.groups * self.state_bytes,
+            AggPlacement::ServerPartial | AggPlacement::ShardPartial => {
+                self.groups * self.state_bytes
+            }
         }
     }
 
@@ -382,6 +393,59 @@ impl AggPlacementParams {
 pub fn choose_agg_placement(p: &AggPlacementParams) -> AggPlacement {
     if p.down_bytes(AggPlacement::ServerPartial) < p.down_bytes(AggPlacement::ClientOnly) {
         AggPlacement::ServerPartial
+    } else {
+        AggPlacement::ClientOnly
+    }
+}
+
+/// Shipping-volume inputs of the N-site placement choice (DESIGN.md §13):
+/// the two-site [`AggPlacementParams`] plus the shard count the table's rows
+/// are hash-partitioned over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedAggParams {
+    /// The two-site volume inputs; `rows` and `groups` describe the *whole*
+    /// table, not one shard.
+    pub base: AggPlacementParams,
+    /// Number of shards holding the table's rows (≥ 1).
+    pub shards: usize,
+}
+
+impl ShardedAggParams {
+    /// Expected groups present on a single shard. Hash partitioning spreads
+    /// rows evenly, so a shard sees `rows / shards` rows and can hold at
+    /// most that many groups — and never more than the table's total group
+    /// count. `min(groups, rows/shards)` keeps the same cap-style estimate
+    /// as [`estimate_group_count`].
+    pub fn per_shard_groups(&self) -> f64 {
+        let n = self.shards.max(1) as f64;
+        self.base.groups.min((self.base.rows / n).max(1.0))
+    }
+
+    /// Gather volume of the shard-partial placement: each shard ships the
+    /// decomposed state of every group it holds, so a wide-spread group's
+    /// state crosses the wire once per shard (the coordinator merges the
+    /// duplicates).
+    pub fn gather_bytes(&self) -> f64 {
+        self.shards.max(1) as f64 * self.per_shard_groups() * self.base.state_bytes
+    }
+
+    /// The reduction factor below which shard-partial ships fewer bytes than
+    /// gathering the raw rows, accounting for per-shard state duplication.
+    pub fn breakeven_reduction(&self) -> f64 {
+        if self.base.state_bytes <= 0.0 {
+            return 1.0;
+        }
+        self.base.row_bytes / self.base.state_bytes
+    }
+}
+
+/// N-site analogue of [`choose_agg_placement`]: shard-partial when the
+/// per-shard partial states (with their cross-shard group duplication) ship
+/// fewer bytes than the raw pre-aggregation rows; ties go to client-only.
+/// At `shards = 1` this agrees with the two-site chooser by construction.
+pub fn choose_sharded_agg_placement(p: &ShardedAggParams) -> AggPlacement {
+    if p.gather_bytes() < p.base.down_bytes(AggPlacement::ClientOnly) {
+        AggPlacement::ShardPartial
     } else {
         AggPlacement::ClientOnly
     }
@@ -710,6 +774,66 @@ mod tests {
         // Exactly at break-even the tie goes to client-only.
         assert_eq!(
             choose_agg_placement(&p(1000.0 * 2.0 / 3.0)),
+            AggPlacement::ClientOnly
+        );
+    }
+
+    #[test]
+    fn sharded_agg_placement_generalizes_two_site() {
+        let base = |groups: f64| AggPlacementParams {
+            rows: 1000.0,
+            groups,
+            row_bytes: 18.0,
+            state_bytes: 27.0,
+        };
+        // shards = 1 agrees with the two-site chooser (modulo the label).
+        for groups in [10.0, 300.0, 900.0] {
+            let two = choose_agg_placement(&base(groups));
+            let n = choose_sharded_agg_placement(&ShardedAggParams {
+                base: base(groups),
+                shards: 1,
+            });
+            match two {
+                AggPlacement::ClientOnly => assert_eq!(n, AggPlacement::ClientOnly),
+                _ => assert_eq!(n, AggPlacement::ShardPartial),
+            }
+        }
+        // Few groups: every shard holds (nearly) all of them, so the gather
+        // volume grows with the shard count — but 4 × 10 groups × 27 B still
+        // beats 1000 rows × 18 B.
+        let p4 = ShardedAggParams {
+            base: base(10.0),
+            shards: 4,
+        };
+        assert_eq!(p4.per_shard_groups(), 10.0);
+        assert_eq!(p4.gather_bytes(), 4.0 * 10.0 * 27.0);
+        assert_eq!(
+            choose_sharded_agg_placement(&p4),
+            AggPlacement::ShardPartial
+        );
+        // No reduction (groups ≈ rows): shard-partial ships state overhead
+        // for nothing and loses.
+        let flat = ShardedAggParams {
+            base: base(1000.0),
+            shards: 4,
+        };
+        assert_eq!(flat.per_shard_groups(), 250.0, "capped by rows/shards");
+        assert_eq!(
+            choose_sharded_agg_placement(&flat),
+            AggPlacement::ClientOnly
+        );
+        // Shard fan-out can flip a two-site win back to client-only: at 600
+        // groups the single-site state gather (16.2 kB) beats raw rows
+        // (18 kB), but 4 shards × 250 groups × 27 B = 27 kB does not.
+        assert_eq!(
+            choose_agg_placement(&base(600.0)),
+            AggPlacement::ServerPartial
+        );
+        assert_eq!(
+            choose_sharded_agg_placement(&ShardedAggParams {
+                base: base(600.0),
+                shards: 4,
+            }),
             AggPlacement::ClientOnly
         );
     }

@@ -3,7 +3,7 @@
 //! [`HashAggregate`] is the batch-native GROUP BY operator: it drains its
 //! input batch-wise into an insertion-ordered hash table (sized from the
 //! input's [`crate::Operator::size_hint`]), accumulating one
-//! [`AggState`](enum@self) vector per group, then re-emits finished groups
+//! `AggState` vector per group, then re-emits finished groups
 //! in first-occurrence order.
 //!
 //! Aggregation is *decomposable*: every function's state splits into a

@@ -70,7 +70,7 @@ pub fn collect(op: &mut dyn Operator) -> Result<Vec<Row>> {
 }
 
 /// Cooperative-cancellation checkpoint: forwards its input unchanged but
-/// consults a [`CancelToken`] once per pulled batch, surfacing a typed
+/// consults a [`CancelToken`](csq_common::CancelToken) once per pulled batch, surfacing a typed
 /// `Cancelled`/`Timeout` error the moment the token trips. Lowering inserts
 /// one of these above every source (and the plan root), so a pull anywhere
 /// in the tree observes cancellation within one batch of work — the

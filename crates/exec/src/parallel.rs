@@ -146,7 +146,7 @@ pub trait StageFactory: Send + Sync {
 }
 
 /// Parallel filter stage: the predicate is compiled once
-/// ([`PredPath::analyze`]) and each worker gets its own copy of the
+/// (`PredPath::analyze`) and each worker gets its own copy of the
 /// compiled form — semantics identical to the serial [`crate::Filter`].
 pub struct FilterStageFactory {
     predicate: PhysExpr,
@@ -182,7 +182,7 @@ impl StageFactory for FilterStageFactory {
 }
 
 /// Parallel projection stage: expressions are classified once
-/// ([`ProjPath::analyze`]) — semantics identical to the serial
+/// (`ProjPath::analyze`) — semantics identical to the serial
 /// [`crate::Project`], including the in-place and move fast paths.
 pub struct ProjectStageFactory {
     exprs: Vec<PhysExpr>,

@@ -88,7 +88,7 @@ impl WorkerPool {
         assert!(sent.is_ok(), "worker pool has no live workers");
     }
 
-    /// Submit a job that carries a [`CancelToken`]: if the token has
+    /// Submit a job that carries a [`CancelToken`](csq_common::CancelToken): if the token has
     /// already tripped by the time a worker dequeues it, the job is
     /// dropped unrun. This is how a queued-but-not-started unit of work
     /// (a shed session, a timed-out pipeline stage) avoids consuming a

@@ -194,8 +194,10 @@ pub fn wake_pair() -> Result<(Waker, WakeReceiver)> {
     let tx = TcpStream::connect(addr).map_err(|e| err("connect", e))?;
     let (rx, _) = listener.accept().map_err(|e| err("accept", e))?;
     tx.set_nodelay(true).map_err(|e| err("nodelay", e))?;
-    tx.set_nonblocking(true).map_err(|e| err("nonblocking", e))?;
-    rx.set_nonblocking(true).map_err(|e| err("nonblocking", e))?;
+    tx.set_nonblocking(true)
+        .map_err(|e| err("nonblocking", e))?;
+    rx.set_nonblocking(true)
+        .map_err(|e| err("nonblocking", e))?;
     let fd = stream_fd(&rx);
     Ok((Waker { tx: Mutex::new(tx) }, WakeReceiver { rx, fd }))
 }

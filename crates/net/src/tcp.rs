@@ -630,7 +630,10 @@ mod tests {
             match server.poll_recv().unwrap() {
                 PollFrame::Frame(p) => break p,
                 PollFrame::Pending => {
-                    assert!(std::time::Instant::now() < deadline, "frame never completed")
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "frame never completed"
+                    )
                 }
                 other => panic!("expected frame, got {other:?}"),
             }
@@ -697,7 +700,10 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while server.partial_age().is_none() {
             assert!(matches!(server.poll_recv().unwrap(), PollFrame::Pending));
-            assert!(std::time::Instant::now() < deadline, "partial never started");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "partial never started"
+            );
         }
         // Finish the frame and switch the receiver back to blocking mode:
         // recv must resume the same partial, not desync.

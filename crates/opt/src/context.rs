@@ -118,6 +118,16 @@ pub struct OptContext {
     /// (DESIGN.md §4): per-tuple server cost is discounted by
     /// [`csq_cost::parallel_scale`] at this worker count. 1 = serial.
     pub dop: usize,
+    /// Shard count of a coordinator context (DESIGN.md §13): `0` means this
+    /// context describes a single-node engine (the default — plans are never
+    /// wrapped in Scatter/Gather); `n ≥ 1` means tables are hash-partitioned
+    /// across `n` server shards and the enumerator considers shard-set
+    /// placements.
+    pub shards: usize,
+    /// Shard-key column per table (both lowercase) — the hash-partitioning
+    /// column rows were routed by, used for shard pruning and the
+    /// shard-partial legality check.
+    shard_keys: HashMap<String, String>,
 }
 
 impl OptContext {
@@ -130,7 +140,34 @@ impl OptContext {
             net,
             server_tuple_cost: 0.01,
             dop: 1,
+            shards: 0,
+            shard_keys: HashMap::new(),
         }
+    }
+
+    /// Builder-style: mark this as a coordinator context over `shards`
+    /// server shards (≥ 1). The single-node default is 0.
+    pub fn with_shards(mut self, shards: usize) -> OptContext {
+        self.shards = shards;
+        self
+    }
+
+    /// True when this context describes a sharded (coordinator) deployment.
+    pub fn sharded(&self) -> bool {
+        self.shards >= 1
+    }
+
+    /// Record the hash-partitioning column of a sharded table.
+    pub fn set_shard_key(&mut self, table: &str, column: &str) {
+        self.shard_keys
+            .insert(table.to_ascii_lowercase(), column.to_ascii_lowercase());
+    }
+
+    /// The shard-key column of `table`, if the table is hash-sharded.
+    pub fn shard_key(&self, table: &str) -> Option<&str> {
+        self.shard_keys
+            .get(&table.to_ascii_lowercase())
+            .map(|s| s.as_str())
     }
 
     /// Record the distinct-value count of `table.column` (drives the

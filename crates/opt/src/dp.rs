@@ -310,7 +310,9 @@ pub(crate) fn optimize_inner(
     Ok(OptimizedPlan {
         cost_seconds: best.cost,
         est_rows: best.rows,
-        root: best.plan,
+        // Coordinator contexts get the plan in scatter/gather form; the
+        // default (shards = 0) leaves single-node plans untouched.
+        root: crate::shard::shardify(best.plan, graph, opt),
         states_explored,
     })
 }
@@ -701,31 +703,63 @@ fn finalize(ctx: &Ctx<'_>, s: &State) -> Option<State> {
         let tuple_secs = ctx.opt.server_tuple_cost * 1e-6;
         let client_total = delivery + params.rows * tuple_secs;
         let server_legal = pushed.is_empty() && out_cols.iter().all(|c| s2.server_cols.contains(c));
-        let server_total = ctx.net_cost(
-            params.down_bytes(csq_cost::AggPlacement::ServerPartial),
-            0.0,
-        ) + ctx.server_cost(params.rows)
-            + groups * tuple_secs; // the client still merges and finishes
-        let placement = if server_legal && server_total < client_total {
-            delivery = server_total;
-            csq_cost::AggPlacement::ServerPartial
+        let placement = if ctx.opt.sharded() {
+            // N-site enumeration (DESIGN.md §13): there is no single
+            // "server" — the candidates are gathering the raw rows from
+            // every shard and aggregating at the coordinator (client-only's
+            // analogue) vs. per-shard partial aggregation with a
+            // coordinator finalize. The latter needs the partial phase to
+            // run per shard unchanged: server-legal (no residual client
+            // predicates, server-resident inputs) and a pushable plan
+            // (single relation, no UDF units).
+            let shard_legal = server_legal && ctx.graph.n_rels == 1 && ctx.graph.units.len() == 1;
+            let sp = csq_cost::ShardedAggParams {
+                base: params,
+                shards: ctx.opt.shards.max(1),
+            };
+            // Per-shard partial work runs concurrently across shards, each
+            // on its own dop-discounted engine, so the CPU term covers one
+            // shard's slice; the coordinator then merges every gathered
+            // per-shard group state.
+            let shard_total = ctx.net_cost(sp.gather_bytes(), 0.0)
+                + ctx.server_cost(params.rows / sp.shards as f64)
+                + sp.shards as f64 * sp.per_shard_groups() * tuple_secs;
+            if shard_legal && shard_total < client_total {
+                delivery = shard_total;
+                csq_cost::AggPlacement::ShardPartial
+            } else {
+                delivery = client_total;
+                csq_cost::AggPlacement::ClientOnly
+            }
         } else {
-            delivery = client_total;
-            csq_cost::AggPlacement::ClientOnly
+            let server_total = ctx.net_cost(
+                params.down_bytes(csq_cost::AggPlacement::ServerPartial),
+                0.0,
+            ) + ctx.server_cost(params.rows)
+                + groups * tuple_secs; // the client still merges and finishes
+            let placement = if server_legal && server_total < client_total {
+                delivery = server_total;
+                csq_cost::AggPlacement::ServerPartial
+            } else {
+                delivery = client_total;
+                csq_cost::AggPlacement::ClientOnly
+            };
+            debug_assert!(
+                // CPU terms only sharpen ties; the byte-level chooser and
+                // this enumeration must agree whenever server-partial is
+                // legal and the byte gap is decisive.
+                !server_legal
+                    || csq_cost::choose_agg_placement(&params) == placement
+                    || (ctx.net_cost(
+                        params.down_bytes(csq_cost::AggPlacement::ServerPartial),
+                        0.0
+                    ) - ctx
+                        .net_cost(params.down_bytes(csq_cost::AggPlacement::ClientOnly), 0.0))
+                    .abs()
+                        < ctx.server_cost(params.rows) + params.rows * tuple_secs
+            );
+            placement
         };
-        debug_assert!(
-            // CPU terms only sharpen ties; the byte-level chooser and this
-            // enumeration must agree whenever server-partial is legal and
-            // the byte gap is decisive.
-            !server_legal
-                || csq_cost::choose_agg_placement(&params) == placement
-                || (ctx.net_cost(
-                    params.down_bytes(csq_cost::AggPlacement::ServerPartial),
-                    0.0
-                ) - ctx.net_cost(params.down_bytes(csq_cost::AggPlacement::ClientOnly), 0.0))
-                .abs()
-                    < ctx.server_cost(params.rows) + params.rows * tuple_secs
-        );
         let having_sel = spec
             .having
             .as_ref()

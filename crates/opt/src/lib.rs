@@ -26,10 +26,11 @@ pub mod dp;
 pub mod plan;
 pub mod query;
 pub mod rank;
+pub mod shard;
 
 pub use context::{OptContext, TableStats, UdfMeta};
 pub use csq_cost::AggPlacement;
 pub use dp::{optimize, OptimizedPlan};
-pub use plan::{PlanNode, UdfStrategy};
+pub use plan::{GatherMode, PlanNode, UdfStrategy};
 pub use query::{AggCall, AggregateSpec, QueryGraph, Unit};
 pub use rank::rank_order_baseline;

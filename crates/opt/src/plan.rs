@@ -30,6 +30,28 @@ pub enum UdfStrategy {
     },
 }
 
+/// How a coordinator reassembles scattered per-shard result streams
+/// (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherMode {
+    /// Concatenate the per-shard row streams in shard order — deterministic
+    /// given the topology, used for plain row results.
+    Ordered,
+    /// Merge per-shard partial-aggregate states group-by-group before the
+    /// finalize phase (the shard-partial placement's gather).
+    Merge,
+}
+
+impl GatherMode {
+    /// Explain label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GatherMode::Ordered => "ordered",
+            GatherMode::Merge => "merge",
+        }
+    }
+}
+
 /// A plan node. Costing annotations live in [`crate::dp::OptimizedPlan`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanNode {
@@ -79,6 +101,24 @@ pub enum PlanNode {
         input: Box<PlanNode>,
         placement: AggPlacement,
         groups_est: f64,
+    },
+    /// Fan the subplan out to a shard set (DESIGN.md §13): every live shard
+    /// runs the subplan over its hash-partition of the data. `pruned` counts
+    /// shards skipped because a predicate pins the shard key to one
+    /// hash bucket.
+    Scatter {
+        input: Box<PlanNode>,
+        /// Shards in the topology.
+        shards: usize,
+        /// Shards the coordinator never contacts for this query.
+        pruned: usize,
+    },
+    /// Reassemble the scattered streams at the coordinator: shard-order
+    /// concatenation for row results, group-wise state merging for
+    /// shard-partial aggregation.
+    Gather {
+        input: Box<PlanNode>,
+        mode: GatherMode,
     },
 }
 
@@ -217,6 +257,20 @@ impl PlanNode {
                 out.push_str(&format!("{pad}Final{note}\n"));
                 input.fmt(graph, notes, depth + 1, out);
             }
+            PlanNode::Scatter {
+                input,
+                shards,
+                pruned,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Scatter [{shards} shards, {pruned} pruned]\n"
+                ));
+                input.fmt(graph, notes, depth + 1, out);
+            }
+            PlanNode::Gather { input, mode } => {
+                out.push_str(&format!("{pad}Gather [{}]\n", mode.label()));
+                input.fmt(graph, notes, depth + 1, out);
+            }
         }
     }
 
@@ -245,7 +299,9 @@ impl PlanNode {
             | PlanNode::Filter { input, .. }
             | PlanNode::ReturnToServer { input }
             | PlanNode::Final { input, .. }
-            | PlanNode::Aggregate { input, .. } => input.walk(f),
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Scatter { input, .. }
+            | PlanNode::Gather { input, .. } => input.walk(f),
         }
     }
 

@@ -189,7 +189,7 @@ impl FilterSpec {
     }
 
     /// Zone-only variant of [`prunes`](Self::prunes) for optimizer
-    /// statistics, which carry [`SegmentZones`] profiles instead of live
+    /// statistics, which carry [`SegmentZones`](crate::SegmentZones) profiles instead of live
     /// segments.
     pub fn prunes_zones(&self, zones: &crate::SegmentZones) -> bool {
         self.prunes_by(|c| zones.zones.get(c))

@@ -12,6 +12,8 @@
 //! assert_eq!(result.rows.len(), 1);
 //! svc.shutdown();
 //! ```
+#![warn(missing_docs)]
+
 pub use csq_core::*;
 
 /// Everything a typical embedder or service client needs, in one import.
@@ -24,6 +26,7 @@ pub use csq_core::*;
 /// module paths.
 pub mod prelude {
     pub use csq_core::{ConnectionPool, QueryOptions, RetryPolicy, ServiceConn};
+    pub use csq_core::{CoordStats, Coordinator, CoordinatorConfig};
     pub use csq_core::{CsqError, DataType, NetworkSpec, Result, Row, Schema, Value};
     pub use csq_core::{
         Database, QueryResult, ServiceConfig, ServiceConfigBuilder, ServiceHandle, ServiceStats,

@@ -474,3 +474,121 @@ fn dop_discounts_server_cost_without_changing_the_plan() {
     // stay a small fraction of the total.
     assert!(dop16_cost > serial_cost * 0.5);
 }
+
+// ---- sharded (N-site) placement, DESIGN.md §13 -----------------------------
+
+fn sharded_ctx(shards: usize) -> OptContext {
+    let mut ctx = fig11_ctx(NetworkSpec::lan()).with_shards(shards);
+    ctx.set_shard_key("Estimations", "CompanyName");
+    ctx
+}
+
+#[test]
+fn sharded_aggregate_picks_shard_partial_and_renders_fanout() {
+    // ~32 expected groups (sqrt default) over 1000 rows: per-shard partial
+    // states beat gathering the raw rows, so the enumerator extends the
+    // two-site choice to the shard set and EXPLAIN shows the fan-out.
+    let ctx = sharded_ctx(4);
+    let g = csq_opt::query::extract(
+        &select("SELECT E.BrokerName, COUNT(*) FROM Estimations E GROUP BY E.BrokerName"),
+        &ctx,
+    )
+    .unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(explain.contains("Aggregate [shard-partial]"), "{explain}");
+    assert!(explain.contains("Gather [merge]"), "{explain}");
+    assert!(
+        explain.contains("Scatter [4 shards, 0 pruned]"),
+        "{explain}"
+    );
+}
+
+#[test]
+fn sharded_aggregate_without_reduction_gathers_rows() {
+    // Grouping by a unique key (distinct = rows): partial states save
+    // nothing and pay per-shard duplication, so the raw rows cross and the
+    // coordinator aggregates alone.
+    let mut ctx = sharded_ctx(4);
+    ctx.set_col_distinct("Estimations", "CompanyName", 1000.0);
+    let g = csq_opt::query::extract(
+        &select("SELECT E.CompanyName, COUNT(*) FROM Estimations E GROUP BY E.CompanyName"),
+        &ctx,
+    )
+    .unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(explain.contains("Aggregate [client-only]"), "{explain}");
+    assert!(explain.contains("Gather [ordered]"), "{explain}");
+}
+
+#[test]
+fn pinned_shard_key_prunes_the_scatter() {
+    let ctx = sharded_ctx(4);
+    let g = csq_opt::query::extract(
+        &select(
+            "SELECT E.BrokerName, COUNT(*) FROM Estimations E \
+             WHERE E.CompanyName = 'Acme' GROUP BY E.BrokerName",
+        ),
+        &ctx,
+    )
+    .unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(
+        explain.contains("Scatter [4 shards, 3 pruned]"),
+        "{explain}"
+    );
+    // The pruning helper the coordinator routes with agrees with the plan.
+    assert!(csq_opt::shard::pinned_shard_value(&g, &ctx, 0).is_some());
+}
+
+#[test]
+fn sharded_join_gathers_each_relation() {
+    // A join is not pushable per shard (rows co-located by different keys):
+    // each relation's partitions gather separately and the coordinator
+    // joins, repartitioning with its local Exchange operators.
+    let ctx = sharded_ctx(4);
+    let g = csq_opt::query::extract(
+        &select(
+            "SELECT S.Name, E.BrokerName FROM StockQuotes S, Estimations E \
+             WHERE S.Name = E.CompanyName",
+        ),
+        &ctx,
+    )
+    .unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert_eq!(explain.matches("Gather [ordered]").count(), 2, "{explain}");
+    assert_eq!(explain.matches("Scatter [4 shards").count(), 2, "{explain}");
+    let mut join_above_gather = false;
+    plan.root.walk(&mut |n| {
+        if let PlanNode::Join { left, right } = n {
+            let gathered = |side: &PlanNode| {
+                let mut found = false;
+                side.walk(&mut |m| {
+                    if matches!(m, PlanNode::Gather { .. }) {
+                        found = true;
+                    }
+                });
+                found
+            };
+            join_above_gather = gathered(left) && gathered(right);
+        }
+    });
+    assert!(join_above_gather, "{explain}");
+}
+
+#[test]
+fn unsharded_context_never_scatters() {
+    let ctx = fig11_ctx(NetworkSpec::lan());
+    let g = csq_opt::query::extract(
+        &select("SELECT E.BrokerName, COUNT(*) FROM Estimations E GROUP BY E.BrokerName"),
+        &ctx,
+    )
+    .unwrap();
+    let plan = optimize(&g, &ctx).unwrap();
+    let explain = plan.root.explain(&g);
+    assert!(!explain.contains("Scatter"), "{explain}");
+    assert!(!explain.contains("Gather"), "{explain}");
+}

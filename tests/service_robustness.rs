@@ -654,7 +654,10 @@ fn thousand_idle_connections_park_flat_and_shut_down_promptly() {
     let deadline = Instant::now() + Duration::from_secs(30);
     let sched = handle.scheduler_stats();
     while sched.parked_sessions.load(Ordering::Relaxed) < 1_000 {
-        assert!(Instant::now() < deadline, "sessions never reached the scheduler");
+        assert!(
+            Instant::now() < deadline,
+            "sessions never reached the scheduler"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 

@@ -19,7 +19,7 @@
 //! configured threshold panics with the channel's sender/receiver/queue
 //! state instead of hanging the process — the PR 3 producer/consumer
 //! deadlock class surfaces as a loud test failure rather than a CI
-//! timeout. See [`channel::set_watchdog_timeout`].
+//! timeout. See `channel::set_watchdog_timeout` (lockcheck builds only).
 
 pub mod channel {
     use std::collections::VecDeque;
